@@ -1,0 +1,161 @@
+package streamgraph_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the command-line tools once per test run.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func TestCLIGenInspectReplayPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t, "sggen", "sginspect", "sgreplay")
+
+	// sggen TSV → sginspect.
+	gen := exec.Command(bins["sggen"], "-dataset", "lj", "-edges", "5000")
+	tsv, err := gen.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(tsv, []byte("\n")); lines != 5000 {
+		t.Fatalf("sggen emitted %d lines", lines)
+	}
+	inspect := exec.Command(bins["sginspect"], "-stdin", "-batch", "2500")
+	inspect.Stdin = bytes.NewReader(tsv)
+	insOut, err := inspect.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sginspect: %v\n%s", err, insOut)
+	}
+	if !strings.Contains(string(insOut), "don't reorder") {
+		t.Fatalf("lj batches should classify adverse:\n%s", insOut)
+	}
+
+	// sggen binary → sgreplay.
+	genBin := exec.Command(bins["sggen"], "-dataset", "fb", "-edges", "8000", "-format", "binary")
+	trace, err := genBin.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := exec.Command(bins["sgreplay"], "-batch", "4000", "-policy", "adaptive")
+	replay.Stdin = bytes.NewReader(trace)
+	repOut, err := replay.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sgreplay: %v\n%s", err, repOut)
+	}
+	if !strings.Contains(string(repOut), "total: 2 batches") {
+		t.Fatalf("sgreplay summary missing:\n%s", repOut)
+	}
+
+	// Unknown dataset errors out.
+	bad := exec.Command(bins["sggen"], "-dataset", "nosuch")
+	if err := bad.Run(); err == nil {
+		t.Fatal("sggen accepted an unknown dataset")
+	}
+}
+
+func TestCLIBenchList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t, "sgbench")
+	out, err := exec.Command(bins["sgbench"], "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3", "tab3", "summary", "abl-dah"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("sgbench -list missing %q", want)
+		}
+	}
+	// A cheap experiment end to end, with CSV output.
+	csvDir := t.TempDir()
+	out, err = exec.Command(bins["sgbench"], "-exp", "tab1", "-csv", csvDir).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "16 cores") {
+		t.Fatalf("tab1 output wrong:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "tab1_0.csv")); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+}
+
+func TestCLIServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t, "sgserve")
+	const addr = "127.0.0.1:39217"
+	srv := exec.Command(bins["sgserve"], "-listen", addr, "-analytics", "pagerank", "-vertices", "100")
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	// Wait for the listener.
+	var resp *http.Response
+	var err error
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get("http://" + addr + "/stats")
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	resp.Body.Close()
+
+	body := strings.NewReader(`[{"src":1,"dst":2},{"src":2,"dst":3}]`)
+	post, err := http.Post("http://"+addr+"/batch", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	var br map[string]any
+	if err := json.NewDecoder(post.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br["batchId"].(float64) != 0 {
+		t.Fatalf("batch response: %v", br)
+	}
+	stats, err := http.Get("http://" + addr + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(stats.Body)
+	stats.Body.Close()
+	if !strings.Contains(string(raw), `"edges":2`) {
+		t.Fatalf("stats: %s", raw)
+	}
+}

@@ -1,0 +1,115 @@
+// Command sgbench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	sgbench -list                 # enumerate experiments
+//	sgbench -exp fig3             # run one experiment
+//	sgbench -exp all              # run everything
+//	sgbench -exp tab3 -quick      # smaller sweep for smoke tests
+//	sgbench -exp fig3 -full       # add the 500K batch size
+//
+// Each experiment prints one or more text tables with the paper's
+// reported values alongside the measured ones. Progress goes to
+// stderr with -v.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"streamgraph/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig1..fig20, tab1..tab3, summary) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "smaller sweep (fewer datasets, sizes and batches)")
+		full    = flag.Bool("full", false, "extend the sweep with the 500K batch size")
+		batches = flag.Int("batches", 0, "batches per workload (0 = default)")
+		workers = flag.Int("workers", 0, "software worker goroutines (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "progress output on stderr")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "sgbench: -exp or -list required (try: sgbench -list)")
+		os.Exit(2)
+	}
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	cfg := bench.Config{
+		Quick:    *quick,
+		Full:     *full,
+		Batches:  *batches,
+		Workers:  *workers,
+		Progress: progress,
+	}
+
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.Experiments()
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sgbench: unknown experiment %q (try: sgbench -list)\n", *exp)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sgbench:", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Printf("# %s — %s\n# paper: %s\n\n", e.ID, e.Title, e.Paper)
+		for i, t := range e.Run(cfg) {
+			t.Render(os.Stdout)
+			if *csvDir != "" {
+				name := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", e.ID, i))
+				if err := writeCSV(name, t); err != nil {
+					fmt.Fprintln(os.Stderr, "sgbench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("# %s completed in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeCSV dumps one result table for external plotting.
+func writeCSV(path string, t bench.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Columns); err != nil {
+		return err
+	}
+	if err := w.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}

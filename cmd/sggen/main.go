@@ -1,0 +1,104 @@
+// Command sggen emits a synthetic edge stream for one of the Table 2
+// dataset profiles, either as tab-separated text, one edge per line:
+//
+//	src <TAB> dst <TAB> weight [<TAB> d]
+//
+// (a trailing "d" marks deletions), or as the compact binary trace
+// format (-format binary) that sginspect and sgreplay consume.
+//
+// Usage:
+//
+//	sggen -dataset wiki -edges 100000 > wiki.tsv
+//	sggen -dataset fb -edges 50000 -deletes 0.1 -seed 7
+//	sggen -dataset lj -edges 1000000 -format binary > lj.sgedge
+//	sggen -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"streamgraph/internal/gen"
+	"streamgraph/internal/trace"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "wiki", "dataset short name (see -list)")
+		edges   = flag.Int("edges", 100000, "number of edges to emit")
+		seed    = flag.Int64("seed", 0, "stream seed (0 = profile default)")
+		deletes = flag.Float64("deletes", 0, "fraction of deletions to mix in")
+		format  = flag.String("format", "tsv", "output format: tsv | binary")
+		rmat    = flag.Int("rmat", 0, "use an RMAT generator with 2^scale vertices instead of a dataset profile")
+		list    = flag.Bool("list", false, "list dataset profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-22s %12s %14s %12s %s\n",
+			"short", "name", "vertices", "paper-vertices", "paper-edges", "order")
+		for _, p := range gen.AllProfiles() {
+			order := "shuffled"
+			if p.Timestamped {
+				order = "timestamped"
+			}
+			fmt.Printf("%-12s %-22s %12d %14d %12d %s\n",
+				p.Short, p.Name, p.Vertices, p.PaperVertices, p.PaperEdges, order)
+		}
+		return
+	}
+
+	var src gen.EdgeSource
+	if *rmat > 0 {
+		src = gen.NewRMAT(*rmat, *seed)
+	} else {
+		p, err := gen.ProfileByName(*dataset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sggen:", err)
+			os.Exit(2)
+		}
+		s := gen.NewStream(p)
+		if *seed != 0 {
+			s = gen.NewStreamSeed(p, *seed)
+		}
+		if *deletes > 0 {
+			s.SetDeleteFraction(*deletes)
+		}
+		src = s
+	}
+
+	switch *format {
+	case "binary":
+		bw, err := trace.NewWriter(os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sggen:", err)
+			os.Exit(1)
+		}
+		for i := 0; i < *edges; i++ {
+			if err := bw.WriteEdge(src.NextEdge()); err != nil {
+				fmt.Fprintln(os.Stderr, "sggen:", err)
+				os.Exit(1)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "sggen:", err)
+			os.Exit(1)
+		}
+	case "tsv":
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		for i := 0; i < *edges; i++ {
+			e := src.NextEdge()
+			if e.Delete {
+				fmt.Fprintf(w, "%d\t%d\t%g\td\n", e.Src, e.Dst, float64(e.Weight))
+			} else {
+				fmt.Fprintf(w, "%d\t%d\t%g\n", e.Src, e.Dst, float64(e.Weight))
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "sggen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}

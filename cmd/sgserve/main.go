@@ -1,0 +1,68 @@
+// Command sgserve exposes a streaming graph system over HTTP: edge
+// batches stream in via POST, analytics stream out via GET, and the
+// graph can be checkpointed and restored.
+//
+//	sgserve -listen :8080 -analytics pagerank -vertices 100000
+//
+// API:
+//
+//	POST /batch      body: JSON [{"src":1,"dst":2,"weight":1,"delete":false}, ...]
+//	                 → {"batchId":0,"reordered":true,...}
+//	GET  /rank?v=7       → {"vertex":7,"rank":0.0123}
+//	GET  /distance?v=7   → {"vertex":7,"distance":3}   (SSSP mode)
+//	GET  /level?v=7      → {"vertex":7,"level":2}      (BFS mode)
+//	GET  /component?v=7  → {"vertex":7,"component":0}  (CC mode)
+//	GET  /stats          → {"vertices":...,"edges":...,"batches":...}
+//	GET  /snapshot       → binary snapshot download
+//	POST /flush          → force any deferred compute round
+//
+// The system processes batches sequentially (the paper's execution
+// model); concurrent POSTs serialize on an internal lock.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"streamgraph"
+	"streamgraph/internal/server"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8080", "listen address")
+		vertices  = flag.Int("vertices", 100000, "initial vertex-space size")
+		analytics = flag.String("analytics", "pagerank", "pagerank | sssp | bfs | cc | none")
+		source    = flag.Uint("source", 0, "source vertex for sssp/bfs")
+		noOCA     = flag.Bool("no-oca", false, "disable compute aggregation (latency-critical mode)")
+	)
+	flag.Parse()
+
+	var a streamgraph.Analytics
+	switch *analytics {
+	case "pagerank":
+		a = streamgraph.AnalyticsPageRank
+	case "sssp":
+		a = streamgraph.AnalyticsSSSP
+	case "bfs":
+		a = streamgraph.AnalyticsBFS
+	case "cc":
+		a = streamgraph.AnalyticsCC
+	case "none":
+		a = streamgraph.AnalyticsNone
+	default:
+		log.Fatalf("sgserve: unknown analytics %q", *analytics)
+	}
+
+	sys := streamgraph.New(streamgraph.Config{
+		Vertices:   *vertices,
+		Analytics:  a,
+		Source:     streamgraph.VertexID(*source),
+		DisableOCA: *noOCA,
+	})
+
+	h := server.New(sys)
+	log.Printf("sgserve: %s analytics on %s", *analytics, *listen)
+	log.Fatal(http.ListenAndServe(*listen, h))
+}

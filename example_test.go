@@ -1,0 +1,70 @@
+package streamgraph_test
+
+import (
+	"fmt"
+
+	"streamgraph"
+)
+
+// ExampleSystem demonstrates the adaptive streaming pipeline: ingest
+// a batch, read the analytics, and inspect the adaptive decisions.
+func ExampleSystem() {
+	sys := streamgraph.New(streamgraph.Config{
+		Vertices:  16,
+		Workers:   1,
+		Analytics: streamgraph.AnalyticsSSSP,
+		Source:    0,
+	})
+
+	res, err := sys.ApplyBatch([]streamgraph.Edge{
+		{Src: 0, Dst: 1, Weight: 2},
+		{Src: 1, Dst: 2, Weight: 3},
+		{Src: 0, Dst: 2, Weight: 9},
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Flush()
+
+	fmt.Println("batch:", res.BatchID, "instrumented:", res.Instrumented)
+	fmt.Println("edges:", sys.NumEdges())
+	fmt.Println("dist(2):", sys.Distance(2))
+
+	// A shortcut arrives; the incremental engine reacts.
+	if _, err := sys.ApplyBatch([]streamgraph.Edge{{Src: 0, Dst: 2, Weight: 4}}); err != nil {
+		panic(err)
+	}
+	sys.Flush()
+	fmt.Println("dist(2) after shortcut:", sys.Distance(2))
+
+	// Output:
+	// batch: 0 instrumented: true
+	// edges: 3
+	// dist(2): 5
+	// dist(2) after shortcut: 4
+}
+
+// ExampleSystem_deletion shows deletion semantics: removing an edge
+// triggers an exact recomputation of the affected analytics.
+func ExampleSystem_deletion() {
+	sys := streamgraph.New(streamgraph.Config{
+		Vertices:  8,
+		Workers:   1,
+		Analytics: streamgraph.AnalyticsBFS,
+		Source:    0,
+	})
+	sys.ApplyBatch([]streamgraph.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+	})
+	sys.Flush()
+	fmt.Println("level(2):", sys.Level(2))
+
+	sys.ApplyBatch([]streamgraph.Edge{{Src: 1, Dst: 2, Delete: true}})
+	sys.Flush()
+	fmt.Println("level(2) after cut:", sys.Level(2))
+
+	// Output:
+	// level(2): 2
+	// level(2) after cut: -1
+}

@@ -1,0 +1,103 @@
+package abr
+
+// AutoTuner implements the paper's suggested extension ("In future
+// work, ABR could be extended with an online feedback tuning
+// method", Section 6.2.3): it adjusts the TH threshold from observed
+// update-time feedback instead of relying on the offline-fitted
+// constant.
+//
+// The tuner watches ABR-active batches. For each it receives the
+// measured CAD_λ, the mode the batch ran in, and the per-edge update
+// cost. It maintains exponentially weighted per-edge cost estimates
+// for the two modes and nudges TH when the evidence contradicts the
+// current boundary:
+//
+//   - a reordered batch (CAD ≥ TH) that runs slower than the
+//     non-reordered estimate means the boundary is too low → TH moves
+//     up toward that batch's CAD;
+//   - a non-reordered batch (CAD < TH) that runs slower than the
+//     reordered estimate means the boundary is too high → TH moves
+//     down toward that batch's CAD.
+//
+// Movements are damped (a fraction of the gap per observation), so a
+// single noisy batch cannot destabilize the controller.
+type AutoTuner struct {
+	params Params
+	// alpha is the EWMA weight of a new cost observation.
+	alpha float64
+	// gain is the fraction of the TH-to-CAD gap applied per move.
+	gain float64
+	// minTH/maxTH bound the threshold.
+	minTH, maxTH float64
+
+	roCost, baseCost float64
+	roSeen, baseSeen bool
+}
+
+// NewAutoTuner starts from p (zero value means DefaultParams).
+func NewAutoTuner(p Params) *AutoTuner {
+	if p == (Params{}) {
+		p = DefaultParams
+	}
+	return &AutoTuner{
+		params: p,
+		alpha:  0.3,
+		gain:   0.3,
+		minTH:  float64(p.Lambda) + 1, // TH below λ+1 is meaningless
+		maxTH:  1e6,
+	}
+}
+
+// Params returns the current (possibly adjusted) parameters.
+func (t *AutoTuner) Params() Params { return t.params }
+
+// CostEstimates returns the current per-edge cost EWMAs for the
+// reordered and non-reordered modes (zero until observed).
+func (t *AutoTuner) CostEstimates() (reordered, baseline float64) {
+	return t.roCost, t.baseCost
+}
+
+// Observe feeds one ABR-active batch's outcome: its measured CAD_λ,
+// the mode it ran in, and its per-edge update cost (any consistent
+// unit). It updates the cost estimates and possibly moves TH.
+func (t *AutoTuner) Observe(cad float64, reordered bool, perEdgeCost float64) {
+	if perEdgeCost <= 0 {
+		return
+	}
+	if reordered {
+		t.roCost = ewma(t.roCost, perEdgeCost, t.alpha, t.roSeen)
+		t.roSeen = true
+	} else {
+		t.baseCost = ewma(t.baseCost, perEdgeCost, t.alpha, t.baseSeen)
+		t.baseSeen = true
+	}
+	if !t.roSeen || !t.baseSeen {
+		return // need evidence from both modes before moving TH
+	}
+
+	switch {
+	case reordered && perEdgeCost > t.baseCost && cad >= t.params.TH:
+		// Reordering did not pay for this CAD level: raise the bar
+		// toward just above it.
+		target := cad * 1.05
+		t.params.TH += t.gain * (target - t.params.TH)
+	case !reordered && perEdgeCost > t.roCost && cad < t.params.TH && cad > 0:
+		// The baseline is losing on a batch ABR refused to reorder:
+		// lower the bar toward just below its CAD.
+		target := cad * 0.95
+		t.params.TH += t.gain * (target - t.params.TH)
+	}
+	if t.params.TH < t.minTH {
+		t.params.TH = t.minTH
+	}
+	if t.params.TH > t.maxTH {
+		t.params.TH = t.maxTH
+	}
+}
+
+func ewma(cur, x, alpha float64, seen bool) float64 {
+	if !seen {
+		return x
+	}
+	return (1-alpha)*cur + alpha*x
+}

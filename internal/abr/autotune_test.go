@@ -1,0 +1,118 @@
+package abr
+
+import "testing"
+
+func TestAutoTunerDefaults(t *testing.T) {
+	at := NewAutoTuner(Params{})
+	if at.Params() != DefaultParams {
+		t.Fatalf("zero-value params should default: %+v", at.Params())
+	}
+	ro, base := at.CostEstimates()
+	if ro != 0 || base != 0 {
+		t.Fatal("estimates should start at zero")
+	}
+}
+
+func TestAutoTunerNeedsBothModes(t *testing.T) {
+	at := NewAutoTuner(DefaultParams)
+	// Only reordered evidence: TH must not move.
+	for i := 0; i < 10; i++ {
+		at.Observe(600, true, 100)
+	}
+	if at.Params().TH != DefaultParams.TH {
+		t.Fatalf("TH moved without both-mode evidence: %v", at.Params().TH)
+	}
+}
+
+// TestAutoTunerRaisesTH: reordering keeps losing just above the
+// threshold → the threshold climbs past that CAD level.
+func TestAutoTunerRaisesTH(t *testing.T) {
+	at := NewAutoTuner(DefaultParams)
+	at.Observe(100, false, 10) // baseline cost estimate: 10/edge
+	for i := 0; i < 30; i++ {
+		at.Observe(500, true, 25) // reordered at CAD 500 costs 25/edge
+	}
+	if th := at.Params().TH; th <= 500 {
+		t.Fatalf("TH = %v, should have climbed above 500", th)
+	}
+}
+
+// TestAutoTunerLowersTH: the baseline keeps losing just below the
+// threshold → the threshold drops below that CAD level.
+func TestAutoTunerLowersTH(t *testing.T) {
+	at := NewAutoTuner(DefaultParams)
+	at.Observe(900, true, 10) // reordered cost estimate: 10/edge
+	for i := 0; i < 30; i++ {
+		at.Observe(400, false, 30) // baseline at CAD 400 costs 30/edge
+	}
+	if th := at.Params().TH; th >= 400 {
+		t.Fatalf("TH = %v, should have dropped below 400", th)
+	}
+}
+
+// TestAutoTunerStableWhenBoundaryCorrect: consistent evidence that the
+// boundary is right leaves TH (almost) unchanged.
+func TestAutoTunerStableWhenBoundaryCorrect(t *testing.T) {
+	at := NewAutoTuner(DefaultParams)
+	for i := 0; i < 20; i++ {
+		at.Observe(900, true, 10)  // reordering pays above TH
+		at.Observe(100, false, 12) // baseline fine below TH... but is it?
+	}
+	// The baseline at CAD 100 costs slightly more than reordering's
+	// estimate, so the tuner may drift down a little — but the damped
+	// gain keeps it near the region boundary, not collapsing to min.
+	th := at.Params().TH
+	if th < 90 || th > DefaultParams.TH {
+		t.Fatalf("TH drifted unreasonably: %v", th)
+	}
+}
+
+func TestAutoTunerBounds(t *testing.T) {
+	at := NewAutoTuner(Params{N: 10, Lambda: 256, TH: 300})
+	at.Observe(500, true, 10)
+	for i := 0; i < 100; i++ {
+		at.Observe(1, false, 100) // pathological feedback pushes down
+	}
+	if th := at.Params().TH; th < 257 {
+		t.Fatalf("TH = %v violated the λ+1 floor", th)
+	}
+	// Ignore non-positive costs.
+	before := at.Params().TH
+	at.Observe(500, true, 0)
+	at.Observe(500, true, -5)
+	if at.Params().TH != before {
+		t.Fatal("non-positive costs must be ignored")
+	}
+}
+
+// TestAutoTunerCorrectsMiscalibratedThreshold is the end-to-end
+// scenario: a deployment whose batches are friendly at CAD ~600 but
+// whose TH was misconfigured to 2000 (so ABR never reorders). The
+// feedback — baseline slow, reordering fast — walks TH down until the
+// controller starts reordering those batches.
+func TestAutoTunerCorrectsMiscalibratedThreshold(t *testing.T) {
+	at := NewAutoTuner(Params{N: 10, Lambda: 256, TH: 2000})
+	ctrl := NewController(at.Params())
+	// One early exploration batch ran reordered (default-on first
+	// batch) and was fast.
+	at.Observe(600, true, 8)
+	reorderingStarted := false
+	for i := 0; i < 50; i++ {
+		_, reorder := ctrl.NextBatch()
+		perEdge := 8.0 // reordered cost
+		if !reorder {
+			perEdge = 20.0 // locked baseline on a hub-heavy batch
+		}
+		at.Observe(600, reorder, perEdge)
+		// The controller re-reads tuned params each decision.
+		ctrl = NewController(at.Params())
+		ctrl.Report(600)
+		if at.Params().TH <= 600 {
+			reorderingStarted = true
+			break
+		}
+	}
+	if !reorderingStarted {
+		t.Fatalf("tuner never lowered TH below the workload's CAD: %v", at.Params().TH)
+	}
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig3", "fig4", "fig5", "fig6", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+		"tab1", "tab2", "tab3", "summary",
+		"abl-metric", "abl-assign", "abl-oca", "abl-dah", "algos", "tab-hw",
+	}
+	for _, id := range want {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", id)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(Experiments()), len(want))
+	}
+	// Sorted by ID.
+	es := Experiments()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].ID >= es[i].ID {
+			t.Fatal("Experiments not sorted")
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID should miss unknown ids")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "t",
+		Columns: []string{"a", "longcol"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("longer", "x")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== t ==", "longcol", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.batches() != 4 {
+		t.Fatalf("default batches = %d", c.batches())
+	}
+	if len(c.sizes()) != 4 {
+		t.Fatalf("default sizes = %v", c.sizes())
+	}
+	if len(c.datasets()) != 14 {
+		t.Fatalf("default datasets = %d", len(c.datasets()))
+	}
+	q := Config{Quick: true}
+	if q.batches() != 2 || len(q.sizes()) != 2 || len(q.datasets()) != 4 {
+		t.Fatal("quick config wrong")
+	}
+	f := Config{Full: true}
+	if len(f.sizes()) != 5 {
+		t.Fatal("full config should add 500K")
+	}
+}
+
+// TestQuickExperimentsRun smoke-tests the cheap experiments end to
+// end in quick mode; the expensive sweeps are covered by the table
+// tests above plus the benchmark harness itself.
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	cfg := Config{Quick: true}
+	for _, id := range []string{"tab1", "tab2", "fig4", "fig5", "fig1", "fig16", "fig18", "abl-metric", "abl-dah", "abl-assign", "fig19", "fig20", "tab-hw"} {
+		e, _ := ByID(id)
+		tables := e.Run(cfg)
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		for _, tab := range tables {
+			if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("%s produced an empty table %q", id, tab.Title)
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if buf.Len() == 0 {
+				t.Fatalf("%s rendered nothing", id)
+			}
+		}
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	w := workload{mustProfile("wiki"), 100000}
+	if !w.friendly() {
+		t.Fatal("wiki@100K should be friendly")
+	}
+	w2 := workload{mustProfile("lj"), 100000}
+	if w2.friendly() {
+		t.Fatal("lj@100K should be adverse")
+	}
+	o, i := maxDegrees(workload{mustProfile("fb"), 1000}, 2)
+	if o <= 0 || i <= 0 {
+		t.Fatal("maxDegrees returned nothing")
+	}
+}
+
+func TestMustProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mustProfile should panic on unknown dataset")
+		}
+	}()
+	mustProfile("nope")
+}

@@ -1,0 +1,47 @@
+package bench
+
+import "streamgraph/internal/pipeline"
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Fig. 1: motivating example — wiki vs uk at batch size 100K",
+		Paper: "input-oblivious RO: wiki 2.7x, uk 0.69x; input-aware SW recovers uk to 0.92x; SW+HW lifts uk to 1.60x",
+		Run:   runFig1,
+	})
+}
+
+func runFig1(cfg Config) []Table {
+	size := 100000
+	n := cfg.batches()
+	if cfg.Quick {
+		size = 10000
+	}
+	wiki := workload{mustProfile("wiki"), size}
+	uk := workload{mustProfile("uk"), size}
+
+	t := Table{
+		Title:   "Fig. 1 — update speedup over baseline (batch size 100K)",
+		Columns: []string{"bar", "workload", "technique", "paper", "measured"},
+	}
+
+	cfg.logf("fig1: (a) wiki input-oblivious RO")
+	a := updateSpeedup(wiki, n, pipeline.SimBaseline, pipeline.SimRO, false)
+	t.AddRow("(a)", "wiki-100K", "input-oblivious RO", "2.70", f2(a))
+
+	cfg.logf("fig1: (b) uk input-oblivious RO")
+	b := updateSpeedup(uk, n, pipeline.SimBaseline, pipeline.SimRO, false)
+	t.AddRow("(b)", "uk-100K", "input-oblivious RO", "0.69", f2(b))
+
+	cfg.logf("fig1: (c) uk input-aware SW (ABR+USC)")
+	c := updateSpeedup(uk, n, pipeline.SimBaseline, pipeline.SimABRUSC, false)
+	t.AddRow("(c)", "uk-100K", "input-aware SW (ABR+USC)", "0.92", f2(c))
+
+	cfg.logf("fig1: (d) uk input-aware SW+HW (ABR+USC+HAU)")
+	d := updateSpeedup(uk, n, pipeline.SimBaseline, pipeline.SimABRUSCHAU, true)
+	t.AddRow("(d)", "uk-100K", "input-aware SW+HW (ABR+USC+HAU)", "1.60", f2(d))
+
+	t.Notes = append(t.Notes,
+		"update time measured on the simulated 16-core machine (DESIGN.md §3)")
+	return []Table{t}
+}

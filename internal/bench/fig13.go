@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamgraph/internal/pipeline"
+	"streamgraph/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Fig. 13: ABR, perfect ABR and ABR+USC update/overall speedups",
+		Paper: "inset geomeans — friendly update: RO 1.92, ABR 1.85, perfect 1.98, ABR+USC 4.55; adverse update: RO 0.37, ABR 0.87, perfect 1.02, ABR+USC 0.87; friendly overall: 1.77/1.71/1.81/3.49; adverse overall: 0.78/0.91/1.00/0.91; max ABR+USC 23x (wiki-100K)",
+		Run:   runFig13,
+	})
+}
+
+func runFig13(cfg Config) []Table {
+	n := cfg.batches()
+	t := Table{
+		Title: "Fig. 13 — speedup over baseline",
+		Columns: []string{"dataset", "batch", "class",
+			"RO upd", "ABR upd", "perfect upd", "ABR+USC upd",
+			"RO ovl", "ABR ovl", "perfect ovl", "ABR+USC ovl"},
+	}
+
+	type agg struct{ ro, abr, perfect, usc []float64 }
+	var fu, au, fo, ao agg // friendly/adverse × update/overall
+	for _, w := range sweep(cfg) {
+		cfg.logf("fig13: %s@%d", w.p.Short, w.size)
+		base := run(w, n, runOpts{policy: pipeline.SimBaseline, compute: newPR(cfg.Workers)})
+		ro := run(w, n, runOpts{policy: pipeline.SimRO, compute: newPR(cfg.Workers)})
+		abrRun := run(w, n, runOpts{policy: pipeline.SimABR, compute: newPR(cfg.Workers)})
+		perfect := run(w, n, runOpts{policy: pipeline.SimABR, oracle: true, compute: newPR(cfg.Workers)})
+		usc := run(w, n, runOpts{policy: pipeline.SimABRUSC, compute: newPR(cfg.Workers)})
+
+		upd := func(m *pipeline.RunMetrics) float64 { return base.SimCycles() / m.SimCycles() }
+		ovl := func(m *pipeline.RunMetrics) float64 { return overallSpeedup(base, m) }
+
+		row := []string{w.p.Short, fmt.Sprintf("%d", w.size)}
+		class := "adverse"
+		updAgg, ovlAgg := &au, &ao
+		if w.friendly() {
+			class = "friendly"
+			updAgg, ovlAgg = &fu, &fo
+		}
+		row = append(row, class,
+			f2(upd(ro)), f2(upd(abrRun)), f2(upd(perfect)), f2(upd(usc)),
+			f2(ovl(ro)), f2(ovl(abrRun)), f2(ovl(perfect)), f2(ovl(usc)))
+		t.AddRow(row...)
+
+		updAgg.ro = append(updAgg.ro, upd(ro))
+		updAgg.abr = append(updAgg.abr, upd(abrRun))
+		updAgg.perfect = append(updAgg.perfect, upd(perfect))
+		updAgg.usc = append(updAgg.usc, upd(usc))
+		ovlAgg.ro = append(ovlAgg.ro, ovl(ro))
+		ovlAgg.abr = append(ovlAgg.abr, ovl(abrRun))
+		ovlAgg.perfect = append(ovlAgg.perfect, ovl(perfect))
+		ovlAgg.usc = append(ovlAgg.usc, ovl(usc))
+	}
+
+	inset := Table{
+		Title:   "Fig. 13 inset — geomean speedups (paper values in parentheses)",
+		Columns: []string{"category", "RO", "ABR", "perfect ABR", "ABR+USC"},
+	}
+	g := stats.Geomean
+	inset.AddRow("friendly update",
+		fmt.Sprintf("%.2f (1.92)", g(fu.ro)), fmt.Sprintf("%.2f (1.85)", g(fu.abr)),
+		fmt.Sprintf("%.2f (1.98)", g(fu.perfect)), fmt.Sprintf("%.2f (4.55)", g(fu.usc)))
+	inset.AddRow("adverse update",
+		fmt.Sprintf("%.2f (0.37)", g(au.ro)), fmt.Sprintf("%.2f (0.87)", g(au.abr)),
+		fmt.Sprintf("%.2f (1.02)", g(au.perfect)), fmt.Sprintf("%.2f (0.87)", g(au.usc)))
+	inset.AddRow("friendly overall",
+		fmt.Sprintf("%.2f (1.77)", g(fo.ro)), fmt.Sprintf("%.2f (1.71)", g(fo.abr)),
+		fmt.Sprintf("%.2f (1.81)", g(fo.perfect)), fmt.Sprintf("%.2f (3.49)", g(fo.usc)))
+	inset.AddRow("adverse overall",
+		fmt.Sprintf("%.2f (0.78)", g(ao.ro)), fmt.Sprintf("%.2f (0.91)", g(ao.abr)),
+		fmt.Sprintf("%.2f (1.00)", g(ao.perfect)), fmt.Sprintf("%.2f (0.91)", g(ao.usc)))
+	inset.Notes = append(inset.Notes,
+		fmt.Sprintf("max ABR+USC update speedup: %.1f (paper 23x at wiki-100K)", stats.Max(fu.usc)))
+	return []Table{t, inset}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamgraph/internal/compute"
+	"streamgraph/internal/pipeline"
+	"streamgraph/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Fig. 14: OCA compute speedup across the suite",
+		Paper: "up to 2.7x compute speedup; averages 1.24x (incremental PR) and 1.26x (incremental SSSP); OCA predominantly triggers at larger batch sizes",
+		Run:   runFig14,
+	})
+}
+
+func runFig14(cfg Config) []Table {
+	n := cfg.batches() * 2
+	if n < 8 {
+		n = 8 // aggregation needs batch pairs to act on
+	}
+	// Warm the graph first: measuring from an empty graph inflates
+	// the deferral cost (each batch would be a large fraction of the
+	// whole graph, unlike the paper's multi-million-edge datasets).
+	warm := 6
+	if cfg.Quick {
+		warm = 2
+	}
+	algos := []struct {
+		name string
+		mk   func() compute.Engine
+	}{{"pr-inc", func() compute.Engine { return newPR(cfg.Workers) }}}
+	if cfg.Full {
+		algos = append(algos, struct {
+			name string
+			mk   func() compute.Engine
+		}{"sssp-inc", func() compute.Engine { return newSSSP(cfg.Workers) }})
+	}
+
+	var tables []Table
+	for _, algo := range algos {
+		t := Table{
+			Title:   fmt.Sprintf("Fig. 14 — OCA compute speedup (%s)", algo.name),
+			Columns: []string{"dataset", "batch", "OCA compute speedup", "rounds", "aggregated"},
+		}
+		var speeds []float64
+		for _, w := range sweep(cfg) {
+			cfg.logf("fig14: %s@%d (%s)", w.p.Short, w.size, algo.name)
+			off := run(w, n, runOpts{policy: pipeline.Baseline, compute: algo.mk(), workers: cfg.Workers, warm: warm})
+			on := run(w, n, runOpts{policy: pipeline.Baseline, compute: algo.mk(), oca: true, workers: cfg.Workers, warm: warm})
+			sp := off.ComputeSeconds() / on.ComputeSeconds()
+			speeds = append(speeds, sp)
+			rounds, agg := 0, 0
+			for _, bm := range on.Batches {
+				if bm.AggregatedBatches > 0 {
+					rounds++
+					if bm.AggregatedBatches > 1 {
+						agg++
+					}
+				}
+			}
+			t.AddRow(w.p.Short, fmt.Sprintf("%d", w.size), f2(sp), fi(int64(rounds)), fi(int64(agg)))
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("average OCA compute speedup: %.2f (paper: 1.24-1.26); max %.2f (paper 2.7)",
+				stats.Mean(speeds), stats.Max(speeds)),
+			"compute is real wall time: aggregation saves scheduling and data-access redundancy, which does not depend on core count")
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamgraph/internal/pipeline"
+	"streamgraph/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Fig. 15: input-aware SW/HW execution beats SW-only and HW-only",
+		Paper: "left (adverse cases): RO ~0.37, RO+USC performs almost as poorly, ABR+USC ~0.87, ABR+USC+HAU ~2.3; right (friendly cases): enforcing HAU degrades update performance below 1x",
+		Run:   runFig15,
+	})
+}
+
+func runFig15(cfg Config) []Table {
+	n := cfg.batches()
+
+	left := Table{
+		Title:   "Fig. 15 (left) — update speedup over baseline, geomean across reordering-adverse cases",
+		Columns: []string{"technique", "paper", "measured"},
+	}
+	var ro, rousc, abrusc, hauPol []float64
+	right := Table{
+		Title:   "Fig. 15 (right) — enforcing HAU on reordering-friendly cases (vs ABR+USC)",
+		Columns: []string{"dataset", "batch", "HAU/ABR+USC update speedup"},
+	}
+	var enforced []float64
+
+	for _, w := range sweep(cfg) {
+		cfg.logf("fig15: %s@%d", w.p.Short, w.size)
+		if !w.friendly() {
+			base := run(w, n, runOpts{policy: pipeline.SimBaseline})
+			ro = append(ro, base.SimCycles()/run(w, n, runOpts{policy: pipeline.SimRO}).SimCycles())
+			rousc = append(rousc, base.SimCycles()/run(w, n, runOpts{policy: pipeline.SimROUSC}).SimCycles())
+			abrusc = append(abrusc, base.SimCycles()/run(w, n, runOpts{policy: pipeline.SimABRUSC}).SimCycles())
+			hauPol = append(hauPol, base.SimCycles()/run(w, n, runOpts{policy: pipeline.SimABRUSCHAU, oracle: true}).SimCycles())
+			continue
+		}
+		// Warm the stream first so hub edge arrays reach their
+		// steady-state length — the regime in which per-task rescans
+		// hurt the hardware mode (wiki's profile otherwise spends
+		// these batches inside its low-degree warmup).
+		usc := run(w, n, runOpts{policy: pipeline.SimABRUSC, oracle: true, warm: 4})
+		hw := run(w, n, runOpts{policy: pipeline.SimHAU, warm: 4})
+		sp := usc.SimCycles() / hw.SimCycles()
+		enforced = append(enforced, sp)
+		right.AddRow(w.p.Short, fmt.Sprintf("%d", w.size), f2(sp))
+	}
+
+	g := stats.Geomean
+	left.AddRow("RO", "0.37", f2(g(ro)))
+	left.AddRow("RO+USC (enforced)", "~0.4", f2(g(rousc)))
+	left.AddRow("ABR+USC", "0.87", f2(g(abrusc)))
+	left.AddRow("ABR+USC+HAU", "~2.3", f2(g(hauPol)))
+	right.Notes = append(right.Notes,
+		fmt.Sprintf("geomean enforced-HAU speedup on friendly cases: %.2f (paper: well below 1)", g(enforced)),
+		"high-hub datasets (wiki/talk/yt at ≥100K) show the degradation clearly; the mid-tier datasets' scaled hub arrays attenuate it (see EXPERIMENTS.md)")
+	return []Table{left, right}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamgraph/internal/gen"
+	"streamgraph/internal/hau"
+	"streamgraph/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig19",
+		Title: "Fig. 19: HAU work distribution among cores (uk-100K)",
+		Paper: "~13.2K update tasks per worker core (max within 3% of min); edge-data cachelines per controller vary up to 600% with degree skew",
+		Run:   runFig19,
+	})
+	register(Experiment{
+		ID:    "fig20",
+		Title: "Fig. 20: HAU locality and NoC impact (uk-100K)",
+		Paper: "98-99% of edge-data cachelines hit the local core tile; all baseline remote cache accesses are eliminated; average packet latency changes within 10%",
+		Run:   runFig20,
+	})
+}
+
+// hauOnUK runs HAU (and optionally the software baseline) on uk at
+// 100K for a few batches, returning the last batch's results.
+func hauOnUK(cfg Config, withBaseline bool) (hau.Result, hau.Result) {
+	p := mustProfile("uk")
+	size, n := 100000, cfg.batches()
+	if cfg.Quick {
+		size = 10000
+	}
+	stream := gen.NewStream(p)
+	hw := hau.NewSimulator(sim.DefaultConfig(), hau.ModeHAU)
+	var sw *hau.Simulator
+	if withBaseline {
+		sw = hau.NewSimulator(sim.DefaultConfig(), hau.ModeBaseline)
+	}
+	gHW := newStore(p.Vertices)
+	gSW := newStore(p.Vertices)
+	var lastHW, lastSW hau.Result
+	for i := 0; i < n; i++ {
+		cfg.logf("fig19/20: uk@%d batch %d", size, i)
+		b := stream.NextBatch(size)
+		lastHW = hw.SimulateBatch(b, gHW)
+		applyBatch(gHW, b)
+		if sw != nil {
+			lastSW = sw.SimulateBatch(b, gSW)
+			applyBatch(gSW, b)
+		}
+	}
+	return lastHW, lastSW
+}
+
+func runFig19(cfg Config) []Table {
+	res, _ := hauOnUK(cfg, false)
+	t := Table{
+		Title:   "Fig. 19 — per-core update tasks and edge-data cachelines (last batch)",
+		Columns: []string{"core", "update tasks", "edge-data cachelines"},
+	}
+	var minT, maxT, minL, maxL int64 = 1 << 62, 0, 1 << 62, 0
+	for c, r := range res.PerCore {
+		if c == 0 {
+			continue // master core hosts no consumers
+		}
+		t.AddRow(fi(int64(c)), fi(r.Tasks), fi(r.ScanLines))
+		if r.Tasks < minT {
+			minT = r.Tasks
+		}
+		if r.Tasks > maxT {
+			maxT = r.Tasks
+		}
+		if r.ScanLines < minL {
+			minL = r.ScanLines
+		}
+		if r.ScanLines > maxL {
+			maxL = r.ScanLines
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("tasks: max/min = %.3f (paper: vertices within ~3%%)", float64(maxT)/float64(minT)),
+		fmt.Sprintf("cachelines: max/min = %.2f (paper: up to 7x from degree skew)", float64(maxL)/float64(max64(minL, 1))))
+	return []Table{t}
+}
+
+func runFig20(cfg Config) []Table {
+	hw, sw := hauOnUK(cfg, true)
+	t := Table{
+		Title:   "Fig. 20 — per-core locality and NoC packet latency, HAU vs software baseline",
+		Columns: []string{"core", "HAU local edge lines %", "HAU avg pkt lat", "SW avg pkt lat", "delta %"},
+	}
+	var localSum, totalSum int64
+	var swRemote, hwRemote int64
+	for c := 1; c < len(hw.PerCore); c++ {
+		r := hw.PerCore[c]
+		tot := r.EdgeLocal + r.EdgeRemote
+		localPct := 0.0
+		if tot > 0 {
+			localPct = 100 * float64(r.EdgeLocal) / float64(tot)
+		}
+		localSum += r.EdgeLocal
+		totalSum += tot
+		hwLat := hw.Machine[c].AvgPacketLatency()
+		swLat := sw.Machine[c].AvgPacketLatency()
+		delta := 0.0
+		if swLat > 0 {
+			delta = 100 * (hwLat - swLat) / swLat
+		}
+		t.AddRow(fi(int64(c)), fmt.Sprintf("%.1f%%", localPct),
+			fmt.Sprintf("%.1f", hwLat), fmt.Sprintf("%.1f", swLat),
+			fmt.Sprintf("%+.1f%%", delta))
+		hwRemote += r.EdgeRemote
+		swRemote += sw.PerCore[c].EdgeRemote
+	}
+	overallLocal := 100 * float64(localSum) / float64(max64(totalSum, 1))
+	reduction := 100.0
+	if swRemote > 0 {
+		reduction = 100 * (1 - float64(hwRemote)/float64(swRemote))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("overall HAU edge-data locality: %.1f%% (paper 98-99%%)", overallLocal),
+		fmt.Sprintf("reduction in remote edge-data accesses vs baseline: %.1f%% (paper ~100%%)", reduction))
+	return []Table{t}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

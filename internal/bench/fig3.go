@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamgraph/internal/pipeline"
+	"streamgraph/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Fig. 3: input-oblivious RO update/overall speedup across the suite, with max in/out degree",
+		Paper: "high-degree batches (talk/topcats/berkstan/yt/superuser/wiki at large sizes) gain up to ~3x; low-degree batches degrade at every size; max in/out degree correlates with the win",
+		Run:   runFig3,
+	})
+}
+
+func runFig3(cfg Config) []Table {
+	n := cfg.batches()
+	t := Table{
+		Title: "Fig. 3 — always-RO vs baseline",
+		Columns: []string{"dataset", "batch", "RO update", "RO overall",
+			"max out-deg", "max in-deg", "class(paper)"},
+	}
+	var friendlyUpd, adverseUpd []float64
+	for _, w := range sweep(cfg) {
+		cfg.logf("fig3: %s@%d", w.p.Short, w.size)
+		base := run(w, n, runOpts{policy: pipeline.SimBaseline, compute: newPR(cfg.Workers)})
+		ro := run(w, n, runOpts{policy: pipeline.SimRO, compute: newPR(cfg.Workers)})
+		upd := base.SimCycles() / ro.SimCycles()
+		ov := overallSpeedup(base, ro)
+		mo, mi := maxDegrees(w, n)
+		class := "adverse"
+		if w.friendly() {
+			class = "friendly"
+			friendlyUpd = append(friendlyUpd, upd)
+		} else {
+			adverseUpd = append(adverseUpd, upd)
+		}
+		t.AddRow(w.p.Short, fmt.Sprintf("%d", w.size), f2(upd), f2(ov),
+			fmt.Sprintf("%.0f", mo), fmt.Sprintf("%.0f", mi), class)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("geomean RO update speedup: friendly %.2f (paper 1.92), adverse %.2f (paper 0.37)",
+			stats.Geomean(friendlyUpd), stats.Geomean(adverseUpd)),
+		"overall = simulated update seconds + measured incremental-PR compute seconds")
+	return []Table{t}
+}

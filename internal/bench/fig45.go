@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamgraph/internal/gen"
+	"streamgraph/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Fig. 4: input batch degree distributions, lj vs wiki at 100K",
+		Paper: "lj's top ten degrees lie in 7-30 (max 30); wiki's in 401-1881 (max 1881)",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Fig. 5: batch degree distribution over time (lj, 100K)",
+		Paper: "the distribution is stable across batch ids; most edges come from degree 1-4 vertices",
+		Run:   runFig5,
+	})
+}
+
+func runFig4(cfg Config) []Table {
+	size := 100000
+	if cfg.Quick {
+		size = 10000
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Fig. 4 — batch in-degree distribution N(k) at batch size %d", size),
+		Columns: []string{"dataset", "degree range", "vertices"},
+	}
+	top := Table{
+		Title:   "Fig. 4 — top ten intra-batch in-degrees",
+		Columns: []string{"dataset", "top-10 degrees (desc)", "max", "paper max"},
+	}
+	ranges := []stats.Bucket{
+		{Lo: 1, Hi: 1}, {Lo: 2, Hi: 3}, {Lo: 4, Hi: 7}, {Lo: 8, Hi: 15},
+		{Lo: 16, Hi: 31}, {Lo: 32, Hi: 63}, {Lo: 64, Hi: 127},
+		{Lo: 128, Hi: 255}, {Lo: 256, Hi: 1023}, {Lo: 1024, Hi: 1 << 30},
+	}
+	paperMax := map[string]string{"lj": "30", "wiki": "1881"}
+	for _, short := range []string{"lj", "wiki"} {
+		p := mustProfile(short)
+		p.WarmupEdges = 0
+		h := gen.NewStream(p).NextBatch(size).InDegreeHist()
+		for _, r := range ranges {
+			count := 0
+			for k := r.Lo; k <= r.Hi && k <= h.MaxKey(); k++ {
+				count += h.Count(k)
+			}
+			if count > 0 {
+				t.AddRow(short, fmt.Sprintf("%d-%d", r.Lo, r.Hi), fi(int64(count)))
+			}
+		}
+		tops := h.TopKeys(10)
+		top.AddRow(short, fmt.Sprintf("%v", tops), fi(int64(h.MaxKey())), paperMax[short])
+	}
+	return []Table{t, top}
+}
+
+func runFig5(cfg Config) []Table {
+	size := 100000
+	nBatches := 10
+	if cfg.Quick {
+		size = 10000
+		nBatches = 4
+	}
+	buckets := []stats.Bucket{
+		{Lo: 1, Hi: 1, Label: "deg=1"},
+		{Lo: 2, Hi: 2, Label: "deg=2"},
+		{Lo: 3, Hi: 3, Label: "deg=3"},
+		{Lo: 4, Hi: 4, Label: "deg=4"},
+		{Lo: 5, Hi: 10, Label: "5-10"},
+		{Lo: 11, Hi: 20, Label: "10-20"},
+		{Lo: 21, Hi: 50, Label: "20-50"},
+		{Lo: 51, Hi: 1 << 30, Label: ">50"},
+	}
+	cols := []string{"batch id"}
+	for _, b := range buckets {
+		cols = append(cols, b.Label)
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Fig. 5 — %% of edges from vertices of a given in-degree, lj @%d", size),
+		Columns: cols,
+	}
+	p := mustProfile("lj")
+	s := gen.NewStream(p)
+	for i := 0; i < nBatches; i++ {
+		h := s.NextBatch(size).InDegreeHist()
+		row := []string{fi(int64(i))}
+		for _, b := range buckets {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*h.Share(b)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "temporal stability: shares should barely move across batch ids")
+	return []Table{t}
+}

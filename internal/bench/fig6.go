@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamgraph/internal/pipeline"
+	"streamgraph/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Fig. 6: total time spent in updates (percentage and absolute), baseline vs always-RO",
+		Paper: "geomean 19% of total time in updates for the baseline, 33% for RO; the share grows with batch size",
+		Run:   runFig6,
+	})
+}
+
+func runFig6(cfg Config) []Table {
+	n := cfg.batches()
+	t := Table{
+		Title: "Fig. 6 — update share of total time",
+		Columns: []string{"dataset", "batch", "base upd%", "RO upd%",
+			"base upd(s)", "RO upd(s)"},
+	}
+	var baseShares, roShares []float64
+	for _, w := range sweep(cfg) {
+		cfg.logf("fig6: %s@%d", w.p.Short, w.size)
+		base := run(w, n, runOpts{policy: pipeline.SimBaseline, compute: newPR(cfg.Workers)})
+		ro := run(w, n, runOpts{policy: pipeline.SimRO, compute: newPR(cfg.Workers)})
+		bu := base.UpdateSecondsEquivalent(freqGHz)
+		ru := ro.UpdateSecondsEquivalent(freqGHz)
+		bShare := bu / (bu + base.ComputeSeconds()/computeEquivCores)
+		rShare := ru / (ru + ro.ComputeSeconds()/computeEquivCores)
+		baseShares = append(baseShares, bShare)
+		roShares = append(roShares, rShare)
+		t.AddRow(w.p.Short, fmt.Sprintf("%d", w.size),
+			fmt.Sprintf("%.1f%%", 100*bShare), fmt.Sprintf("%.1f%%", 100*rShare),
+			fmt.Sprintf("%.4f", bu), fmt.Sprintf("%.4f", ru))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("geomean update share: baseline %.0f%% (paper 19%%), RO %.0f%% (paper 33%%)",
+			100*stats.Geomean(baseShares), 100*stats.Geomean(roShares)),
+		"compute wall time is scaled to the simulated machine's 15 workers before combining with simulated update time (DESIGN.md §3)")
+	return []Table{t}
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamgraph/internal/hau"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab-hw",
+		Title: "HAU hardware overhead (Section 4.4.3, 'Hardware overhead')",
+		Paper: "ten task MSHR entries (1KB) and two 32-entry FIFOs of four 64-bit fields (2KB) per core tile; 0.0058mm² controller logic ≈ 0.044% of the 212mm² chip",
+		Run:   runTabHW,
+	})
+}
+
+func runTabHW(Config) []Table {
+	o := hau.Overhead()
+	t := Table{
+		Title:   "HAU storage overhead per core tile",
+		Columns: []string{"structure", "configuration", "storage", "paper"},
+	}
+	t.AddRow("task MSHRs", fmt.Sprintf("%d reserved entries", o.TaskMSHRs),
+		fmt.Sprintf("%dB", o.MSHRBytes), "1KB")
+	t.AddRow("task FIFOs", fmt.Sprintf("%d x %d entries x %dB", o.FIFOs, o.FIFOEntries, o.FIFOEntryBytes),
+		fmt.Sprintf("%dB", o.FIFOBytes), "2KB")
+	t.Notes = append(t.Notes,
+		"controller-logic area (0.0058mm², ~0.044%) requires an RTL synthesis flow and is not reproduced (EXPERIMENTS.md)")
+	return []Table{t}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"streamgraph/internal/pipeline"
+)
+
+func TestOverallSpeedupUsesReferenceCompute(t *testing.T) {
+	ref := &pipeline.RunMetrics{Policy: pipeline.SimBaseline}
+	ref.Batches = append(ref.Batches, pipeline.BatchMetrics{
+		SimCycles: 2.5e9, // 1s at 2.5GHz
+		Compute:   15 * time.Second,
+	})
+	m := &pipeline.RunMetrics{Policy: pipeline.SimRO}
+	m.Batches = append(m.Batches, pipeline.BatchMetrics{
+		SimCycles: 1.25e9,            // 0.5s: update 2x faster
+		Compute:   300 * time.Second, // noisy compute must be ignored
+	})
+	// C = 15s/15 = 1s on both sides: (1+1)/(0.5+1) = 1.333...
+	got := overallSpeedup(ref, m)
+	if got < 1.32 || got > 1.35 {
+		t.Fatalf("overallSpeedup = %v, want ~1.333", got)
+	}
+}
+
+func TestRunWarmSlicesMetrics(t *testing.T) {
+	w := workload{mustProfile("fb"), 500}
+	m := run(w, 3, runOpts{policy: pipeline.Baseline, warm: 2})
+	if len(m.Batches) != 3 {
+		t.Fatalf("metrics kept %d batches, want the 3 measured ones", len(m.Batches))
+	}
+	// The retained batches are the post-warmup ones (IDs 2, 3, 4).
+	if m.Batches[0].BatchID != 2 {
+		t.Fatalf("first retained batch ID = %d, want 2", m.Batches[0].BatchID)
+	}
+}
+
+func TestSweepGrid(t *testing.T) {
+	cfg := Config{Quick: true}
+	ws := sweep(cfg)
+	if len(ws) != len(cfg.datasets())*len(cfg.sizes()) {
+		t.Fatalf("sweep produced %d workloads", len(ws))
+	}
+}

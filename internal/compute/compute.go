@@ -1,0 +1,117 @@
+// Package compute implements the paper's four evaluated analytics:
+// incremental PageRank, incremental SSSP, static PageRank, and static
+// SSSP (Section 6.1). The static versions follow the GAP benchmark
+// formulations; the incremental versions follow the
+// GraphBolt/KickStarter-style model SAGA-Bench uses, concentrating
+// computation at and around the vertices affected by an input batch.
+//
+// Every algorithm implements Engine, whose Update method accepts one
+// or more batches: OCA (internal/oca) exploits this by handing two
+// high-overlap batches to a single computation round.
+package compute
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamgraph/internal/graph"
+)
+
+// Metrics describes one computation round.
+type Metrics struct {
+	// Iterations is the number of frontier/sweep iterations executed.
+	Iterations int
+	// VerticesProcessed counts vertex activations (with multiplicity
+	// across iterations).
+	VerticesProcessed int64
+	// EdgesTraversed counts adjacency entries read.
+	EdgesTraversed int64
+	// Time is the wall-clock duration of the round.
+	Time time.Duration
+}
+
+func (m *Metrics) add(o Metrics) {
+	m.Iterations += o.Iterations
+	m.VerticesProcessed += o.VerticesProcessed
+	m.EdgesTraversed += o.EdgesTraversed
+	m.Time += o.Time
+}
+
+// Engine is one streaming analytic. After the update phase ingests a
+// batch into the store, Update(g, batch) refreshes the result; passing
+// several batches performs one aggregated round over their combined
+// modifications (the OCA granularity coarsening).
+type Engine interface {
+	// Name identifies the algorithm ("pr-inc", "sssp-static", ...).
+	Name() string
+	// Update refreshes the result after the given batches were
+	// ingested into g.
+	Update(g graph.Store, batches ...*graph.Batch) Metrics
+	// Reset clears all algorithm state (used when replaying a stream
+	// from scratch).
+	Reset()
+}
+
+// workers returns the effective worker count for w (0 = GOMAXPROCS).
+func workers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelVerts applies fn over the vertex list in dynamically
+// scheduled chunks.
+func parallelVerts(vs []graph.VertexID, nWorkers int, fn func(v graph.VertexID, w int)) {
+	const chunk = 512
+	if len(vs) == 0 {
+		return
+	}
+	if nWorkers > len(vs)/chunk+1 {
+		nWorkers = len(vs)/chunk + 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < nWorkers; k++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= len(vs) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(vs) {
+					hi = len(vs)
+				}
+				for _, v := range vs[lo:hi] {
+					fn(v, wid)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// affectedVertices returns the deduplicated set of vertices touched by
+// the batches, as a slice.
+func affectedVertices(batches []*graph.Batch) []graph.VertexID {
+	seen := make(map[graph.VertexID]struct{})
+	var out []graph.VertexID
+	for _, b := range batches {
+		for _, e := range b.Edges {
+			if _, ok := seen[e.Src]; !ok {
+				seen[e.Src] = struct{}{}
+				out = append(out, e.Src)
+			}
+			if _, ok := seen[e.Dst]; !ok {
+				seen[e.Dst] = struct{}{}
+				out = append(out, e.Dst)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package compute
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamgraph/internal/graph"
+)
+
+// buildChain returns a store with the path 0 -> 1 -> ... -> n-1.
+func buildChain(n int) *graph.AdjacencyStore {
+	s := graph.NewAdjacencyStore(n)
+	for i := 0; i < n-1; i++ {
+		s.InsertEdge(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Weight: 1})
+	}
+	return s
+}
+
+// randomStore builds a random graph plus the batch list that created it.
+func randomStore(seed int64, nVerts, nEdges int, weighted bool) (*graph.AdjacencyStore, []*graph.Batch) {
+	rng := rand.New(rand.NewSource(seed))
+	s := graph.NewAdjacencyStore(nVerts)
+	var batches []*graph.Batch
+	const perBatch = 500
+	var cur *graph.Batch
+	for i := 0; i < nEdges; i++ {
+		if cur == nil {
+			cur = &graph.Batch{ID: len(batches)}
+		}
+		w := graph.Weight(1)
+		if weighted {
+			w = graph.Weight(rng.Intn(9) + 1)
+		}
+		src := graph.VertexID(rng.Intn(nVerts))
+		dst := graph.VertexID(rng.Intn(nVerts))
+		if src == dst {
+			dst = (dst + 1) % graph.VertexID(nVerts)
+		}
+		e := graph.Edge{Src: src, Dst: dst, Weight: w}
+		if s.HasEdge(src, dst) {
+			continue // keep weights stable for SSSP monotonicity
+		}
+		s.InsertEdge(e)
+		cur.Edges = append(cur.Edges, e)
+		if len(cur.Edges) == perBatch {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	if cur != nil {
+		batches = append(batches, cur)
+	}
+	return s, batches
+}
+
+// dijkstra is the sequential oracle for SSSP.
+func dijkstra(s graph.Store, src graph.VertexID) []float64 {
+	n := s.NumVertices()
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for {
+		best := -1
+		bd := math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < bd {
+				best, bd = v, dist[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		done[best] = true
+		s.ForEachOut(graph.VertexID(best), func(nb graph.Neighbor) {
+			if d := bd + float64(nb.Weight); d < dist[nb.ID] {
+				dist[nb.ID] = d
+			}
+		})
+	}
+	return dist
+}
+
+// seqPageRank is the sequential oracle for static PageRank.
+func seqPageRank(s graph.Store, d float64, iters int) []float64 {
+	n := s.NumVertices()
+	ranks := make([]float64, n)
+	base := (1 - d) / float64(n)
+	for i := range ranks {
+		ranks[i] = base
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, n)
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			s.ForEachIn(graph.VertexID(v), func(nb graph.Neighbor) {
+				if od := s.OutDegree(nb.ID); od > 0 {
+					sum += ranks[nb.ID] / float64(od)
+				}
+			})
+			next[v] = base + d*sum
+		}
+		ranks = next
+	}
+	return ranks
+}
+
+func l1(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+func TestStaticPageRankMatchesOracle(t *testing.T) {
+	s, _ := randomStore(1, 200, 2000, false)
+	pr := &PageRank{Workers: 4}
+	m := pr.Update(s)
+	if m.Iterations == 0 || m.EdgesTraversed == 0 {
+		t.Fatal("no work recorded")
+	}
+	want := seqPageRank(s, 0.85, 100)
+	if d := l1(pr.Ranks(), want); d > 1e-4 {
+		t.Fatalf("static PR L1 distance %v from oracle", d)
+	}
+}
+
+func TestIncrementalPageRankConverges(t *testing.T) {
+	s, batches := randomStore(2, 150, 3000, false)
+	inc := &PageRank{Workers: 4, Incremental: true, Tol: 1e-10, MaxIter: 500}
+	// Replay: incremental processes batch by batch against the final
+	// graph built incrementally.
+	g := graph.NewAdjacencyStore(150)
+	for _, b := range batches {
+		for _, e := range b.Edges {
+			g.InsertEdge(e)
+		}
+		inc.Update(g, b)
+	}
+	want := seqPageRank(s, 0.85, 200)
+	if d := l1(inc.Ranks(), want); d > 1e-3 {
+		t.Fatalf("incremental PR L1 distance %v from static oracle", d)
+	}
+}
+
+func TestStaticSSSPMatchesDijkstra(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		s, _ := randomStore(seed, 120, 1200, true)
+		ss := &SSSP{Source: 0, Workers: 4}
+		ss.Update(s)
+		want := dijkstra(s, 0)
+		got := ss.Distances()
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: dist[%d] = %v, want %v", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestIncrementalSSSPExact: for insertion-only streams the
+// incremental engine matches Dijkstra exactly after every batch.
+func TestIncrementalSSSPExact(t *testing.T) {
+	for seed := int64(10); seed < 13; seed++ {
+		_, batches := randomStore(seed, 100, 2000, true)
+		g := graph.NewAdjacencyStore(100)
+		inc := &SSSP{Source: 0, Workers: 4, Incremental: true}
+		for _, b := range batches {
+			for _, e := range b.Edges {
+				g.InsertEdge(e)
+			}
+			inc.Update(g, b)
+			want := dijkstra(g, 0)
+			got := inc.Distances()
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed %d batch %d: dist[%d] = %v, want %v", seed, b.ID, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalSSSPDeletionFallback: deletions trigger an exact
+// recompute rather than a wrong monotone shortcut.
+func TestIncrementalSSSPDeletionFallback(t *testing.T) {
+	g := buildChain(5)
+	inc := &SSSP{Source: 0, Workers: 2, Incremental: true}
+	inc.Update(g, &graph.Batch{ID: 0, Edges: []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}})
+	if inc.Dist(4) != 4 {
+		t.Fatalf("chain dist = %v", inc.Dist(4))
+	}
+	// Delete the middle of the chain: 2 -> 3.
+	g.DeleteEdge(2, 3)
+	del := &graph.Batch{ID: 1, Edges: []graph.Edge{{Src: 2, Dst: 3, Delete: true}}}
+	inc.Update(g, del)
+	if !math.IsInf(inc.Dist(4), 1) {
+		t.Fatalf("after deletion dist[4] = %v, want +Inf", inc.Dist(4))
+	}
+}
+
+// TestAggregatedRoundEquivalence: handing two batches to one round
+// (the OCA path) yields the same result as two rounds, for both
+// incremental engines.
+func TestAggregatedRoundEquivalence(t *testing.T) {
+	_, batches := randomStore(20, 100, 2000, false)
+	if len(batches) < 2 {
+		t.Fatal("need at least 2 batches")
+	}
+	b0, b1 := batches[0], batches[1]
+	mk := func() *graph.AdjacencyStore {
+		g := graph.NewAdjacencyStore(100)
+		for _, b := range []*graph.Batch{b0, b1} {
+			for _, e := range b.Edges {
+				g.InsertEdge(e)
+			}
+		}
+		return g
+	}
+
+	// SSSP: aggregated must equal sequential (both exact).
+	g1 := mk()
+	sep := &SSSP{Source: 0, Workers: 4, Incremental: true}
+	sep.Update(g1, b0)
+	sep.Update(g1, b1)
+	g2 := mk()
+	agg := &SSSP{Source: 0, Workers: 4, Incremental: true}
+	agg.Update(g2, b0, b1)
+	for v := 0; v < 100; v++ {
+		if sep.Dist(graph.VertexID(v)) != agg.Dist(graph.VertexID(v)) {
+			t.Fatalf("sssp aggregated diverged at %d", v)
+		}
+	}
+
+	// PR: aggregated converges to the same fixpoint within tolerance.
+	g3 := mk()
+	prSep := &PageRank{Workers: 4, Incremental: true, Tol: 1e-10, MaxIter: 500}
+	prSep.Update(g3, b0)
+	prSep.Update(g3, b1)
+	g4 := mk()
+	prAgg := &PageRank{Workers: 4, Incremental: true, Tol: 1e-10, MaxIter: 500}
+	prAgg.Update(g4, b0, b1)
+	if d := l1(prSep.Ranks(), prAgg.Ranks()); d > 1e-4 {
+		t.Fatalf("pr aggregated L1 distance %v", d)
+	}
+}
+
+func TestEngineNamesAndReset(t *testing.T) {
+	cases := []struct {
+		e    Engine
+		name string
+	}{
+		{&PageRank{}, "pr-static"},
+		{&PageRank{Incremental: true}, "pr-inc"},
+		{&SSSP{}, "sssp-static"},
+		{&SSSP{Incremental: true}, "sssp-inc"},
+	}
+	for _, c := range cases {
+		if c.e.Name() != c.name {
+			t.Fatalf("Name = %q, want %q", c.e.Name(), c.name)
+		}
+	}
+	g := buildChain(4)
+	pr := &PageRank{Workers: 1}
+	pr.Update(g)
+	if len(pr.Ranks()) != 4 {
+		t.Fatal("ranks not sized")
+	}
+	pr.Reset()
+	if len(pr.Ranks()) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	ss := &SSSP{Workers: 1}
+	ss.Update(g)
+	ss.Reset()
+	if len(ss.Distances()) != 0 {
+		t.Fatal("SSSP Reset did not clear state")
+	}
+}
+
+func TestEmptyGraphAndBatch(t *testing.T) {
+	g := graph.NewAdjacencyStore(0)
+	pr := &PageRank{}
+	if m := pr.Update(g); m.Iterations != 0 {
+		t.Fatal("empty graph should do no work")
+	}
+	ss := &SSSP{Incremental: true}
+	if m := ss.Update(g); m.Iterations != 0 {
+		t.Fatal("empty graph should do no work")
+	}
+	g2 := buildChain(3)
+	pri := &PageRank{Incremental: true}
+	if m := pri.Update(g2, &graph.Batch{}); m.VerticesProcessed != 0 {
+		t.Fatal("empty batch should process nothing")
+	}
+}
+
+func TestSSSPOutOfRangeDist(t *testing.T) {
+	ss := &SSSP{}
+	if !math.IsInf(ss.Dist(99), 1) {
+		t.Fatal("out-of-range Dist should be +Inf")
+	}
+}

@@ -1,0 +1,512 @@
+package compute
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamgraph/internal/graph"
+)
+
+// bfsOracle computes hop distances sequentially.
+func bfsOracle(g graph.Store, src graph.VertexID) []int32 {
+	n := g.NumVertices()
+	lv := make([]int32, n)
+	for i := range lv {
+		lv[i] = -1
+	}
+	if int(src) >= n {
+		return lv
+	}
+	lv[src] = 0
+	queue := []graph.VertexID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		g.ForEachOut(v, func(nb graph.Neighbor) {
+			if lv[nb.ID] == -1 {
+				lv[nb.ID] = lv[v] + 1
+				queue = append(queue, nb.ID)
+			}
+		})
+	}
+	return lv
+}
+
+// ccOracle computes undirected components sequentially (min label).
+func ccOracle(g graph.Store) []graph.VertexID {
+	n := g.NumVertices()
+	label := make([]graph.VertexID, n)
+	for i := range label {
+		label[i] = graph.VertexID(i)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < n; v++ {
+			spread := func(nb graph.Neighbor) {
+				a, b := label[v], label[nb.ID]
+				if a < b {
+					label[nb.ID] = a
+					changed = true
+				} else if b < a {
+					label[v] = b
+					changed = true
+				}
+			}
+			g.ForEachOut(graph.VertexID(v), spread)
+			g.ForEachIn(graph.VertexID(v), spread)
+		}
+	}
+	return label
+}
+
+func TestStaticBFSMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		s, _ := randomStore(seed, 150, 1500, false)
+		b := &BFS{Source: 0, Workers: 4}
+		m := b.Update(s)
+		if m.Iterations == 0 {
+			t.Fatal("no work")
+		}
+		want := bfsOracle(s, 0)
+		got := b.Levels()
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: level[%d] = %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestIncrementalBFSExact(t *testing.T) {
+	_, batches := randomStore(17, 100, 2000, false)
+	g := graph.NewAdjacencyStore(100)
+	inc := &BFS{Source: 0, Workers: 4, Incremental: true}
+	for _, b := range batches {
+		for _, e := range b.Edges {
+			g.InsertEdge(e)
+		}
+		inc.Update(g, b)
+		want := bfsOracle(g, 0)
+		got := inc.Levels()
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("batch %d: level[%d] = %d, want %d", b.ID, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSDeletionFallback(t *testing.T) {
+	g := buildChain(4)
+	inc := &BFS{Source: 0, Workers: 2, Incremental: true}
+	inc.Update(g, &graph.Batch{Edges: []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}})
+	if inc.Level(3) != 3 {
+		t.Fatalf("Level(3) = %d", inc.Level(3))
+	}
+	g.DeleteEdge(1, 2)
+	inc.Update(g, &graph.Batch{Edges: []graph.Edge{{Src: 1, Dst: 2, Delete: true}}})
+	if inc.Level(3) != -1 {
+		t.Fatalf("Level(3) after cut = %d, want -1", inc.Level(3))
+	}
+	if inc.Level(9999) != -1 {
+		t.Fatal("out-of-range Level should be -1")
+	}
+}
+
+func TestStaticCCMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		s, _ := randomStore(seed, 120, 300, false) // sparse → several components
+		c := &CC{Workers: 4}
+		c.Update(s)
+		want := ccOracle(s)
+		got := c.Labels()
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: label[%d] = %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+		if c.Components(s) == 0 {
+			t.Fatal("no components counted")
+		}
+	}
+}
+
+func TestIncrementalCCExact(t *testing.T) {
+	_, batches := randomStore(23, 80, 600, false)
+	g := graph.NewAdjacencyStore(80)
+	inc := &CC{Workers: 4, Incremental: true}
+	for _, b := range batches {
+		for _, e := range b.Edges {
+			g.InsertEdge(e)
+		}
+		inc.Update(g, b)
+		want := ccOracle(g)
+		got := inc.Labels()
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("batch %d: label[%d] = %d, want %d", b.ID, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCCMergeComponents(t *testing.T) {
+	g := graph.NewAdjacencyStore(6)
+	inc := &CC{Workers: 2, Incremental: true}
+	b0 := &graph.Batch{ID: 0, Edges: []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1},
+	}}
+	for _, e := range b0.Edges {
+		g.InsertEdge(e)
+	}
+	inc.Update(g, b0)
+	if inc.Label(1) != 0 || inc.Label(3) != 2 {
+		t.Fatalf("labels = %d, %d", inc.Label(1), inc.Label(3))
+	}
+	// Bridge the two components.
+	b1 := &graph.Batch{ID: 1, Edges: []graph.Edge{{Src: 1, Dst: 2, Weight: 1}}}
+	g.InsertEdge(b1.Edges[0])
+	inc.Update(g, b1)
+	for _, v := range []graph.VertexID{0, 1, 2, 3} {
+		if inc.Label(v) != 0 {
+			t.Fatalf("label[%d] = %d after merge", v, inc.Label(v))
+		}
+	}
+	if inc.Label(9999) != 9999 {
+		t.Fatal("out-of-range Label should be the identity")
+	}
+}
+
+func TestCCDeletionFallback(t *testing.T) {
+	g := buildChain(4)
+	inc := &CC{Workers: 2, Incremental: true}
+	inc.Update(g, &graph.Batch{Edges: []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}})
+	if inc.Label(3) != 0 {
+		t.Fatalf("Label(3) = %d", inc.Label(3))
+	}
+	g.DeleteEdge(1, 2)
+	inc.Update(g, &graph.Batch{Edges: []graph.Edge{{Src: 1, Dst: 2, Delete: true}}})
+	if inc.Label(3) != 2 {
+		t.Fatalf("Label(3) after cut = %d, want 2", inc.Label(3))
+	}
+}
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		s, _ := randomStore(seed, 150, 1800, true)
+		ds := &DeltaStepping{Source: 0, Workers: 4}
+		m := ds.Update(s)
+		if m.EdgesTraversed == 0 {
+			t.Fatal("no edges traversed")
+		}
+		want := dijkstra(s, 0)
+		got := ds.Distances()
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: dist[%d] = %v, want %v", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestDeltaSteppingDeltaProperty: the result is independent of the
+// bucket width.
+func TestDeltaSteppingDeltaProperty(t *testing.T) {
+	s, _ := randomStore(9, 100, 1200, true)
+	ref := (&DeltaStepping{Source: 0, Workers: 2, Delta: 1}).distancesAfter(s)
+	f := func(rawDelta uint8) bool {
+		d := float64(rawDelta%63) + 1
+		got := (&DeltaStepping{Source: 0, Workers: 2, Delta: d}).distancesAfter(s)
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (d *DeltaStepping) distancesAfter(g graph.Store) []float64 {
+	d.Update(g)
+	return d.Distances()
+}
+
+func TestNewEngineNames(t *testing.T) {
+	cases := []struct {
+		e    Engine
+		name string
+	}{
+		{&BFS{}, "bfs-static"},
+		{&BFS{Incremental: true}, "bfs-inc"},
+		{&CC{}, "cc-static"},
+		{&CC{Incremental: true}, "cc-inc"},
+		{&DeltaStepping{}, "sssp-delta"},
+	}
+	for _, c := range cases {
+		if c.e.Name() != c.name {
+			t.Fatalf("Name = %q, want %q", c.e.Name(), c.name)
+		}
+		c.e.Reset()
+	}
+}
+
+func TestNewEnginesEmptyGraph(t *testing.T) {
+	g := graph.NewAdjacencyStore(0)
+	for _, e := range []Engine{&BFS{}, &CC{}, &DeltaStepping{}} {
+		if m := e.Update(g); m.Iterations != 0 {
+			t.Fatalf("%s did work on an empty graph", e.Name())
+		}
+	}
+	// Out-of-range source.
+	ds := &DeltaStepping{Source: 100}
+	g2 := buildChain(3)
+	ds.Update(g2)
+	if !math.IsInf(ds.Dist(0), 1) {
+		t.Fatal("unreachable source should leave +Inf distances")
+	}
+}
+
+// TestBFSvsSSSPUnitWeights: on unit weights, BFS levels equal SSSP
+// distances.
+func TestBFSvsSSSPUnitWeights(t *testing.T) {
+	s, _ := randomStore(31, 120, 1500, false)
+	b := &BFS{Source: 0, Workers: 4}
+	b.Update(s)
+	ss := &SSSP{Source: 0, Workers: 4}
+	ss.Update(s)
+	for v := 0; v < 120; v++ {
+		lv := b.Level(graph.VertexID(v))
+		dd := ss.Dist(graph.VertexID(v))
+		if lv == -1 {
+			if !math.IsInf(dd, 1) {
+				t.Fatalf("v%d: BFS unreached but SSSP %v", v, dd)
+			}
+			continue
+		}
+		if float64(lv) != dd {
+			t.Fatalf("v%d: BFS %d vs SSSP %v", v, lv, dd)
+		}
+	}
+}
+
+// TestTrimAndRepairMatchesDijkstra is the KickStarter-style deletion
+// repair oracle test: random insert+delete batch streams, checked
+// exactly against Dijkstra after every batch.
+func TestTrimAndRepairMatchesDijkstra(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const verts = 80
+		g := graph.NewAdjacencyStore(verts)
+		inc := &SSSP{Source: 0, Workers: 4, Incremental: true}
+		type pair struct{ s, d graph.VertexID }
+		live := map[pair]bool{}
+		var liveList []pair
+		for bi := 0; bi < 12; bi++ {
+			b := &graph.Batch{ID: bi}
+			seen := map[pair]bool{}
+			for len(b.Edges) < 150 {
+				if len(liveList) > 10 && rng.Intn(3) == 0 {
+					p := liveList[rng.Intn(len(liveList))]
+					if seen[p] || !live[p] {
+						continue
+					}
+					seen[p] = true
+					live[p] = false
+					b.Edges = append(b.Edges, graph.Edge{Src: p.s, Dst: p.d, Delete: true})
+					continue
+				}
+				p := pair{graph.VertexID(rng.Intn(verts)), graph.VertexID(rng.Intn(verts))}
+				// Re-inserting a live pair would be a weight update;
+				// weight increases break relaxation monotonicity, so
+				// streams model them as delete+insert (see SSSP docs).
+				if p.s == p.d || seen[p] || live[p] {
+					continue
+				}
+				seen[p] = true
+				live[p] = true
+				b.Edges = append(b.Edges, graph.Edge{Src: p.s, Dst: p.d, Weight: graph.Weight(rng.Intn(9) + 1)})
+				liveList = append(liveList, p)
+			}
+			// Apply with batch semantics (inserts then deletes).
+			ins, dels := b.Split()
+			for _, e := range ins {
+				g.InsertEdge(e)
+			}
+			for _, e := range dels {
+				g.DeleteEdge(e.Src, e.Dst)
+			}
+			inc.Update(g, b)
+			want := dijkstra(g, 0)
+			got := inc.Distances()
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed %d batch %d: dist[%d] = %v, want %v", seed, bi, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestTrimEquivalentToRecompute: the trim path and the SimpleDeletes
+// recompute path agree.
+func TestTrimEquivalentToRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const verts = 60
+	mk := func(simple bool) []float64 {
+		g := graph.NewAdjacencyStore(verts)
+		inc := &SSSP{Source: 0, Workers: 2, Incremental: true, SimpleDeletes: simple}
+		rng := rand.New(rand.NewSource(5))
+		type pair struct{ s, d graph.VertexID }
+		live := map[pair]bool{}
+		var liveList []pair
+		for bi := 0; bi < 8; bi++ {
+			b := &graph.Batch{ID: bi}
+			seen := map[pair]bool{}
+			for j := 0; j < 100; j++ {
+				if len(liveList) > 5 && j%7 == 0 {
+					p := liveList[rng.Intn(len(liveList))]
+					if seen[p] || !live[p] {
+						continue
+					}
+					seen[p] = true
+					live[p] = false
+					b.Edges = append(b.Edges, graph.Edge{Src: p.s, Dst: p.d, Delete: true})
+					continue
+				}
+				p := pair{graph.VertexID(rng.Intn(verts)), graph.VertexID(rng.Intn(verts))}
+				if p.s == p.d || seen[p] || live[p] {
+					continue
+				}
+				seen[p] = true
+				live[p] = true
+				b.Edges = append(b.Edges, graph.Edge{Src: p.s, Dst: p.d, Weight: graph.Weight(rng.Intn(7) + 1)})
+				liveList = append(liveList, p)
+			}
+			ins, dels := b.Split()
+			for _, e := range ins {
+				g.InsertEdge(e)
+			}
+			for _, e := range dels {
+				g.DeleteEdge(e.Src, e.Dst)
+			}
+			inc.Update(g, b)
+		}
+		return inc.Distances()
+	}
+	_ = rng
+	a, b := mk(false), mk(true)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("dist[%d]: trim %v vs recompute %v", v, a[v], b[v])
+		}
+	}
+}
+
+// TestBFSTrimMatchesOracle: BFS deletion repair against the
+// sequential oracle over random insert+delete streams.
+func TestBFSTrimMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		const verts = 70
+		g := graph.NewAdjacencyStore(verts)
+		inc := &BFS{Source: 0, Workers: 4, Incremental: true}
+		type pair struct{ s, d graph.VertexID }
+		live := map[pair]bool{}
+		var liveList []pair
+		for bi := 0; bi < 10; bi++ {
+			b := &graph.Batch{ID: bi}
+			seen := map[pair]bool{}
+			for len(b.Edges) < 120 {
+				if len(liveList) > 10 && rng.Intn(3) == 0 {
+					p := liveList[rng.Intn(len(liveList))]
+					if seen[p] || !live[p] {
+						continue
+					}
+					seen[p] = true
+					live[p] = false
+					b.Edges = append(b.Edges, graph.Edge{Src: p.s, Dst: p.d, Delete: true})
+					continue
+				}
+				p := pair{graph.VertexID(rng.Intn(verts)), graph.VertexID(rng.Intn(verts))}
+				if p.s == p.d || seen[p] || live[p] {
+					continue
+				}
+				seen[p] = true
+				live[p] = true
+				b.Edges = append(b.Edges, graph.Edge{Src: p.s, Dst: p.d, Weight: 1})
+				liveList = append(liveList, p)
+			}
+			ins, dels := b.Split()
+			for _, e := range ins {
+				g.InsertEdge(e)
+			}
+			for _, e := range dels {
+				g.DeleteEdge(e.Src, e.Dst)
+			}
+			inc.Update(g, b)
+			want := bfsOracle(g, 0)
+			got := inc.Levels()
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed %d batch %d: level[%d] = %d, want %d", seed, bi, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalPageRankWithDeletions: the localized recompute model
+// handles deletions naturally (affected vertices re-pull from their
+// current in-lists); the result stays close to a static recompute.
+func TestIncrementalPageRankWithDeletions(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const verts = 120
+	g := graph.NewAdjacencyStore(verts)
+	inc := &PageRank{Workers: 4, Incremental: true, Tol: 1e-10, MaxIter: 500}
+	type pair struct{ s, d graph.VertexID }
+	live := map[pair]bool{}
+	var liveList []pair
+	for bi := 0; bi < 8; bi++ {
+		b := &graph.Batch{ID: bi}
+		seen := map[pair]bool{}
+		for len(b.Edges) < 200 {
+			if len(liveList) > 20 && rng.Intn(4) == 0 {
+				p := liveList[rng.Intn(len(liveList))]
+				if seen[p] || !live[p] {
+					continue
+				}
+				seen[p] = true
+				live[p] = false
+				b.Edges = append(b.Edges, graph.Edge{Src: p.s, Dst: p.d, Delete: true})
+				continue
+			}
+			p := pair{graph.VertexID(rng.Intn(verts)), graph.VertexID(rng.Intn(verts))}
+			if p.s == p.d || seen[p] || live[p] {
+				continue
+			}
+			seen[p] = true
+			live[p] = true
+			b.Edges = append(b.Edges, graph.Edge{Src: p.s, Dst: p.d, Weight: 1})
+			liveList = append(liveList, p)
+		}
+		ins, dels := b.Split()
+		for _, e := range ins {
+			g.InsertEdge(e)
+		}
+		for _, e := range dels {
+			g.DeleteEdge(e.Src, e.Dst)
+		}
+		inc.Update(g, b)
+	}
+	want := seqPageRank(g, 0.85, 200)
+	if d := l1(inc.Ranks(), want); d > 2e-3 {
+		t.Fatalf("incremental PR with deletions drifted L1=%v from static", d)
+	}
+}

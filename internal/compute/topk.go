@@ -1,0 +1,70 @@
+package compute
+
+import (
+	"sort"
+
+	"streamgraph/internal/graph"
+)
+
+// TopK maintains the K highest-scoring vertices of a score vector —
+// the query the streaming recommendation scenarios in the paper's
+// introduction (GraphJet, Pixie, RecService) serve from PageRank-like
+// analytics. Refresh is O(n) over the score vector but allocation-
+// free after the first call, so it can run after every compute round.
+type TopK struct {
+	// K is the number of entries tracked; 0 means 10.
+	K int
+
+	ids    []graph.VertexID
+	scores []float64
+}
+
+// Entry is one ranked vertex.
+type Entry struct {
+	ID    graph.VertexID
+	Score float64
+}
+
+func (t *TopK) k() int {
+	if t.K > 0 {
+		return t.K
+	}
+	return 10
+}
+
+// Refresh rebuilds the top-K from the given score vector (indexed by
+// vertex ID), keeping the internal buffers.
+func (t *TopK) Refresh(scores []float64) {
+	k := t.k()
+	t.ids = t.ids[:0]
+	t.scores = t.scores[:0]
+	for v, s := range scores {
+		t.offer(graph.VertexID(v), s, k)
+	}
+}
+
+// offer inserts (id, score) if it beats the current floor.
+func (t *TopK) offer(id graph.VertexID, score float64, k int) {
+	if len(t.ids) == k && score <= t.scores[len(t.scores)-1] {
+		return
+	}
+	// Find the insertion point (descending scores).
+	pos := sort.Search(len(t.scores), func(i int) bool { return t.scores[i] < score })
+	if len(t.ids) < k {
+		t.ids = append(t.ids, 0)
+		t.scores = append(t.scores, 0)
+	}
+	copy(t.ids[pos+1:], t.ids[pos:])
+	copy(t.scores[pos+1:], t.scores[pos:])
+	t.ids[pos] = id
+	t.scores[pos] = score
+}
+
+// Entries returns the current ranking, highest score first.
+func (t *TopK) Entries() []Entry {
+	out := make([]Entry, len(t.ids))
+	for i := range t.ids {
+		out[i] = Entry{ID: t.ids[i], Score: t.scores[i]}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package compute
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"streamgraph/internal/graph"
+)
+
+func TestTopKBasic(t *testing.T) {
+	tk := &TopK{K: 3}
+	tk.Refresh([]float64{0.1, 0.9, 0.3, 0.7, 0.2})
+	es := tk.Entries()
+	if len(es) != 3 {
+		t.Fatalf("got %d entries", len(es))
+	}
+	want := []graph.VertexID{1, 3, 2}
+	for i, e := range es {
+		if e.ID != want[i] {
+			t.Fatalf("entry %d = v%d, want v%d", i, e.ID, want[i])
+		}
+	}
+	// Default K.
+	var def TopK
+	def.Refresh(make([]float64, 100))
+	if len(def.Entries()) != 10 {
+		t.Fatalf("default K = %d", len(def.Entries()))
+	}
+}
+
+func TestTopKRefreshReuses(t *testing.T) {
+	tk := &TopK{K: 2}
+	tk.Refresh([]float64{5, 1})
+	tk.Refresh([]float64{0, 9, 4})
+	es := tk.Entries()
+	if es[0].ID != 1 || es[1].ID != 2 {
+		t.Fatalf("after second refresh: %+v", es)
+	}
+}
+
+// TestTopKMatchesSort: property — TopK agrees with a full sort.
+func TestTopKMatchesSort(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		k := int(kRaw)%20 + 1
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+		}
+		tk := &TopK{K: k}
+		tk.Refresh(scores)
+
+		type vs struct {
+			v int
+			s float64
+		}
+		all := make([]vs, n)
+		for i, s := range scores {
+			all[i] = vs{i, s}
+		}
+		sort.SliceStable(all, func(i, j int) bool { return all[i].s > all[j].s })
+		want := k
+		if n < k {
+			want = n
+		}
+		es := tk.Entries()
+		if len(es) != want {
+			return false
+		}
+		for i := range es {
+			if es[i].Score != all[i].s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedPageRank: with all the weight on one in-edge, the rank
+// flows there.
+func TestWeightedPageRank(t *testing.T) {
+	g := graph.NewAdjacencyStore(4)
+	// 0 -> 1 (weight 99), 0 -> 2 (weight 1).
+	g.InsertEdge(graph.Edge{Src: 0, Dst: 1, Weight: 99})
+	g.InsertEdge(graph.Edge{Src: 0, Dst: 2, Weight: 1})
+	pw := &PageRank{Workers: 1, Weighted: true}
+	pw.Update(g)
+	// Compare the flow-through rank above the uniform base term.
+	base := 0.15 / 4
+	flow1, flow2 := pw.Rank(1)-base, pw.Rank(2)-base
+	if flow1 <= 50*flow2 {
+		t.Fatalf("weighted PR: flow(1)=%v should dwarf flow(2)=%v", flow1, flow2)
+	}
+	// Unweighted splits evenly.
+	pu := &PageRank{Workers: 1}
+	pu.Update(g)
+	if d := pu.Rank(1) - pu.Rank(2); d > 1e-12 || d < -1e-12 {
+		t.Fatalf("unweighted PR should split evenly: %v vs %v", pu.Rank(1), pu.Rank(2))
+	}
+}

@@ -1,0 +1,168 @@
+package compute
+
+import (
+	"math"
+
+	"streamgraph/internal/graph"
+)
+
+// Deletion repair for incremental SSSP, in the style of KickStarter's
+// trimmed approximations (Vora et al., one of the paper's cited
+// incremental models): instead of recomputing from scratch when a
+// batch deletes edges, identify the vertices whose shortest-path
+// values were *supported* by deleted edges, invalidate exactly the
+// dependent region, and repair it from its safe boundary.
+//
+// A vertex is safe when some in-neighbor u with dist[u]+w(u,v) ==
+// dist[v] is itself safe (the source is always safe). The worklist
+// converges to the fixed point because whenever a vertex turns
+// unsafe, every out-neighbor whose value could have come through it
+// is re-enqueued and re-checked.
+
+// trimAndRepair processes a batch's deletions after they have been
+// applied to g, updating the distance vector in place.
+func (s *SSSP) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
+	// Seeds: every reachable deletion target (its value may have
+	// depended on the deleted edge; the support check below decides.
+	// The recorded batch weight is not trusted — deletions only need
+	// src/dst, so the weight may not match the stored edge's).
+	unsafe := make(map[graph.VertexID]bool)
+	var queue []graph.VertexID
+	for _, e := range deleted {
+		if int(e.Dst) >= len(s.dist) {
+			continue
+		}
+		if !math.IsInf(s.get(e.Dst), 1) {
+			queue = append(queue, e.Dst)
+		}
+	}
+
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if unsafe[v] || v == s.Source {
+			continue
+		}
+		dv := s.get(v)
+		if math.IsInf(dv, 1) {
+			continue
+		}
+		m.VerticesProcessed++
+		supported := false
+		g.ForEachIn(v, func(nb graph.Neighbor) {
+			m.EdgesTraversed++
+			if !supported && !unsafe[nb.ID] && s.get(nb.ID)+float64(nb.Weight) == dv {
+				supported = true
+			}
+		})
+		if supported {
+			continue
+		}
+		unsafe[v] = true
+		// Dependents: out-neighbors whose value may have come
+		// through v — they must re-establish their own support.
+		g.ForEachOut(v, func(nb graph.Neighbor) {
+			m.EdgesTraversed++
+			if !unsafe[nb.ID] && s.get(nb.ID) == dv+float64(nb.Weight) {
+				queue = append(queue, nb.ID)
+			}
+		})
+	}
+	if len(unsafe) == 0 {
+		return
+	}
+
+	// Reset the unsafe region, then repair it from its safe boundary
+	// with ordinary relaxation.
+	for v := range unsafe {
+		s.set(v, math.Inf(1))
+	}
+	var frontier []graph.VertexID
+	for v := range unsafe {
+		best := math.Inf(1)
+		g.ForEachIn(v, func(nb graph.Neighbor) {
+			m.EdgesTraversed++
+			if !unsafe[nb.ID] {
+				if c := s.get(nb.ID) + float64(nb.Weight); c < best {
+					best = c
+				}
+			}
+		})
+		if !math.IsInf(best, 1) {
+			s.set(v, best)
+			frontier = append(frontier, v)
+		}
+	}
+	s.propagate(g, frontier, m)
+}
+
+// trimAndRepair is the hop-count specialization of the SSSP repair:
+// identical structure with unit weights over int32 levels.
+func (b *BFS) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
+	unsafe := make(map[graph.VertexID]bool)
+	var queue []graph.VertexID
+	for _, e := range deleted {
+		if int(e.Dst) >= len(b.level) {
+			continue
+		}
+		if b.level[e.Dst].Load() != unreached {
+			queue = append(queue, e.Dst)
+		}
+	}
+
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if unsafe[v] || v == b.Source {
+			continue
+		}
+		lv := b.level[v].Load()
+		if lv == unreached {
+			continue
+		}
+		m.VerticesProcessed++
+		supported := false
+		g.ForEachIn(v, func(nb graph.Neighbor) {
+			m.EdgesTraversed++
+			if !supported && !unsafe[nb.ID] {
+				if u := b.level[nb.ID].Load(); u != unreached && u+1 == lv {
+					supported = true
+				}
+			}
+		})
+		if supported {
+			continue
+		}
+		unsafe[v] = true
+		g.ForEachOut(v, func(nb graph.Neighbor) {
+			m.EdgesTraversed++
+			if !unsafe[nb.ID] && b.level[nb.ID].Load() == lv+1 {
+				queue = append(queue, nb.ID)
+			}
+		})
+	}
+	if len(unsafe) == 0 {
+		return
+	}
+
+	for v := range unsafe {
+		b.level[v].Store(unreached)
+	}
+	var frontier []graph.VertexID
+	for v := range unsafe {
+		best := unreached
+		g.ForEachIn(v, func(nb graph.Neighbor) {
+			m.EdgesTraversed++
+			if !unsafe[nb.ID] {
+				if u := b.level[nb.ID].Load(); u != unreached && (best == unreached || u+1 < best) {
+					best = u + 1
+				}
+			}
+		})
+		if best != unreached {
+			b.level[v].Store(best)
+			frontier = append(frontier, v)
+		}
+	}
+	b.propagate(g, frontier, m)
+}

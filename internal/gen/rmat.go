@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"math/rand"
+
+	"streamgraph/internal/graph"
+)
+
+// EdgeSource is anything that produces a stream of input batches —
+// the calibrated Table 2 profiles (Stream) and the classic RMAT
+// generator both satisfy it.
+type EdgeSource interface {
+	// NextEdge generates the next stream element.
+	NextEdge() graph.Edge
+	// NextBatch generates the next input batch of the given size.
+	NextBatch(size int) *graph.Batch
+}
+
+var (
+	_ EdgeSource = (*Stream)(nil)
+	_ EdgeSource = (*RMAT)(nil)
+)
+
+// RMAT generates edges by recursive quadrant descent (Chakrabarti et
+// al.), the standard synthetic power-law generator — offered as an
+// alternative to the calibrated dataset profiles for free-form
+// experimentation. The default partition probabilities are the
+// conventional (0.57, 0.19, 0.19, 0.05).
+type RMAT struct {
+	// Scale sets the vertex space to 2^Scale vertices.
+	Scale int
+	// A, B, C are the top-left, top-right and bottom-left quadrant
+	// probabilities (D is the remainder). Zero values mean the
+	// conventional defaults.
+	A, B, C float64
+	// Weighted draws weights uniformly from 1..64; otherwise 1.
+	Weighted bool
+
+	rng     *rand.Rand
+	batchID int
+}
+
+// NewRMAT returns a deterministic RMAT source with 2^scale vertices.
+func NewRMAT(scale int, seed int64) *RMAT {
+	return &RMAT{Scale: scale, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *RMAT) abc() (a, b, c float64) {
+	if r.A == 0 && r.B == 0 && r.C == 0 {
+		return 0.57, 0.19, 0.19
+	}
+	return r.A, r.B, r.C
+}
+
+// NumVertices returns the vertex-space size (2^Scale).
+func (r *RMAT) NumVertices() int { return 1 << r.Scale }
+
+// NextEdge implements EdgeSource.
+func (r *RMAT) NextEdge() graph.Edge {
+	a, b, c := r.abc()
+	var src, dst uint32
+	for bit := 0; bit < r.Scale; bit++ {
+		p := r.rng.Float64()
+		switch {
+		case p < a:
+			// top-left: both bits 0
+		case p < a+b:
+			dst |= 1 << bit
+		case p < a+b+c:
+			src |= 1 << bit
+		default:
+			src |= 1 << bit
+			dst |= 1 << bit
+		}
+	}
+	if src == dst {
+		dst = (dst + 1) % uint32(r.NumVertices())
+	}
+	w := graph.Weight(1)
+	if r.Weighted {
+		w = graph.Weight(r.rng.Intn(64) + 1)
+	}
+	return graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), Weight: w}
+}
+
+// NextBatch implements EdgeSource.
+func (r *RMAT) NextBatch(size int) *graph.Batch {
+	b := &graph.Batch{ID: r.batchID, Edges: make([]graph.Edge, size)}
+	for i := range b.Edges {
+		b.Edges[i] = r.NextEdge()
+	}
+	r.batchID++
+	return b
+}

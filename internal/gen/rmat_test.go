@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"testing"
+
+	"streamgraph/internal/graph"
+)
+
+func TestRMATDeterminism(t *testing.T) {
+	a := NewRMAT(12, 7)
+	b := NewRMAT(12, 7)
+	for i := 0; i < 2000; i++ {
+		if a.NextEdge() != b.NextEdge() {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+	c := NewRMAT(12, 8)
+	same := true
+	a2 := NewRMAT(12, 7)
+	for i := 0; i < 50; i++ {
+		if a2.NextEdge() != c.NextEdge() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds matched")
+	}
+}
+
+func TestRMATValidity(t *testing.T) {
+	r := NewRMAT(10, 1)
+	b := r.NextBatch(5000)
+	if b.ID != 0 || b.Size() != 5000 {
+		t.Fatalf("batch shape: %d/%d", b.ID, b.Size())
+	}
+	for _, e := range b.Edges {
+		if int(e.Src) >= r.NumVertices() || int(e.Dst) >= r.NumVertices() {
+			t.Fatalf("vertex out of range: %v", e)
+		}
+		if e.Src == e.Dst {
+			t.Fatalf("self loop: %v", e)
+		}
+		if e.Weight != 1 {
+			t.Fatalf("unweighted RMAT produced weight %v", e.Weight)
+		}
+	}
+	if r.NextBatch(1).ID != 1 {
+		t.Fatal("batch IDs not sequential")
+	}
+}
+
+// TestRMATSkew: the recursive descent must produce a heavy-tailed
+// degree distribution (max degree far above the mean).
+func TestRMATSkew(t *testing.T) {
+	r := NewRMAT(14, 3)
+	b := r.NextBatch(50000)
+	h := b.InDegreeHist()
+	maxDeg := h.MaxKey()
+	mean := float64(b.Size()) / float64(h.Total())
+	if float64(maxDeg) < 20*mean {
+		t.Fatalf("RMAT not skewed: max %d vs mean %.2f", maxDeg, mean)
+	}
+}
+
+func TestRMATWeighted(t *testing.T) {
+	r := NewRMAT(8, 2)
+	r.Weighted = true
+	sawBig := false
+	for i := 0; i < 500; i++ {
+		e := r.NextEdge()
+		if e.Weight < 1 || e.Weight > 64 {
+			t.Fatalf("weight out of range: %v", e.Weight)
+		}
+		if e.Weight > 1 {
+			sawBig = true
+		}
+	}
+	if !sawBig {
+		t.Fatal("weighted RMAT produced only weight 1")
+	}
+}
+
+func TestRMATCustomPartition(t *testing.T) {
+	r := NewRMAT(10, 5)
+	r.A, r.B, r.C = 0.25, 0.25, 0.25 // uniform: skew should vanish
+	b := r.NextBatch(20000)
+	h := b.InDegreeHist()
+	if h.MaxKey() > 100 {
+		t.Fatalf("uniform partition still skewed: max degree %d", h.MaxKey())
+	}
+	var _ graph.Edge = b.Edges[0]
+}

@@ -1,0 +1,281 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"streamgraph/internal/graph"
+)
+
+// aliasTable is a Walker alias sampler over hub ranks, giving O(1)
+// draws from the Zipf hub distribution.
+type aliasTable struct {
+	prob  []float64
+	alias []int
+}
+
+func newAliasTable(weights []float64) aliasTable {
+	n := len(weights)
+	t := aliasTable{prob: make([]float64, n), alias: make([]int, n)}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+	}
+	return t
+}
+
+func (t aliasTable) draw(rng *rand.Rand) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}
+
+// Stream is a deterministic synthetic edge stream for one dataset
+// profile. It is infinite: NextBatch always returns a full batch.
+// Streams are not safe for concurrent use.
+type Stream struct {
+	p          Profile
+	rng        *rand.Rand
+	hubs       []graph.VertexID
+	hubIndex   map[graph.VertexID]int
+	hubPools   [][]graph.VertexID
+	zipf       aliasTable
+	hubMassDst float64
+	hubMassSrc float64
+
+	recent    []graph.VertexID
+	recentLen int
+	recentPos int
+
+	emitted int
+	batchID int
+
+	// deleteFrac, when > 0, mixes edge deletions into the stream by
+	// re-emitting previously generated edges with Delete set.
+	deleteFrac float64
+	reservoir  []graph.Edge
+}
+
+// NewStream returns the profile's stream using its default seed.
+func NewStream(p Profile) *Stream { return NewStreamSeed(p, p.Seed) }
+
+// NewStreamSeed returns a stream with an explicit seed. The same
+// profile and seed always produce the identical edge sequence.
+func NewStreamSeed(p Profile, seed int64) *Stream {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Stream{p: p, rng: rng}
+
+	// Scatter distinct hub IDs across the vertex space.
+	hubSet := make(map[graph.VertexID]struct{}, p.HubCount)
+	s.hubs = make([]graph.VertexID, 0, p.HubCount)
+	for len(s.hubs) < p.HubCount {
+		v := graph.VertexID(rng.Intn(p.Vertices))
+		if _, dup := hubSet[v]; dup {
+			continue
+		}
+		hubSet[v] = struct{}{}
+		s.hubs = append(s.hubs, v)
+	}
+
+	// Zipf weights over hub ranks, and the hub mass calibrated so
+	// that rank-1 receives TopShare of all edge endpoints:
+	// mass * p1 = TopShare with p1 = 1/H_n(s).
+	weights := make([]float64, p.HubCount)
+	hsum := 0.0
+	for r := 1; r <= p.HubCount; r++ {
+		w := math.Pow(float64(r), -p.HubExp)
+		weights[r-1] = w
+		hsum += w
+	}
+	s.zipf = newAliasTable(weights)
+	s.hubMassDst = clampMass(p.TopShareDst * hsum)
+	s.hubMassSrc = clampMass(p.TopShareSrc * hsum)
+
+	// Hub communities: a fixed partner pool per hub, so hub adjacency
+	// saturates the way real repeated-interaction streams do.
+	if p.HubCommunity > 0 {
+		s.hubIndex = make(map[graph.VertexID]int, len(s.hubs))
+		s.hubPools = make([][]graph.VertexID, len(s.hubs))
+		for i, h := range s.hubs {
+			s.hubIndex[h] = i
+			pool := make([]graph.VertexID, p.HubCommunity)
+			for j := range pool {
+				pool[j] = graph.VertexID(rng.Intn(p.Vertices))
+			}
+			s.hubPools[i] = pool
+		}
+	}
+
+	if p.Timestamped {
+		// Pre-fill the recency window: the stream is a continuation
+		// of history, so "recent vertices" exist from the first edge.
+		// Starting empty would concentrate early recency draws on a
+		// handful of vertices, fabricating contention bursts no real
+		// trace has.
+		s.recent = make([]graph.VertexID, 32768)
+		for i := range s.recent {
+			s.recent[i] = graph.VertexID(rng.Intn(p.Vertices))
+		}
+		s.recentLen = len(s.recent)
+	}
+	return s
+}
+
+func clampMass(m float64) float64 {
+	if m > 0.9 {
+		return 0.9
+	}
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// SetDeleteFraction makes the stream emit a deletion of a previously
+// generated edge with probability f per slot. Used by tests and the
+// mixed-workload examples; the Table 2 profiles default to
+// insertion-only like the paper's streams.
+func (s *Stream) SetDeleteFraction(f float64) { s.deleteFrac = f }
+
+// Profile returns the stream's dataset profile.
+func (s *Stream) Profile() Profile { return s.p }
+
+// Hubs returns the stream's hub vertices in Zipf-rank order (rank 1
+// first). Useful as sources for reachability-style analytics — the
+// rank-1 hub connects to the graph quickly.
+func (s *Stream) Hubs() []graph.VertexID {
+	out := make([]graph.VertexID, len(s.hubs))
+	copy(out, s.hubs)
+	return out
+}
+
+// warm returns the warmup ramp factor in [0,1] for the current
+// position in the stream.
+func (s *Stream) warm() float64 {
+	if s.p.WarmupEdges == 0 || s.emitted >= s.p.WarmupEdges {
+		return 1
+	}
+	return float64(s.emitted) / float64(s.p.WarmupEdges)
+}
+
+// endpoint draws one endpoint: hub with probability hubMass*warm,
+// recent vertex with probability RecencyMass (timestamped only),
+// otherwise uniform.
+func (s *Stream) endpoint(hubMass float64) graph.VertexID {
+	r := s.rng.Float64()
+	if r < hubMass {
+		return s.hubs[s.zipf.draw(s.rng)]
+	}
+	r -= hubMass
+	if s.recent != nil && s.recentLen > 0 && r < s.p.RecencyMass {
+		return s.recent[s.rng.Intn(s.recentLen)]
+	}
+	return graph.VertexID(s.rng.Intn(s.p.Vertices))
+}
+
+func (s *Stream) remember(v graph.VertexID) {
+	if s.recent == nil {
+		return
+	}
+	s.recent[s.recentPos] = v
+	s.recentPos = (s.recentPos + 1) % len(s.recent)
+	if s.recentLen < len(s.recent) {
+		s.recentLen++
+	}
+}
+
+// NextEdge generates the next stream element.
+func (s *Stream) NextEdge() graph.Edge {
+	if s.deleteFrac > 0 && len(s.reservoir) > 0 && s.rng.Float64() < s.deleteFrac {
+		i := s.rng.Intn(len(s.reservoir))
+		e := s.reservoir[i]
+		s.reservoir[i] = s.reservoir[len(s.reservoir)-1]
+		s.reservoir = s.reservoir[:len(s.reservoir)-1]
+		e.Delete = true
+		s.emitted++
+		return e
+	}
+
+	warm := s.warm()
+	dst := s.endpoint(s.hubMassDst * warm)
+	var src graph.VertexID
+	if hi, isHub := s.hubIndex[dst]; isHub && s.rng.Float64() < 0.9 {
+		src = s.hubPools[hi][s.rng.Intn(len(s.hubPools[hi]))]
+	} else {
+		src = s.endpoint(s.hubMassSrc * warm)
+	}
+	if src == dst {
+		dst = graph.VertexID((int(dst) + 1) % s.p.Vertices)
+	}
+	w := graph.Weight(1)
+	if s.p.Weighted {
+		w = graph.Weight(s.rng.Intn(64) + 1)
+	}
+	e := graph.Edge{Src: src, Dst: dst, Weight: w}
+	s.remember(src)
+	s.remember(dst)
+	s.emitted++
+
+	if s.deleteFrac > 0 {
+		const resCap = 65536
+		if len(s.reservoir) < resCap {
+			s.reservoir = append(s.reservoir, e)
+		} else if i := s.rng.Intn(s.emitted); i < resCap {
+			s.reservoir[i] = e
+		}
+	}
+	return e
+}
+
+// NextBatch generates the next input batch of the given size.
+func (s *Stream) NextBatch(size int) *graph.Batch {
+	b := &graph.Batch{ID: s.batchID, Edges: make([]graph.Edge, size)}
+	for i := range b.Edges {
+		b.Edges[i] = s.NextEdge()
+	}
+	s.batchID++
+	return b
+}
+
+// Batches generates n consecutive batches of the given size from a
+// fresh stream of p with its default seed.
+func Batches(p Profile, size, n int) []*graph.Batch {
+	s := NewStream(p)
+	out := make([]*graph.Batch, n)
+	for i := range out {
+		out[i] = s.NextBatch(size)
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/stats"
+)
+
+// cadOf replicates the paper's order-λ clusterable average degree on a
+// batch in-degree histogram: the average degree of vertices whose
+// intra-batch degree exceeds λ (0 if there are none).
+func cadOf(h *stats.Histogram, lambda int) float64 {
+	edges, verts := 0, 0
+	for _, k := range h.Keys() {
+		if k > lambda {
+			edges += k * h.Count(k)
+			verts += h.Count(k)
+		}
+	}
+	if verts == 0 {
+		return 0
+	}
+	return float64(edges) / float64(verts)
+}
+
+func TestProfileLookup(t *testing.T) {
+	ps := AllProfiles()
+	if len(ps) != 14 {
+		t.Fatalf("AllProfiles returned %d profiles, want 14", len(ps))
+	}
+	p, err := ProfileByName("wiki")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "Wiki-talk-temporal" || !p.Timestamped {
+		t.Fatalf("wiki profile wrong: %+v", p)
+	}
+	if _, err := ProfileByName("nosuch"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	// Mutating the returned slice must not affect the package table.
+	ps[0].Short = "mutated"
+	if q, _ := ProfileByName("talk"); q.Short != "talk" {
+		t.Fatal("AllProfiles leaked internal state")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	p, _ := ProfileByName("lj")
+	a := NewStream(p)
+	b := NewStream(p)
+	for i := 0; i < 5000; i++ {
+		if a.NextEdge() != b.NextEdge() {
+			t.Fatalf("streams diverged at edge %d", i)
+		}
+	}
+	c := NewStreamSeed(p, 999)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if NewStream(p).NextEdge() == c.NextEdge() {
+			continue
+		}
+		diff = true
+		break
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical prefix")
+	}
+}
+
+func TestStreamBasicValidity(t *testing.T) {
+	for _, p := range AllProfiles() {
+		s := NewStream(p)
+		b := s.NextBatch(2000)
+		if b.Size() != 2000 || b.ID != 0 {
+			t.Fatalf("%s: bad batch %d/%d", p.Short, b.Size(), b.ID)
+		}
+		for _, e := range b.Edges {
+			if e.Src == e.Dst {
+				t.Fatalf("%s: self loop %v", p.Short, e)
+			}
+			if int(e.Src) >= p.Vertices || int(e.Dst) >= p.Vertices {
+				t.Fatalf("%s: vertex out of range %v", p.Short, e)
+			}
+			if e.Weight < 1 {
+				t.Fatalf("%s: bad weight %v", p.Short, e)
+			}
+			if !p.Weighted && e.Weight != 1 {
+				t.Fatalf("%s: unweighted stream produced weight %v", p.Short, e.Weight)
+			}
+			if e.Delete {
+				t.Fatalf("%s: unexpected deletion", p.Short)
+			}
+		}
+		if s.NextBatch(10).ID != 1 {
+			t.Fatal("batch IDs not sequential")
+		}
+	}
+}
+
+// TestTopShareCalibration checks the sampler's core contract: the
+// rank-1 hub receives approximately TopShare of batch destinations.
+func TestTopShareCalibration(t *testing.T) {
+	for _, short := range []string{"wiki", "lj", "superuser"} {
+		p, _ := ProfileByName(short)
+		p.WarmupEdges = 0 // measure the steady state
+		s := NewStream(p)
+		const n = 200000
+		counts := make(map[graph.VertexID]int)
+		for i := 0; i < n; i++ {
+			counts[s.NextEdge().Dst]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		got := float64(max) / float64(n)
+		if got < p.TopShareDst*0.7 || got > p.TopShareDst*1.5+0.001 {
+			t.Errorf("%s: top share %.5f, want ≈%.5f", short, got, p.TopShareDst)
+		}
+	}
+}
+
+// TestFriendlinessMatrix is the calibration gate for the whole
+// evaluation: with the paper's ABR parameters (λ=256, TH=465), each
+// (dataset, batch size) pair must classify the way Fig. 3 reports.
+func TestFriendlinessMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	const lambda, th = 256, 465
+	sizes := []int{100, 1000, 10000, 100000}
+	for _, p := range AllProfiles() {
+		s := NewStream(p)
+		// Skip the warmup region so we measure steady-state batches.
+		for s.emitted < p.WarmupEdges {
+			s.NextEdge()
+		}
+		for _, size := range sizes {
+			want := ReorderFriendly(p.Short, size)
+			// Majority vote over a few batches to absorb noise.
+			friendly := 0
+			const votes = 3
+			for i := 0; i < votes; i++ {
+				b := s.NextBatch(size)
+				if cadOf(b.InDegreeHist(), lambda) >= th {
+					friendly++
+				}
+			}
+			got := friendly*2 > votes
+			if got != want {
+				t.Errorf("%s @%d: classified friendly=%v, want %v", p.Short, size, got, want)
+			}
+		}
+	}
+}
+
+// TestTemporalStability reproduces the Fig. 5 observation: for a fixed
+// (dataset, batch size), the degree distribution is stable over time.
+func TestTemporalStability(t *testing.T) {
+	p, _ := ProfileByName("lj")
+	s := NewStream(p)
+	var shares []float64
+	for i := 0; i < 10; i++ {
+		b := s.NextBatch(20000)
+		h := b.InDegreeHist()
+		shares = append(shares, h.Share(stats.Bucket{Lo: 1, Hi: 1}))
+	}
+	for _, sh := range shares[1:] {
+		if math.Abs(sh-shares[0]) > 0.05 {
+			t.Fatalf("degree-1 share unstable: %v", shares)
+		}
+	}
+}
+
+// TestWarmupRamp: wiki's early batches must be low-degree (Fig. 17's
+// first two 500K batches), then become high-degree.
+func TestWarmupRamp(t *testing.T) {
+	p, _ := ProfileByName("wiki")
+	s := NewStream(p)
+	early := s.NextBatch(50000)
+	for s.emitted < p.WarmupEdges {
+		s.NextEdge()
+	}
+	late := s.NextBatch(50000)
+	_, earlyMax := early.MaxDegrees()
+	_, lateMax := late.MaxDegrees()
+	if earlyMax*3 > lateMax {
+		t.Fatalf("warmup not ramping: early max %d vs late max %d", earlyMax, lateMax)
+	}
+}
+
+// TestOverlapGrowsWithBatchSize: the OCA precondition — unique-vertex
+// overlap between consecutive batches rises with batch size.
+func TestOverlapGrowsWithBatchSize(t *testing.T) {
+	p, _ := ProfileByName("lj")
+	overlap := func(size int) float64 {
+		s := NewStream(p)
+		a := s.NextBatch(size).UniqueVertices()
+		b := s.NextBatch(size).UniqueVertices()
+		hits := 0
+		for v := range b {
+			if _, ok := a[v]; ok {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(b))
+	}
+	small := overlap(1000)
+	large := overlap(200000)
+	if large < 0.25 {
+		t.Fatalf("large-batch overlap %.3f below OCA threshold", large)
+	}
+	if small > large/2 {
+		t.Fatalf("overlap did not grow: small=%.3f large=%.3f", small, large)
+	}
+}
+
+func TestDeletionMixing(t *testing.T) {
+	p, _ := ProfileByName("fb")
+	s := NewStream(p)
+	s.SetDeleteFraction(0.3)
+	dels := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		e := s.NextEdge()
+		if e.Delete {
+			dels++
+			if e.Weight < 1 {
+				t.Fatal("deletion lost weight payload")
+			}
+		}
+	}
+	if dels < n/10 || dels > n/2 {
+		t.Fatalf("deletion fraction off: %d/%d", dels, n)
+	}
+}
+
+func TestBatchesHelper(t *testing.T) {
+	p, _ := ProfileByName("fb")
+	bs := Batches(p, 500, 4)
+	if len(bs) != 4 {
+		t.Fatalf("Batches returned %d", len(bs))
+	}
+	for i, b := range bs {
+		if b.ID != i || b.Size() != 500 {
+			t.Fatalf("batch %d malformed", i)
+		}
+	}
+	// Must match a manually driven stream.
+	s := NewStream(p)
+	again := s.NextBatch(500)
+	if again.Edges[0] != bs[0].Edges[0] {
+		t.Fatal("Batches not deterministic")
+	}
+}
+
+func TestHubsAccessor(t *testing.T) {
+	p, _ := ProfileByName("wiki")
+	s := NewStream(p)
+	hubs := s.Hubs()
+	if len(hubs) != p.HubCount {
+		t.Fatalf("Hubs returned %d, want %d", len(hubs), p.HubCount)
+	}
+	// Rank-1 hub should dominate destinations.
+	p2 := p
+	p2.WarmupEdges = 0
+	s2 := NewStreamSeed(p2, p.Seed)
+	counts := map[graph.VertexID]int{}
+	for i := 0; i < 50000; i++ {
+		counts[s2.NextEdge().Dst]++
+	}
+	best := hubs[0]
+	for v, c := range counts {
+		if c > counts[best] {
+			best = v
+		}
+	}
+	if best != hubs[0] {
+		t.Fatalf("rank-1 hub %d is not the top destination (%d)", hubs[0], best)
+	}
+	// The returned slice is a copy.
+	hubs[0] = 999999
+	if s.Hubs()[0] == 999999 {
+		t.Fatal("Hubs leaked internal state")
+	}
+}

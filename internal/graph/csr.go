@@ -1,0 +1,96 @@
+package graph
+
+// CSRSnapshot is an immutable compressed-sparse-row copy of a graph
+// snapshot — the "flat snapshot" idea the paper attributes to Aspen
+// (Section 6.2.3): a materialized, contiguous view that analytics can
+// scan with perfect locality while the live store keeps ingesting
+// batches concurrently.
+type CSRSnapshot struct {
+	outIdx []int64
+	outAdj []Neighbor
+	inIdx  []int64
+	inAdj  []Neighbor
+}
+
+// SnapshotCSR materializes the store's current state. The caller must
+// be quiesced with respect to updates while the copy is taken (call
+// it between batches, the paper's execution model); afterwards the
+// snapshot is safe to read concurrently with any updates.
+func (s *AdjacencyStore) SnapshotCSR() *CSRSnapshot {
+	n := s.NumVertices()
+	c := &CSRSnapshot{
+		outIdx: make([]int64, n+1),
+		inIdx:  make([]int64, n+1),
+	}
+	var outTotal, inTotal int64
+	for v := 0; v < n; v++ {
+		outTotal += int64(s.OutDegree(VertexID(v)))
+		inTotal += int64(s.InDegree(VertexID(v)))
+		c.outIdx[v+1] = outTotal
+		c.inIdx[v+1] = inTotal
+	}
+	c.outAdj = make([]Neighbor, outTotal)
+	c.inAdj = make([]Neighbor, inTotal)
+	for v := 0; v < n; v++ {
+		copy(c.outAdj[c.outIdx[v]:c.outIdx[v+1]], s.OutUnsafe(VertexID(v)))
+		copy(c.inAdj[c.inIdx[v]:c.inIdx[v+1]], s.InUnsafe(VertexID(v)))
+	}
+	return c
+}
+
+// NumVertices implements Store.
+func (c *CSRSnapshot) NumVertices() int { return len(c.outIdx) - 1 }
+
+// NumEdges implements Store.
+func (c *CSRSnapshot) NumEdges() int { return len(c.outAdj) }
+
+// OutDegree implements Store.
+func (c *CSRSnapshot) OutDegree(v VertexID) int {
+	if int(v) >= c.NumVertices() {
+		return 0
+	}
+	return int(c.outIdx[v+1] - c.outIdx[v])
+}
+
+// InDegree implements Store.
+func (c *CSRSnapshot) InDegree(v VertexID) int {
+	if int(v) >= c.NumVertices() {
+		return 0
+	}
+	return int(c.inIdx[v+1] - c.inIdx[v])
+}
+
+// ForEachOut implements Store.
+func (c *CSRSnapshot) ForEachOut(v VertexID, fn func(Neighbor)) {
+	if int(v) >= c.NumVertices() {
+		return
+	}
+	for _, nb := range c.outAdj[c.outIdx[v]:c.outIdx[v+1]] {
+		fn(nb)
+	}
+}
+
+// ForEachIn implements Store.
+func (c *CSRSnapshot) ForEachIn(v VertexID, fn func(Neighbor)) {
+	if int(v) >= c.NumVertices() {
+		return
+	}
+	for _, nb := range c.inAdj[c.inIdx[v]:c.inIdx[v+1]] {
+		fn(nb)
+	}
+}
+
+// HasEdge implements Store.
+func (c *CSRSnapshot) HasEdge(src, dst VertexID) bool {
+	if int(src) >= c.NumVertices() {
+		return false
+	}
+	for _, nb := range c.outAdj[c.outIdx[src]:c.outIdx[src+1]] {
+		if nb.ID == dst {
+			return true
+		}
+	}
+	return false
+}
+
+var _ Store = (*CSRSnapshot)(nil)

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomFilledStore(seed int64, verts, edges int) *AdjacencyStore {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewAdjacencyStore(verts)
+	for i := 0; i < edges; i++ {
+		s.InsertEdge(Edge{
+			Src:    VertexID(rng.Intn(verts)),
+			Dst:    VertexID(rng.Intn(verts)),
+			Weight: Weight(rng.Intn(20) + 1),
+		})
+	}
+	return s
+}
+
+func storesEqual(a, b Store) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		id := VertexID(v)
+		if a.OutDegree(id) != b.OutDegree(id) || a.InDegree(id) != b.InDegree(id) {
+			return false
+		}
+		want := map[Neighbor]int{}
+		a.ForEachOut(id, func(n Neighbor) { want[n]++ })
+		b.ForEachOut(id, func(n Neighbor) { want[n]-- })
+		for _, c := range want {
+			if c != 0 {
+				return false
+			}
+		}
+		wantIn := map[Neighbor]int{}
+		a.ForEachIn(id, func(n Neighbor) { wantIn[n]++ })
+		b.ForEachIn(id, func(n Neighbor) { wantIn[n]-- })
+		for _, c := range wantIn {
+			if c != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCSRSnapshotEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomFilledStore(seed, 60, 500)
+		return storesEqual(s, s.SnapshotCSR())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRSnapshotImmutableUnderUpdates(t *testing.T) {
+	s := randomFilledStore(1, 40, 300)
+	snap := s.SnapshotCSR()
+	edgesBefore := snap.NumEdges()
+	hadEdge := snap.HasEdge(1, 2)
+
+	// Mutate the live store heavily.
+	for i := 0; i < 500; i++ {
+		s.InsertEdge(Edge{Src: VertexID(i % 40), Dst: VertexID((i + 7) % 40), Weight: 9})
+	}
+	s.DeleteEdge(1, 2)
+	s.InsertEdge(Edge{Src: 39, Dst: 38, Weight: 1})
+
+	if snap.NumEdges() != edgesBefore {
+		t.Fatalf("snapshot edge count moved: %d -> %d", edgesBefore, snap.NumEdges())
+	}
+	if snap.HasEdge(1, 2) != hadEdge {
+		t.Fatal("snapshot membership changed under live updates")
+	}
+	// Weights inside the snapshot stay frozen too.
+	var weights []Weight
+	snap.ForEachOut(3, func(n Neighbor) { weights = append(weights, n.Weight) })
+	for i := 0; i < 100; i++ {
+		s.InsertEdge(Edge{Src: 3, Dst: VertexID(i % 40), Weight: 77})
+	}
+	var after []Weight
+	snap.ForEachOut(3, func(n Neighbor) { after = append(after, n.Weight) })
+	if len(weights) != len(after) {
+		t.Fatal("snapshot adjacency grew")
+	}
+	for i := range weights {
+		if weights[i] != after[i] {
+			t.Fatal("snapshot weight changed")
+		}
+	}
+}
+
+func TestCSRSnapshotBounds(t *testing.T) {
+	snap := NewAdjacencyStore(3).SnapshotCSR()
+	if snap.OutDegree(99) != 0 || snap.InDegree(99) != 0 {
+		t.Fatal("out-of-range degrees should be 0")
+	}
+	if snap.HasEdge(99, 0) {
+		t.Fatal("out-of-range HasEdge should be false")
+	}
+	called := false
+	snap.ForEachOut(99, func(Neighbor) { called = true })
+	snap.ForEachIn(99, func(Neighbor) { called = true })
+	if called {
+		t.Fatal("out-of-range iteration should be empty")
+	}
+}

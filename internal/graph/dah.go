@@ -1,0 +1,363 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// dahThreshold is the degree at which a vertex's adjacency migrates
+// from the flat array representation to a robin-hood hash. SAGA-Bench's
+// degAwareRHH uses the same idea: low-degree vertices stay compact and
+// cache-friendly, high-degree vertices get O(1) duplicate checks.
+const dahThreshold = 32
+
+// rhEntry is one robin-hood hash slot. dist is the probe distance + 1;
+// 0 marks an empty slot.
+type rhEntry struct {
+	key    VertexID
+	weight Weight
+	dist   uint8
+}
+
+// rhMap is a robin-hood open-addressing hash map from neighbor ID to
+// weight. It backs the high-degree side of the DAH store.
+type rhMap struct {
+	slots []rhEntry
+	n     int
+}
+
+func newRHMap(capHint int) *rhMap {
+	size := 16
+	for size < capHint*2 {
+		size *= 2
+	}
+	return &rhMap{slots: make([]rhEntry, size)}
+}
+
+func (m *rhMap) mask() uint32 { return uint32(len(m.slots) - 1) }
+
+func rhHash(k VertexID) uint32 {
+	x := uint32(k)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// put inserts or updates key. Returns true if a new entry was created.
+func (m *rhMap) put(key VertexID, w Weight) bool {
+	if m.n*4 >= len(m.slots)*3 { // load factor 0.75
+		m.grow()
+	}
+	idx := rhHash(key) & m.mask()
+	cur := rhEntry{key: key, weight: w, dist: 1}
+	for {
+		s := &m.slots[idx]
+		if s.dist == 0 {
+			*s = cur
+			m.n++
+			return true
+		}
+		if s.key == cur.key {
+			s.weight = cur.weight
+			return false
+		}
+		if s.dist < cur.dist { // steal from the rich
+			*s, cur = cur, *s
+		}
+		cur.dist++
+		if cur.dist == 255 {
+			m.grow()
+			return m.put(cur.key, cur.weight)
+		}
+		idx = (idx + 1) & m.mask()
+	}
+}
+
+// get returns the weight for key and whether it is present.
+func (m *rhMap) get(key VertexID) (Weight, bool) {
+	idx := rhHash(key) & m.mask()
+	dist := uint8(1)
+	for {
+		s := m.slots[idx]
+		if s.dist == 0 || s.dist < dist {
+			return 0, false
+		}
+		if s.key == key {
+			return s.weight, true
+		}
+		dist++
+		idx = (idx + 1) & m.mask()
+	}
+}
+
+// del removes key, back-shifting subsequent entries to preserve probe
+// invariants. Returns true if the key existed.
+func (m *rhMap) del(key VertexID) bool {
+	idx := rhHash(key) & m.mask()
+	dist := uint8(1)
+	for {
+		s := m.slots[idx]
+		if s.dist == 0 || s.dist < dist {
+			return false
+		}
+		if s.key == key {
+			break
+		}
+		dist++
+		idx = (idx + 1) & m.mask()
+	}
+	// Back-shift deletion.
+	for {
+		next := (idx + 1) & m.mask()
+		ns := m.slots[next]
+		if ns.dist <= 1 {
+			m.slots[idx] = rhEntry{}
+			break
+		}
+		ns.dist--
+		m.slots[idx] = ns
+		idx = next
+	}
+	m.n--
+	return true
+}
+
+func (m *rhMap) foreach(fn func(VertexID, Weight)) {
+	for _, s := range m.slots {
+		if s.dist != 0 {
+			fn(s.key, s.weight)
+		}
+	}
+}
+
+func (m *rhMap) grow() {
+	old := m.slots
+	m.slots = make([]rhEntry, len(old)*2)
+	m.n = 0
+	for _, s := range old {
+		if s.dist != 0 {
+			m.put(s.key, s.weight)
+		}
+	}
+}
+
+// dahAdj is one direction of a vertex's DAH adjacency: the flat array
+// while small, the robin-hood map once the degree crosses dahThreshold.
+type dahAdj struct {
+	flat []Neighbor
+	hash *rhMap
+}
+
+func (a *dahAdj) degree() int {
+	if a.hash != nil {
+		return a.hash.n
+	}
+	return len(a.flat)
+}
+
+// insert adds or updates an entry; returns true if new.
+func (a *dahAdj) insert(id VertexID, w Weight) bool {
+	if a.hash != nil {
+		return a.hash.put(id, w)
+	}
+	for i := range a.flat {
+		if a.flat[i].ID == id {
+			a.flat[i].Weight = w
+			return false
+		}
+	}
+	a.flat = append(a.flat, Neighbor{ID: id, Weight: w})
+	if len(a.flat) > dahThreshold {
+		a.hash = newRHMap(len(a.flat))
+		for _, n := range a.flat {
+			a.hash.put(n.ID, n.Weight)
+		}
+		a.flat = nil
+	}
+	return true
+}
+
+func (a *dahAdj) delete(id VertexID) bool {
+	if a.hash != nil {
+		return a.hash.del(id)
+	}
+	for i := range a.flat {
+		if a.flat[i].ID == id {
+			a.flat[i] = a.flat[len(a.flat)-1]
+			a.flat = a.flat[:len(a.flat)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func (a *dahAdj) has(id VertexID) bool {
+	if a.hash != nil {
+		_, ok := a.hash.get(id)
+		return ok
+	}
+	for _, n := range a.flat {
+		if n.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *dahAdj) foreach(fn func(Neighbor)) {
+	if a.hash != nil {
+		a.hash.foreach(func(k VertexID, w Weight) { fn(Neighbor{ID: k, Weight: w}) })
+		return
+	}
+	for _, n := range a.flat {
+		fn(n)
+	}
+}
+
+// dahVertex is the per-vertex record of the DAH store.
+type dahVertex struct {
+	mu  sync.Mutex
+	out dahAdj
+	in  dahAdj
+}
+
+// DAHStore is the degree-aware hashing dynamic graph store: a hybrid
+// representation that keeps low-degree adjacencies as flat arrays and
+// migrates high-degree adjacencies to per-vertex robin-hood hashes.
+type DAHStore struct {
+	verts   atomic.Pointer[[]*dahVertex]
+	growMu  sync.Mutex
+	numEdge atomic.Int64
+}
+
+// NewDAHStore returns a DAH store pre-sized for n vertices.
+func NewDAHStore(n int) *DAHStore {
+	s := &DAHStore{}
+	vs := make([]*dahVertex, n)
+	for i := range vs {
+		vs[i] = &dahVertex{}
+	}
+	s.verts.Store(&vs)
+	return s
+}
+
+// NumVertices implements Store.
+func (s *DAHStore) NumVertices() int { return len(*s.verts.Load()) }
+
+// NumEdges implements Store.
+func (s *DAHStore) NumEdges() int { return int(s.numEdge.Load()) }
+
+// EnsureVertices grows the vertex space to at least n vertices.
+func (s *DAHStore) EnsureVertices(n int) {
+	if len(*s.verts.Load()) >= n {
+		return
+	}
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	old := *s.verts.Load()
+	if len(old) >= n {
+		return
+	}
+	capN := len(old)*2 + 1
+	if capN < n {
+		capN = n
+	}
+	vs := make([]*dahVertex, capN)
+	copy(vs, old)
+	for i := len(old); i < capN; i++ {
+		vs[i] = &dahVertex{}
+	}
+	s.verts.Store(&vs)
+}
+
+func (s *DAHStore) at(v VertexID) *dahVertex {
+	vs := *s.verts.Load()
+	if int(v) >= len(vs) {
+		s.EnsureVertices(int(v) + 1)
+		vs = *s.verts.Load()
+	}
+	return vs[v]
+}
+
+// OutDegree implements Store.
+func (s *DAHStore) OutDegree(v VertexID) int {
+	if int(v) >= s.NumVertices() {
+		return 0
+	}
+	return s.at(v).out.degree()
+}
+
+// InDegree implements Store.
+func (s *DAHStore) InDegree(v VertexID) int {
+	if int(v) >= s.NumVertices() {
+		return 0
+	}
+	return s.at(v).in.degree()
+}
+
+// ForEachOut implements Store.
+func (s *DAHStore) ForEachOut(v VertexID, fn func(Neighbor)) {
+	if int(v) >= s.NumVertices() {
+		return
+	}
+	s.at(v).out.foreach(fn)
+}
+
+// ForEachIn implements Store.
+func (s *DAHStore) ForEachIn(v VertexID, fn func(Neighbor)) {
+	if int(v) >= s.NumVertices() {
+		return
+	}
+	s.at(v).in.foreach(fn)
+}
+
+// HasEdge implements Store.
+func (s *DAHStore) HasEdge(src, dst VertexID) bool {
+	if int(src) >= s.NumVertices() {
+		return false
+	}
+	return s.at(src).out.has(dst)
+}
+
+// InsertEdge implements Mutable.
+func (s *DAHStore) InsertEdge(e Edge) bool {
+	s.EnsureVertices(int(e.Src) + 1)
+	s.EnsureVertices(int(e.Dst) + 1)
+	sv := s.at(e.Src)
+	sv.mu.Lock()
+	added := sv.out.insert(e.Dst, e.Weight)
+	sv.mu.Unlock()
+	dv := s.at(e.Dst)
+	dv.mu.Lock()
+	dv.in.insert(e.Src, e.Weight)
+	dv.mu.Unlock()
+	if added {
+		s.numEdge.Add(1)
+	}
+	return added
+}
+
+// DeleteEdge implements Mutable.
+func (s *DAHStore) DeleteEdge(src, dst VertexID) bool {
+	if int(src) >= s.NumVertices() || int(dst) >= s.NumVertices() {
+		return false
+	}
+	sv := s.at(src)
+	sv.mu.Lock()
+	removed := sv.out.delete(dst)
+	sv.mu.Unlock()
+	if !removed {
+		return false
+	}
+	dv := s.at(dst)
+	dv.mu.Lock()
+	dv.in.delete(src)
+	dv.mu.Unlock()
+	s.numEdge.Add(-1)
+	return true
+}
+
+var _ Mutable = (*DAHStore)(nil)

@@ -1,0 +1,156 @@
+package graph
+
+// HybridStore is a GraphOne-style multi-level adjacency (the dual
+// versioning the paper discusses in Section 6.2.3): an immutable
+// archived CSR holds the bulk of the graph while recent updates
+// accumulate in a small delta store. Reads merge the two levels;
+// Compact folds the delta into a fresh archive.
+//
+// The shape trades a little read amplification for cheap ingestion
+// and for archives that double as consistent snapshots: the archive
+// a compaction produces is exactly a CSRSnapshot, safe to hand to a
+// concurrent reader.
+//
+// HybridStore implements Mutable through single-edge operations; the
+// optimized batch engines in internal/update target AdjacencyStore
+// (the paper's evaluated structure). Not safe for concurrent writes.
+type HybridStore struct {
+	archive *CSRSnapshot
+	delta   *AdjacencyStore
+	// tombs marks archived edges that were deleted or superseded by
+	// a delta entry (weight update).
+	tombs map[[2]VertexID]bool
+	// tombOut/tombIn count tombstones per vertex per direction so
+	// degree queries stay O(1).
+	tombOut map[VertexID]int
+	tombIn  map[VertexID]int
+}
+
+// NewHybridStore returns an empty hybrid store pre-sized for n
+// vertices.
+func NewHybridStore(n int) *HybridStore {
+	return &HybridStore{
+		archive: NewAdjacencyStore(n).SnapshotCSR(),
+		delta:   NewAdjacencyStore(n),
+		tombs:   make(map[[2]VertexID]bool),
+		tombOut: make(map[VertexID]int),
+		tombIn:  make(map[VertexID]int),
+	}
+}
+
+// DeltaEdges returns the number of edges currently in the delta
+// level (compaction pressure).
+func (h *HybridStore) DeltaEdges() int { return h.delta.NumEdges() }
+
+// Compact folds the delta and tombstones into a new archive. The
+// returned CSRSnapshot is the new archive: an immutable, consistent
+// snapshot of the whole graph at compaction time.
+func (h *HybridStore) Compact() *CSRSnapshot {
+	n := h.NumVertices()
+	merged := NewAdjacencyStore(n)
+	for v := 0; v < n; v++ {
+		id := VertexID(v)
+		h.ForEachOut(id, func(nb Neighbor) {
+			merged.AppendOutUnsafe(id, nb)
+			merged.AppendInUnsafe(nb.ID, Neighbor{ID: id, Weight: nb.Weight})
+		})
+	}
+	h.archive = merged.SnapshotCSR()
+	h.delta = NewAdjacencyStore(n)
+	h.tombs = make(map[[2]VertexID]bool)
+	h.tombOut = make(map[VertexID]int)
+	h.tombIn = make(map[VertexID]int)
+	return h.archive
+}
+
+// NumVertices implements Store.
+func (h *HybridStore) NumVertices() int {
+	if d := h.delta.NumVertices(); d > h.archive.NumVertices() {
+		return d
+	}
+	return h.archive.NumVertices()
+}
+
+// NumEdges implements Store.
+func (h *HybridStore) NumEdges() int {
+	return h.archive.NumEdges() - len(h.tombs) + h.delta.NumEdges()
+}
+
+// OutDegree implements Store.
+func (h *HybridStore) OutDegree(v VertexID) int {
+	return h.archive.OutDegree(v) - h.tombOut[v] + h.delta.OutDegree(v)
+}
+
+// InDegree implements Store.
+func (h *HybridStore) InDegree(v VertexID) int {
+	return h.archive.InDegree(v) - h.tombIn[v] + h.delta.InDegree(v)
+}
+
+// ForEachOut implements Store: archived entries (minus tombstones)
+// then delta entries.
+func (h *HybridStore) ForEachOut(v VertexID, fn func(Neighbor)) {
+	h.archive.ForEachOut(v, func(nb Neighbor) {
+		if !h.tombs[[2]VertexID{v, nb.ID}] {
+			fn(nb)
+		}
+	})
+	h.delta.ForEachOut(v, fn)
+}
+
+// ForEachIn implements Store.
+func (h *HybridStore) ForEachIn(v VertexID, fn func(Neighbor)) {
+	h.archive.ForEachIn(v, func(nb Neighbor) {
+		if !h.tombs[[2]VertexID{nb.ID, v}] {
+			fn(nb)
+		}
+	})
+	h.delta.ForEachIn(v, fn)
+}
+
+// HasEdge implements Store.
+func (h *HybridStore) HasEdge(src, dst VertexID) bool {
+	if h.delta.HasEdge(src, dst) {
+		return true
+	}
+	return h.archive.HasEdge(src, dst) && !h.tombs[[2]VertexID{src, dst}]
+}
+
+// tombstone marks an archived edge dead.
+func (h *HybridStore) tombstone(src, dst VertexID) {
+	key := [2]VertexID{src, dst}
+	if h.tombs[key] {
+		return
+	}
+	h.tombs[key] = true
+	h.tombOut[src]++
+	h.tombIn[dst]++
+}
+
+// InsertEdge implements Mutable. Inserting an edge that exists in the
+// archive supersedes the archived copy (weight update).
+func (h *HybridStore) InsertEdge(e Edge) bool {
+	if h.delta.HasEdge(e.Src, e.Dst) {
+		h.delta.InsertEdge(e) // weight update in place
+		return false
+	}
+	existed := h.archive.HasEdge(e.Src, e.Dst) && !h.tombs[[2]VertexID{e.Src, e.Dst}]
+	if existed {
+		h.tombstone(e.Src, e.Dst)
+	}
+	h.delta.InsertEdge(e)
+	return !existed
+}
+
+// DeleteEdge implements Mutable.
+func (h *HybridStore) DeleteEdge(src, dst VertexID) bool {
+	if h.delta.DeleteEdge(src, dst) {
+		return true
+	}
+	if h.archive.HasEdge(src, dst) && !h.tombs[[2]VertexID{src, dst}] {
+		h.tombstone(src, dst)
+		return true
+	}
+	return false
+}
+
+var _ Mutable = (*HybridStore)(nil)

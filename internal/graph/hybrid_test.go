@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHybridStoreAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		runStoreOps(t, func(n int) Mutable { return NewHybridStore(n) }, seed, 3000)
+	}
+}
+
+// TestHybridCompactionPreservesState: compacting at random points
+// never changes the observable graph.
+func TestHybridCompactionPreservesState(t *testing.T) {
+	f := func(seed int64, compactMask uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const verts = 50
+		h := NewHybridStore(verts)
+		ref := NewAdjacencyStore(verts)
+		for i := 0; i < 800; i++ {
+			src := VertexID(rng.Intn(verts))
+			dst := VertexID(rng.Intn(verts))
+			if rng.Intn(4) == 0 {
+				h.DeleteEdge(src, dst)
+				ref.DeleteEdge(src, dst)
+			} else {
+				e := Edge{Src: src, Dst: dst, Weight: Weight(rng.Intn(50) + 1)}
+				h.InsertEdge(e)
+				ref.InsertEdge(e)
+			}
+			if i%50 == 0 && compactMask&(1<<(uint(i/50)%16)) != 0 {
+				snap := h.Compact()
+				if snap.NumEdges() != ref.NumEdges() {
+					return false
+				}
+				if h.DeltaEdges() != 0 {
+					return false
+				}
+			}
+		}
+		return storesEqual(h, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridWeightUpdateSupersedesArchive(t *testing.T) {
+	h := NewHybridStore(4)
+	h.InsertEdge(Edge{Src: 1, Dst: 2, Weight: 5})
+	h.Compact() // edge now archived
+	if h.DeltaEdges() != 0 {
+		t.Fatal("compact left delta edges")
+	}
+	if added := h.InsertEdge(Edge{Src: 1, Dst: 2, Weight: 9}); added {
+		t.Fatal("weight update reported as new edge")
+	}
+	if h.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d after weight update", h.NumEdges())
+	}
+	count := 0
+	h.ForEachOut(1, func(n Neighbor) {
+		count++
+		if n.Weight != 9 {
+			t.Fatalf("weight = %v, want 9", n.Weight)
+		}
+	})
+	if count != 1 {
+		t.Fatalf("edge emitted %d times (archive copy not shadowed)", count)
+	}
+	// In-direction must agree.
+	count = 0
+	h.ForEachIn(2, func(n Neighbor) {
+		count++
+		if n.Weight != 9 {
+			t.Fatalf("in weight = %v", n.Weight)
+		}
+	})
+	if count != 1 {
+		t.Fatalf("in-edge emitted %d times", count)
+	}
+}
+
+func TestHybridDeleteArchivedEdge(t *testing.T) {
+	h := NewHybridStore(4)
+	h.InsertEdge(Edge{Src: 1, Dst: 2, Weight: 5})
+	h.InsertEdge(Edge{Src: 2, Dst: 3, Weight: 1})
+	h.Compact()
+	if !h.DeleteEdge(1, 2) {
+		t.Fatal("deleting archived edge failed")
+	}
+	if h.DeleteEdge(1, 2) {
+		t.Fatal("double delete succeeded")
+	}
+	if h.HasEdge(1, 2) || h.NumEdges() != 1 {
+		t.Fatal("tombstone not effective")
+	}
+	if h.OutDegree(1) != 0 || h.InDegree(2) != 0 {
+		t.Fatalf("degrees after tombstone: out=%d in=%d", h.OutDegree(1), h.InDegree(2))
+	}
+	// Re-insert after tombstone: becomes a live delta edge again.
+	if added := h.InsertEdge(Edge{Src: 1, Dst: 2, Weight: 7}); !added {
+		t.Fatal("re-insert after delete should be a new edge")
+	}
+	if !h.HasEdge(1, 2) || h.NumEdges() != 2 {
+		t.Fatal("re-insert lost")
+	}
+}
+
+// TestHybridArchiveIsStableSnapshot: the CSR returned by Compact is
+// unaffected by later updates.
+func TestHybridArchiveIsStableSnapshot(t *testing.T) {
+	h := NewHybridStore(8)
+	h.InsertEdge(Edge{Src: 1, Dst: 2, Weight: 1})
+	snap := h.Compact()
+	h.InsertEdge(Edge{Src: 3, Dst: 4, Weight: 1})
+	h.DeleteEdge(1, 2)
+	if snap.NumEdges() != 1 || !snap.HasEdge(1, 2) || snap.HasEdge(3, 4) {
+		t.Fatal("archive snapshot mutated by later updates")
+	}
+	if h.HasEdge(1, 2) || !h.HasEdge(3, 4) {
+		t.Fatal("live view wrong")
+	}
+}

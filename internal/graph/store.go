@@ -1,0 +1,37 @@
+package graph
+
+// Store is the read interface shared by the dynamic graph data
+// structures. The compute phase depends only on Store, so any data
+// structure (adjacency list, degree-aware hashing, ...) can back the
+// analytics. Update engines work against the concrete types because
+// the paper's update optimizations (locking discipline, reordered
+// vertex-centric writes, search coalescing) are data-structure-aware.
+type Store interface {
+	// NumVertices returns the current vertex-space size (max ID + 1
+	// ever ensured). Vertices with no edges report degree 0.
+	NumVertices() int
+	// OutDegree and InDegree return current adjacency sizes.
+	OutDegree(v VertexID) int
+	InDegree(v VertexID) int
+	// ForEachOut and ForEachIn iterate a vertex's adjacency without
+	// copying. The callback must not mutate the store.
+	ForEachOut(v VertexID, fn func(Neighbor))
+	ForEachIn(v VertexID, fn func(Neighbor))
+	// HasEdge reports whether src->dst currently exists.
+	HasEdge(src, dst VertexID) bool
+	// NumEdges returns the number of directed edges in the store.
+	NumEdges() int
+}
+
+// Mutable is the coarse-grained write interface shared by the stores:
+// single-edge safe operations used by tests, tools and the DAH
+// comparison path. The optimized batch engines in internal/update use
+// the finer-grained AdjacencyStore API instead.
+type Mutable interface {
+	Store
+	// InsertEdge adds src->dst (updating the weight if the edge
+	// already exists) and returns true if a new edge was created.
+	InsertEdge(e Edge) bool
+	// DeleteEdge removes src->dst and returns true if it existed.
+	DeleteEdge(src, dst VertexID) bool
+}

@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// refGraph is a trivially correct oracle for the store implementations.
+type refGraph struct {
+	out map[VertexID]map[VertexID]Weight
+	in  map[VertexID]map[VertexID]Weight
+}
+
+func newRefGraph() *refGraph {
+	return &refGraph{
+		out: make(map[VertexID]map[VertexID]Weight),
+		in:  make(map[VertexID]map[VertexID]Weight),
+	}
+}
+
+func (r *refGraph) insert(e Edge) {
+	if r.out[e.Src] == nil {
+		r.out[e.Src] = make(map[VertexID]Weight)
+	}
+	if r.in[e.Dst] == nil {
+		r.in[e.Dst] = make(map[VertexID]Weight)
+	}
+	r.out[e.Src][e.Dst] = e.Weight
+	r.in[e.Dst][e.Src] = e.Weight
+}
+
+func (r *refGraph) delete(src, dst VertexID) {
+	if m, ok := r.out[src]; ok {
+		if _, ok := m[dst]; ok {
+			delete(m, dst)
+			delete(r.in[dst], src)
+		}
+	}
+}
+
+func (r *refGraph) numEdges() int {
+	n := 0
+	for _, m := range r.out {
+		n += len(m)
+	}
+	return n
+}
+
+func sortedNeighbors(s Store, v VertexID, out bool) []Neighbor {
+	var ns []Neighbor
+	fn := func(n Neighbor) { ns = append(ns, n) }
+	if out {
+		s.ForEachOut(v, fn)
+	} else {
+		s.ForEachIn(v, fn)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	return ns
+}
+
+func checkAgainstRef(t *testing.T, s Store, ref *refGraph, maxV int) {
+	t.Helper()
+	if s.NumEdges() != ref.numEdges() {
+		t.Fatalf("NumEdges = %d, want %d", s.NumEdges(), ref.numEdges())
+	}
+	for v := 0; v < maxV; v++ {
+		id := VertexID(v)
+		if got, want := s.OutDegree(id), len(ref.out[id]); got != want {
+			t.Fatalf("OutDegree(%d) = %d, want %d", v, got, want)
+		}
+		if got, want := s.InDegree(id), len(ref.in[id]); got != want {
+			t.Fatalf("InDegree(%d) = %d, want %d", v, got, want)
+		}
+		for _, n := range sortedNeighbors(s, id, true) {
+			w, ok := ref.out[id][n.ID]
+			if !ok || w != n.Weight {
+				t.Fatalf("out edge %d->%d weight %v not in oracle", v, n.ID, n.Weight)
+			}
+			if !s.HasEdge(id, n.ID) {
+				t.Fatalf("HasEdge(%d,%d) = false for present edge", v, n.ID)
+			}
+		}
+		for _, n := range sortedNeighbors(s, id, false) {
+			if _, ok := ref.in[id][n.ID]; !ok {
+				t.Fatalf("in edge %d<-%d not in oracle", v, n.ID)
+			}
+		}
+	}
+}
+
+// runStoreOps drives a store and the oracle with a deterministic random
+// op stream and verifies they agree.
+func runStoreOps(t *testing.T, mk func(int) Mutable, seed int64, nOps int) {
+	const maxV = 64
+	rng := rand.New(rand.NewSource(seed))
+	s := mk(maxV)
+	ref := newRefGraph()
+	for i := 0; i < nOps; i++ {
+		src := VertexID(rng.Intn(maxV))
+		dst := VertexID(rng.Intn(maxV))
+		if rng.Intn(4) == 0 {
+			got := s.DeleteEdge(src, dst)
+			_, want := ref.out[src][dst]
+			if got != want {
+				t.Fatalf("op %d: DeleteEdge(%d,%d) = %v, want %v", i, src, dst, got, want)
+			}
+			ref.delete(src, dst)
+		} else {
+			w := Weight(rng.Intn(100)) + 1
+			got := s.InsertEdge(Edge{Src: src, Dst: dst, Weight: w})
+			_, existed := ref.out[src][dst]
+			if got == existed {
+				t.Fatalf("op %d: InsertEdge(%d,%d) = %v but existed=%v", i, src, dst, got, existed)
+			}
+			ref.insert(Edge{Src: src, Dst: dst, Weight: w})
+		}
+	}
+	checkAgainstRef(t, s, ref, maxV)
+}
+
+func TestAdjacencyStoreAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		runStoreOps(t, func(n int) Mutable { return NewAdjacencyStore(n) }, seed, 3000)
+	}
+}
+
+func TestDAHStoreAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		runStoreOps(t, func(n int) Mutable { return NewDAHStore(n) }, seed, 3000)
+	}
+}
+
+// TestStoresAgree is the D5 equivalence property: AS and DAH agree on
+// neighbor sets under any operation stream.
+func TestStoresAgree(t *testing.T) {
+	f := func(ops []uint32) bool {
+		as := NewAdjacencyStore(8)
+		dah := NewDAHStore(8)
+		for _, op := range ops {
+			src := VertexID(op % 50)
+			dst := VertexID((op >> 8) % 50)
+			if op%5 == 0 {
+				as.DeleteEdge(src, dst)
+				dah.DeleteEdge(src, dst)
+			} else {
+				e := Edge{Src: src, Dst: dst, Weight: Weight(op%7) + 1}
+				as.InsertEdge(e)
+				dah.InsertEdge(e)
+			}
+		}
+		if as.NumEdges() != dah.NumEdges() {
+			return false
+		}
+		for v := VertexID(0); v < 50; v++ {
+			a := sortedNeighbors(as, v, true)
+			d := sortedNeighbors(dah, v, true)
+			if len(a) != len(d) {
+				return false
+			}
+			for i := range a {
+				if a[i] != d[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacencyGrowth(t *testing.T) {
+	s := NewAdjacencyStore(1)
+	s.InsertEdge(Edge{Src: 100, Dst: 200, Weight: 1})
+	if s.NumVertices() < 201 {
+		t.Fatalf("NumVertices = %d after inserting vertex 200", s.NumVertices())
+	}
+	if !s.HasEdge(100, 200) {
+		t.Fatal("edge lost across growth")
+	}
+	// Degree queries beyond the vertex space are safe.
+	if s.OutDegree(100000) != 0 || s.InDegree(100000) != 0 {
+		t.Fatal("out-of-range degree should be 0")
+	}
+	if s.HasEdge(100000, 0) {
+		t.Fatal("out-of-range HasEdge should be false")
+	}
+}
+
+func TestAdjacencyUnsafeOps(t *testing.T) {
+	s := NewAdjacencyStore(4)
+	s.AppendOutUnsafe(1, Neighbor{ID: 2, Weight: 5})
+	s.AppendInUnsafe(2, Neighbor{ID: 1, Weight: 5})
+	if s.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", s.NumEdges())
+	}
+	out := s.OutUnsafe(1)
+	if len(out) != 1 || out[0].ID != 2 {
+		t.Fatalf("OutUnsafe = %v", out)
+	}
+	in := s.InUnsafe(2)
+	if len(in) != 1 || in[0].ID != 1 {
+		t.Fatalf("InUnsafe = %v", in)
+	}
+	s.SetOutUnsafe(1, []Neighbor{{ID: 2, Weight: 5}, {ID: 3, Weight: 1}})
+	s.SetInUnsafe(3, []Neighbor{{ID: 1, Weight: 1}})
+	if s.NumEdges() != 2 {
+		t.Fatalf("NumEdges after SetOutUnsafe = %d", s.NumEdges())
+	}
+}
+
+func TestLatestBID(t *testing.T) {
+	s := NewAdjacencyStore(4)
+	if s.LatestBID(1) != -1 {
+		t.Fatal("initial latest_bid should be -1")
+	}
+	prev := s.SwapLatestBID(1, 7)
+	if prev != -1 {
+		t.Fatalf("SwapLatestBID returned %d", prev)
+	}
+	if s.LatestBID(1) != 7 {
+		t.Fatalf("LatestBID = %d", s.LatestBID(1))
+	}
+	s.SetLatestBID(1, 9)
+	if s.LatestBID(1) != 9 {
+		t.Fatalf("LatestBID = %d", s.LatestBID(1))
+	}
+}
+
+func TestAdjacencyConcurrentInsert(t *testing.T) {
+	// Concurrent InsertEdge calls targeting overlapping vertices must
+	// produce exactly the union of edges.
+	s := NewAdjacencyStore(16)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				s.InsertEdge(Edge{
+					Src:    VertexID(rng.Intn(16)),
+					Dst:    VertexID(rng.Intn(16)),
+					Weight: 1,
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Rebuild the oracle sequentially.
+	ref := newRefGraph()
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < perWorker; i++ {
+			ref.insert(Edge{
+				Src:    VertexID(rng.Intn(16)),
+				Dst:    VertexID(rng.Intn(16)),
+				Weight: 1,
+			})
+		}
+	}
+	checkAgainstRef(t, s, ref, 16)
+}
+
+func TestRHMapBasics(t *testing.T) {
+	m := newRHMap(4)
+	for i := 0; i < 1000; i++ {
+		if !m.put(VertexID(i), Weight(i)) {
+			t.Fatalf("put(%d) reported existing", i)
+		}
+	}
+	if m.n != 1000 {
+		t.Fatalf("n = %d", m.n)
+	}
+	for i := 0; i < 1000; i++ {
+		w, ok := m.get(VertexID(i))
+		if !ok || w != Weight(i) {
+			t.Fatalf("get(%d) = %v, %v", i, w, ok)
+		}
+	}
+	if _, ok := m.get(5000); ok {
+		t.Fatal("get of absent key succeeded")
+	}
+	if m.put(5, 99) {
+		t.Fatal("put of existing key reported new")
+	}
+	if w, _ := m.get(5); w != 99 {
+		t.Fatalf("update failed: %v", w)
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !m.del(VertexID(i)) {
+			t.Fatalf("del(%d) failed", i)
+		}
+	}
+	if m.del(0) {
+		t.Fatal("double delete succeeded")
+	}
+	for i := 1; i < 1000; i += 2 {
+		if _, ok := m.get(VertexID(i)); !ok {
+			t.Fatalf("get(%d) lost after deletes", i)
+		}
+	}
+	count := 0
+	m.foreach(func(VertexID, Weight) { count++ })
+	if count != 500 {
+		t.Fatalf("foreach visited %d, want 500", count)
+	}
+}

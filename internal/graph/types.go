@@ -1,0 +1,137 @@
+// Package graph provides the streaming graph substrate: edge/batch types
+// and the two dynamic graph stores evaluated by the paper — the shared
+// adjacency list (the SAGA-Bench "adListShared" equivalent, used by all
+// experiments) and a degree-aware hashing store (the "degAwareRHH"
+// equivalent, used in the data-structure comparison).
+//
+// A streaming graph is fed <source, destination, weight> tuples grouped
+// into fixed-size input batches. The update phase ingests a batch into
+// the store; the compute phase then runs an algorithm on the latest
+// snapshot. Both stores keep in-edges and out-edges so that directed
+// algorithms (PageRank pulls over in-edges, SSSP pushes over out-edges)
+// can run either way.
+package graph
+
+import "streamgraph/internal/stats"
+
+// VertexID identifies a vertex. IDs are dense, starting at 0.
+type VertexID uint32
+
+// Weight is an edge weight. Unweighted graphs use weight 1.
+type Weight float32
+
+// Edge is one streamed graph modification. Delete=true removes the edge
+// if present (deletions require the edge to exist to take effect).
+type Edge struct {
+	Src    VertexID
+	Dst    VertexID
+	Weight Weight
+	Delete bool
+}
+
+// Neighbor is one adjacency entry.
+type Neighbor struct {
+	ID     VertexID
+	Weight Weight
+}
+
+// Batch is one input batch: a contiguous window of the edge stream.
+// ID is the batch sequence number (0-based).
+type Batch struct {
+	ID    int
+	Edges []Edge
+}
+
+// Size returns the number of edges in the batch.
+func (b *Batch) Size() int { return len(b.Edges) }
+
+// MaxVertex returns the largest vertex ID referenced by the batch, or 0
+// for an empty batch.
+func (b *Batch) MaxVertex() VertexID {
+	var m VertexID
+	for _, e := range b.Edges {
+		if e.Src > m {
+			m = e.Src
+		}
+		if e.Dst > m {
+			m = e.Dst
+		}
+	}
+	return m
+}
+
+// OutDegreeHist returns the batch's out-degree histogram: for each
+// vertex that appears as a source, the number of edges it sources.
+func (b *Batch) OutDegreeHist() *stats.Histogram {
+	deg := make(map[VertexID]int)
+	for _, e := range b.Edges {
+		deg[e.Src]++
+	}
+	h := stats.NewHistogram()
+	for _, d := range deg {
+		h.Add(d)
+	}
+	return h
+}
+
+// InDegreeHist returns the batch's in-degree histogram: for each vertex
+// that appears as a destination, the number of edges targeting it.
+func (b *Batch) InDegreeHist() *stats.Histogram {
+	deg := make(map[VertexID]int)
+	for _, e := range b.Edges {
+		deg[e.Dst]++
+	}
+	h := stats.NewHistogram()
+	for _, d := range deg {
+		h.Add(d)
+	}
+	return h
+}
+
+// MaxDegrees returns the maximum intra-batch out-degree and in-degree —
+// the Fig. 3 right-axis indicator for high- vs low-degree batches.
+func (b *Batch) MaxDegrees() (maxOut, maxIn int) {
+	out := make(map[VertexID]int)
+	in := make(map[VertexID]int)
+	for _, e := range b.Edges {
+		out[e.Src]++
+		in[e.Dst]++
+	}
+	for _, d := range out {
+		if d > maxOut {
+			maxOut = d
+		}
+	}
+	for _, d := range in {
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	return maxOut, maxIn
+}
+
+// UniqueVertices returns the set of vertices touched by the batch (as
+// source or destination). OCA's node_counter counts these.
+func (b *Batch) UniqueVertices() map[VertexID]struct{} {
+	set := make(map[VertexID]struct{}, len(b.Edges))
+	for _, e := range b.Edges {
+		set[e.Src] = struct{}{}
+		set[e.Dst] = struct{}{}
+	}
+	return set
+}
+
+// Split partitions the batch into insertions and deletions, preserving
+// order. HAU's update-ordering policy applies all insertions before any
+// deletions; the software engines follow the same policy so that all
+// execution modes agree on the end-of-batch state.
+func (b *Batch) Split() (inserts, deletes []Edge) {
+	for _, e := range b.Edges {
+		if e.Delete {
+			deletes = append(deletes, e)
+		} else {
+			inserts = append(inserts, e)
+		}
+	}
+	return inserts, deletes
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"testing"
+)
+
+func batchOf(edges ...Edge) *Batch { return &Batch{ID: 0, Edges: edges} }
+
+func TestBatchDegreeHists(t *testing.T) {
+	b := batchOf(
+		Edge{Src: 1, Dst: 2},
+		Edge{Src: 1, Dst: 3},
+		Edge{Src: 4, Dst: 2},
+	)
+	out := b.OutDegreeHist()
+	if out.Count(2) != 1 || out.Count(1) != 1 {
+		t.Fatalf("out-degree hist wrong: deg2=%d deg1=%d", out.Count(2), out.Count(1))
+	}
+	in := b.InDegreeHist()
+	if in.Count(2) != 1 || in.Count(1) != 1 {
+		t.Fatalf("in-degree hist wrong")
+	}
+	maxOut, maxIn := b.MaxDegrees()
+	if maxOut != 2 || maxIn != 2 {
+		t.Fatalf("MaxDegrees = (%d, %d), want (2, 2)", maxOut, maxIn)
+	}
+}
+
+func TestBatchUniqueVertices(t *testing.T) {
+	b := batchOf(
+		Edge{Src: 1, Dst: 2},
+		Edge{Src: 2, Dst: 1},
+		Edge{Src: 1, Dst: 3},
+	)
+	set := b.UniqueVertices()
+	if len(set) != 3 {
+		t.Fatalf("UniqueVertices = %d, want 3", len(set))
+	}
+	for _, v := range []VertexID{1, 2, 3} {
+		if _, ok := set[v]; !ok {
+			t.Fatalf("missing vertex %d", v)
+		}
+	}
+}
+
+func TestBatchSplit(t *testing.T) {
+	b := batchOf(
+		Edge{Src: 1, Dst: 2},
+		Edge{Src: 2, Dst: 3, Delete: true},
+		Edge{Src: 3, Dst: 4},
+	)
+	ins, dels := b.Split()
+	if len(ins) != 2 || len(dels) != 1 {
+		t.Fatalf("Split = %d inserts, %d deletes", len(ins), len(dels))
+	}
+	if ins[0].Dst != 2 || ins[1].Dst != 4 || dels[0].Dst != 3 {
+		t.Fatal("Split did not preserve order")
+	}
+}
+
+func TestBatchMaxVertexAndSize(t *testing.T) {
+	if (&Batch{}).MaxVertex() != 0 {
+		t.Fatal("empty batch MaxVertex should be 0")
+	}
+	b := batchOf(Edge{Src: 9, Dst: 2}, Edge{Src: 1, Dst: 17})
+	if b.MaxVertex() != 17 {
+		t.Fatalf("MaxVertex = %d", b.MaxVertex())
+	}
+	if b.Size() != 2 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+}

@@ -1,0 +1,203 @@
+package hau
+
+import (
+	"streamgraph/internal/graph"
+	"streamgraph/internal/sim"
+)
+
+// hauTriggerCycles is the fixed software cost of triggering HAU for a
+// batch (no full parallel-region fork: the master streams supply_task
+// instructions directly, paying only the mode switch and stream
+// set-up — ~6µs).
+const hauTriggerCycles = 20000
+
+// prodInstrPerTask is the master's per-task production cost:
+// supply_task, loop increment, field packing.
+const prodInstrPerTask = 4
+
+// injectCycles is the producer-side cost of releasing one task into
+// the NoC. The task-pending MSHR is freed on injection, so the
+// producer never waits for network transit (fire and forget).
+const injectCycles = 1.5
+
+// consumerMLP is the memory-level parallelism of the consuming cache
+// controller: with ten task MSHRs it keeps several tasks' cacheline
+// fetches in flight, overlapping their memory latency — parallelism
+// the software's lock-serialized search loop cannot extract.
+const consumerMLP = 2
+
+// consumerState tracks one task-consuming core: when its controller
+// frees up and the completion times of the last fifoDepth tasks (the
+// FIFO backpressure window).
+type consumerState struct {
+	free float64
+	fifo []float64 // ring of completion times, oldest first
+}
+
+// accept returns the earliest time the consumer can admit a task that
+// arrives at the given time, honoring FIFO capacity.
+func (cs *consumerState) accept(arrival float64) float64 {
+	if len(cs.fifo) >= fifoDepth && cs.fifo[0] > arrival {
+		return cs.fifo[0]
+	}
+	return arrival
+}
+
+// complete records a finished task.
+func (cs *consumerState) complete(t float64) {
+	cs.fifo = append(cs.fifo, t)
+	if len(cs.fifo) > fifoDepth {
+		cs.fifo = cs.fifo[1:]
+	}
+	cs.free = t
+}
+
+// pickConsumer selects the consuming core for a task on vertex v
+// produced at time t, applying the work-stealing policy when enabled:
+// if the home consumer is backlogged and some consumer is idle, the
+// idle one takes the task (with a coordination penalty paid by the
+// thief).
+func (s *Simulator) pickConsumer(consumers []*consumerState, v graph.VertexID, t float64) (core int, stolen bool) {
+	home := s.consumerOf(v)
+	if s.Assign != AssignWorkStealing {
+		return home, false
+	}
+	if consumers[home].free-t <= stealBacklogThreshold {
+		return home, false
+	}
+	best := home
+	for _, c := range s.workers {
+		if consumers[c].free < consumers[best].free {
+			best = c
+		}
+	}
+	if best == home || consumers[best].free > t {
+		return home, false
+	}
+	return best, true
+}
+
+// simHAU models the hardware-accelerated update. The master core
+// (core 0, which hosts the SAGA-Bench master thread) walks the batch
+// emitting two tasks per edge — the out-side task to src mod N, the
+// in-side task to dst mod N — via supply_task. Consumers' cache
+// controllers scan edge data at cacheline granularity with no CPU
+// search instructions, handing only the final append back to the
+// core. Production pipelines with consumption; the batch completes
+// when the master and every consumer drain.
+func (s *Simulator) simHAU(b *graph.Batch, g graph.Store, rep []CoreReport) float64 {
+	if len(b.Edges) == 0 {
+		return 0
+	}
+	cfg := s.M.Config()
+	const master = 0
+	prodTime := float64(hauTriggerCycles)
+	consumers := make([]*consumerState, cfg.Cores)
+	for _, c := range s.workers {
+		consumers[c] = &consumerState{}
+	}
+
+	inserts, deletes := b.Split()
+	pos := 0
+	wave := func(edges []graph.Edge, del bool) {
+		for _, e := range edges {
+			t := prodTime
+			t = s.M.Instr(t, prodInstrPerTask)
+			// The master streams the batch sequentially: sample one
+			// line per 16, charge the prefetched rate otherwise.
+			if pos%64 == 0 {
+				t = s.M.Access(master, batchAddr(pos), sim.Read, t)
+			} else {
+				t += streamLineCycles / 4
+			}
+			pos++
+			dup := s.duplicate(g, e)
+
+			// Out-side task: injection frees the producer unless the
+			// consumer's FIFO is full — then NoC backpressure stalls
+			// the supply_task until a slot frees.
+			outCore, stolen := s.pickConsumer(consumers, e.Src, t)
+			arr := s.M.Send(master, outCore, taskBytes, t)
+			if stolen {
+				arr += stealCoordinationCycles
+			}
+			t += injectCycles
+			adm := s.consumeTask(consumers[outCore], outCore,
+				outBase(e.Src), s.effOutDegree(g, e.Src), dup, del, arr, rep)
+			if adm > arr && adm > t { // FIFO was full: backpressure
+				t = adm
+			}
+
+			// In-side task.
+			t = s.M.Instr(t, prodInstrPerTask)
+			inCore, stolen := s.pickConsumer(consumers, e.Dst, t)
+			arr = s.M.Send(master, inCore, taskBytes, t)
+			if stolen {
+				arr += stealCoordinationCycles
+			}
+			t += injectCycles
+			adm = s.consumeTask(consumers[inCore], inCore,
+				inBase(e.Dst), s.effInDegree(g, e.Dst), dup, del, arr, rep)
+			if adm > arr && adm > t {
+				t = adm
+			}
+
+			if !del {
+				s.noteInsert(e, dup)
+			}
+			prodTime = t
+		}
+		// Insertions complete before any deletion is produced: wave
+		// barrier across the producer and all consumers.
+		m := prodTime
+		for _, c := range s.workers {
+			if consumers[c].free > m {
+				m = consumers[c].free
+			}
+		}
+		prodTime = m
+	}
+	wave(inserts, false)
+	if len(deletes) > 0 {
+		wave(deletes, true)
+	}
+
+	end := prodTime
+	for _, c := range s.workers {
+		if consumers[c].free > end {
+			end = consumers[c].free
+		}
+	}
+	return end
+}
+
+// consumeTask models one task at its consuming core: FIFO admission,
+// controller cacheline scan (no CPU instructions), and the core-side
+// append when the target is absent. It returns the admission time so
+// the producer can model backpressure from a full FIFO.
+func (s *Simulator) consumeTask(cs *consumerState, c int, base uint64, deg int, dup, del bool, arrival float64, rep []CoreReport) float64 {
+	r := &rep[c]
+	admit := cs.accept(arrival)
+	start := admit
+	if cs.free > start {
+		start = cs.free
+	}
+	found := dup || (del && deg > 0)
+	t := s.scan(c, base, deg, found, 0, start, r)
+	if !found || del {
+		// Core takes over the write (append or removal): fetch_task,
+		// bounds check, possible allocation bookkeeping.
+		t = s.M.Instr(t, 12)
+		off := uint64(deg) * neighborSize
+		if off >= vertexStride {
+			off = vertexStride - 64
+		}
+		t = s.M.Access(c, base+off, sim.Write, t)
+	}
+	// The controller keeps several tasks' fetches in flight (task
+	// MSHRs), overlapping memory latency across tasks; plus the fixed
+	// MSHR→FIFO→controller pipeline step.
+	r.Tasks++
+	cs.complete(start + (t-start)/consumerMLP + 2)
+	return admit
+}

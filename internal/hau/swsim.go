@@ -1,0 +1,425 @@
+package hau
+
+import (
+	"math"
+	"math/bits"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/sim"
+)
+
+// Software cost-model constants. These calibrate the simulated
+// software update paths against the behaviour the paper measures on
+// real hardware; TestSoftwareModelCalibration pins the resulting
+// speedup shapes to the paper's bands.
+const (
+	// lockHandoffCycles is the cost of taking a contended lock whose
+	// holder keeps it for a long critical section: the waiter parks
+	// and is woken through the OS/scheduler — microsecond-scale on
+	// real machines (≈1.2µs at 2.5GHz here).
+	lockHandoffCycles = 3000
+	// spinHandoffCycles is the cost of a contended acquisition that
+	// resolves by spinning (adaptive mutexes spin first): the line
+	// transfer plus a few failed CAS rounds.
+	spinHandoffCycles = 150
+	// spinParkThreshold is the critical-section length beyond which
+	// waiters stop spinning and park. Long duplicate-check scans
+	// (top-degree vertices) push holders past it — the paper's
+	// "cost of acquiring a lock is high for v" effect.
+	spinParkThreshold = 1500
+	// forkJoinCycles is the fixed cost of one software parallel
+	// region (thread wake, work distribution, join barrier) — ~10µs
+	// on a many-core server. The baseline pays it once per batch;
+	// RO pays it four times (two sorts, two update passes), which is
+	// the scheduling overhead that sinks RO on small batches.
+	forkJoinCycles = 80000
+	// sortInstrPerElemLevel is the per-element instruction cost of
+	// one merge level of the parallel stable sort (compare closure,
+	// branch, 16-byte move).
+	sortInstrPerElemLevel = 20
+	// runQueueInstr is the per-run software cost of the dynamic
+	// scheduling queue (grab, bounds set-up, dispatch), in addition
+	// to the shared-counter atomic it performs.
+	runQueueInstr = 16
+	// edgeLoopInstr is the per-edge loop/bookkeeping cost of the
+	// baseline's edge-parallel loop.
+	edgeLoopInstr = 6
+)
+
+// workQueueAddr is the shared dynamic-scheduling counter the RO run
+// queue increments; its line ping-pongs between workers.
+const workQueueAddr = uint64(0x6000_0000_0000)
+
+// fork charges one parallel-region fork/join to all workers.
+func (s *Simulator) fork(coreTime []float64) {
+	for _, c := range s.workers {
+		coreTime[c] += forkJoinCycles
+	}
+}
+
+// simBaseline models the software baseline on the simulated machine:
+// edges are distributed across the worker cores in dynamic chunks;
+// each edge acquires the source vertex's lock (embedded in the first
+// edge-data cacheline, as a vector header word would be), searches
+// the adjacency, mutates, releases, then repeats on the destination
+// side. Contention appears as serialized critical sections, park/wake
+// handoffs, and the lock line ping-ponging between writers.
+func (s *Simulator) simBaseline(b *graph.Batch, g graph.Store, rep []CoreReport) float64 {
+	if len(b.Edges) == 0 {
+		return 0
+	}
+	coreTime := make([]float64, s.M.Config().Cores)
+	locks := make(map[graph.VertexID]lockState)
+	seen := make(map[[2]graph.VertexID]bool, len(b.Edges))
+
+	inserts, deletes := b.Split()
+	pos := 0
+	process := func(edges []graph.Edge, del bool) {
+		s.fork(coreTime)
+		const chunk = 64
+		for lo := 0; lo < len(edges); lo += chunk {
+			hi := lo + chunk
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			// Dynamic scheduling: the least-loaded worker takes the
+			// next chunk.
+			c := s.workers[0]
+			for _, w := range s.workers[1:] {
+				if coreTime[w] < coreTime[c] {
+					c = w
+				}
+			}
+			t := coreTime[c]
+			r := &rep[c]
+			for _, e := range edges[lo:hi] {
+				t = s.M.Instr(t, edgeLoopInstr)
+				// The batch itself streams sequentially: sample one
+				// line per 16, charge the prefetched stream rate
+				// otherwise.
+				if pos%64 == 0 {
+					t = s.M.Access(c, batchAddr(pos), sim.Read, t)
+				} else {
+					t += streamLineCycles / 4
+				}
+				pos++
+				pair := [2]graph.VertexID{e.Src, e.Dst}
+				dup := seen[pair] || g.HasEdge(e.Src, e.Dst)
+
+				// Source side: lock, search out-list, mutate, unlock.
+				t = s.lockedSide(c, e.Src, outBase(e.Src), s.effOutDegree(g, e.Src), dup, del, locks, t, r)
+				// Destination side: lock, search in-list, mutate.
+				t = s.lockedSide(c, e.Dst, inBase(e.Dst), s.effInDegree(g, e.Dst), dup, del, locks, t, r)
+
+				if !del {
+					if !dup {
+						s.outDelta[e.Src]++
+						s.inDelta[e.Dst]++
+					}
+					seen[pair] = true
+				}
+				r.Tasks++
+			}
+			coreTime[c] = t
+		}
+	}
+	process(inserts, false)
+	if len(deletes) > 0 {
+		process(deletes, true)
+	}
+
+	return maxTime(coreTime)
+}
+
+// lockState tracks a vertex lock for the contention model: when it
+// frees up and how long its last critical section was (adaptive
+// mutexes spin for short holders, park for long ones).
+type lockState struct {
+	free     float64
+	lastHold float64
+}
+
+// lockedSide models one locked critical section. The lock word lives
+// in the vertex's first edge-data line, so acquisition doubles as the
+// header fetch and release dirties the line (mutex ping-pong).
+func (s *Simulator) lockedSide(c int, v graph.VertexID, base uint64, deg int, dup, del bool, locks map[graph.VertexID]lockState, t float64, r *CoreReport) float64 {
+	// Contended acquisition: wait for the holder. Waiters spin
+	// through short critical sections and park behind long ones.
+	st := locks[v]
+	if st.free > t {
+		if st.lastHold > spinParkThreshold {
+			t = st.free + lockHandoffCycles
+		} else {
+			t = st.free + spinHandoffCycles
+		}
+	}
+	acquired := t
+	t = s.M.Access(c, base, sim.Atomic, t)
+	// Critical section: duplicate-check search with CPU overhead.
+	found := dup || del && deg > 0
+	t = s.scan(c, base, deg, found, 2, t, r)
+	// Mutation: weight update / append / removal — one line write.
+	off := uint64(deg) * neighborSize
+	if off >= vertexStride {
+		off = vertexStride - 64
+	}
+	t = s.M.Access(c, base+off, sim.Write, t)
+	// Release: dirty the lock line.
+	t = s.M.Access(c, base, sim.Write, t)
+	locks[v] = lockState{free: t, lastHold: t - acquired}
+	return t
+}
+
+// simReordered models the software reordered update (optionally with
+// search coalescing): two parallel stable sorts of the batch, then
+// two passes of lock-free vertex runs pulled from a dynamic work
+// queue. Four parallel regions in total.
+func (s *Simulator) simReordered(b *graph.Batch, g graph.Store, usc bool, rep []CoreReport) float64 {
+	coreTime := make([]float64, s.M.Config().Cores)
+	n := len(b.Edges)
+	if n == 0 {
+		return 0
+	}
+
+	// Sort cost, paid twice (by-source and by-destination views):
+	// log2(n) compare-move levels in total, each streaming the
+	// worker's chunk through the cache.
+	logn := bits.Len(uint(n))
+	per := n/len(s.workers) + 1
+	lines := per * edgeSize / 64
+	for view := 0; view < 2; view++ {
+		s.fork(coreTime)
+		for _, c := range s.workers {
+			t := coreTime[c]
+			for level := 0; level < logn; level++ {
+				t = s.M.Instr(t, per*sortInstrPerElemLevel)
+				// Sample one in sixteen streamed lines (read+write
+				// sequential traffic), extrapolating the rest.
+				sampled := 0
+				for j := 0; j < lines; j += 16 {
+					t = s.M.Access(c, batchAddr(j*4), sim.Read, t)
+					sampled++
+				}
+				t += float64(lines-sampled) * 0.75
+			}
+			coreTime[c] = t
+		}
+		barrier(coreTime, s.workers)
+	}
+
+	s.fork(coreTime)
+	s.simRunsPass(accumulateRuns(b, true), g, true, usc, coreTime, rep)
+	barrier(coreTime, s.workers)
+	s.fork(coreTime)
+	s.simRunsPass(accumulateRuns(b, false), g, false, usc, coreTime, rep)
+
+	return maxTime(coreTime)
+}
+
+// vertexRun is a vertex's clustered edge group in one view.
+type vertexRun struct {
+	v     graph.VertexID
+	edges []graph.Edge
+}
+
+// accumulateRuns groups the batch per source (out=true) or per
+// destination, preserving determinism by order of first appearance.
+func accumulateRuns(b *graph.Batch, out bool) []vertexRun {
+	idx := make(map[graph.VertexID]int)
+	var runs []vertexRun
+	for _, e := range b.Edges {
+		v := e.Src
+		if !out {
+			v = e.Dst
+		}
+		i, ok := idx[v]
+		if !ok {
+			i = len(runs)
+			idx[v] = i
+			runs = append(runs, vertexRun{v: v})
+		}
+		runs[i].edges = append(runs[i].edges, e)
+	}
+	return runs
+}
+
+// simRunsPass schedules vertex runs dynamically onto workers and
+// simulates each run: with USC, hash-table population plus one scan
+// of the vertex's edge data; without, a per-edge scan of the growing
+// array. Each run grab pays the shared work-queue atomic.
+func (s *Simulator) simRunsPass(runs []vertexRun, g graph.Store, out, usc bool, coreTime []float64, rep []CoreReport) {
+	// Duplicate tracking is per pass: pass 1 touches only out-lists,
+	// pass 2 only in-lists, so an edge first seen in pass 1 is still
+	// fresh for pass 2's adjacency.
+	passSeen := make(map[[2]graph.VertexID]bool)
+	for _, run := range runs {
+		c := s.workers[0]
+		for _, w := range s.workers[1:] {
+			if coreTime[w] < coreTime[c] {
+				c = w
+			}
+		}
+		t := coreTime[c]
+		r := &rep[c]
+		// Dynamic scheduling: shared-counter fetch-add + dispatch.
+		t = s.M.Access(c, workQueueAddr, sim.Atomic, t)
+		t = s.M.Instr(t, runQueueInstr)
+
+		var base uint64
+		var deg int
+		if out {
+			base = outBase(run.v)
+			deg = s.effOutDegree(g, run.v)
+		} else {
+			base = inBase(run.v)
+			deg = s.effInDegree(g, run.v)
+		}
+		count := len(run.edges)
+
+		// Read the run's chunk of the (sorted) batch.
+		batchLines := (count*edgeSize + 63) / 64
+		sampled := batchLines
+		if sampled > sampleLimit {
+			sampled = sampleLimit
+		}
+		for j := 0; j < sampled; j++ {
+			t = s.M.Access(c, batchAddr(j*4), sim.Read, t)
+		}
+		t += float64(batchLines-sampled) * 0.75
+
+		// Resolve duplicates (semantics) and count fresh insertions.
+		fresh := 0
+		dups := make([]bool, count)
+		for i, e := range run.edges {
+			pair := [2]graph.VertexID{e.Src, e.Dst}
+			dups[i] = passSeen[pair] || g.HasEdge(e.Src, e.Dst)
+			if !e.Delete {
+				if !dups[i] {
+					fresh++
+				}
+				passSeen[pair] = true
+			}
+		}
+
+		if usc && count >= 8 {
+			// USC: populate the hash table, scan once, append rest.
+			t = s.M.Instr(t, count*8)
+			hline := hashRegion + uint64(c)*vertexStride
+			hashLines := (count*neighborSize + 63) / 64
+			if hashLines > sampleLimit {
+				hashLines = sampleLimit
+			}
+			for j := 0; j < hashLines; j++ {
+				t = s.M.Access(c, hline+uint64(j)*64, sim.Write, t)
+			}
+			t = s.scan(c, base, deg, false, 3, t, r)
+			t = s.M.Instr(t, count*4)
+			t = s.appendLines(c, base, deg, fresh, t)
+		} else {
+			// Plain RO: per-edge duplicate scan of the growing
+			// array. The first edges are simulated exactly; the
+			// remainder is extrapolated, scaled by the array growth.
+			const exact = 16
+			d := deg
+			start := t
+			timed := 0
+			for i, e := range run.edges {
+				if timed < exact {
+					t = s.M.Instr(t, 4)
+					found := dups[i] || e.Delete && d > 0
+					t = s.scan(c, base, d, found, 2, t, r)
+					if !dups[i] && !e.Delete {
+						t = s.appendLines(c, base, d, 1, t)
+					}
+					timed++
+				}
+				if !dups[i] && !e.Delete {
+					d++
+				}
+			}
+			if count > timed {
+				avg := (t - start) / float64(timed)
+				rest := count - timed
+				// Per-edge scans lengthen as the array grows.
+				sampledMean := float64(deg) + float64(d-deg)/2 + 1
+				restMean := float64(d) + float64(fresh)*float64(rest)/float64(count)/2 + 1
+				t += avg * (restMean / sampledMean) * float64(rest)
+				r.ScanLines += int64(float64(rest) * restMean / 8)
+			}
+		}
+
+		if out {
+			s.outDelta[run.v] += fresh
+		} else {
+			s.inDelta[run.v] += fresh
+		}
+		r.Tasks += int64(count)
+		coreTime[c] = t
+	}
+}
+
+// appendLines writes count new neighbors at the end of the array.
+func (s *Simulator) appendLines(c int, base uint64, deg, count int, t float64) float64 {
+	lines := (count*neighborSize + 63) / 64
+	if lines > sampleLimit {
+		lines = sampleLimit
+	}
+	for j := 0; j < lines; j++ {
+		off := uint64(deg)*neighborSize + uint64(j)*64
+		if off >= vertexStride {
+			off = vertexStride - 64
+		}
+		t = s.M.Access(c, base+off, sim.Write, t)
+	}
+	return t
+}
+
+// SimulateInstrumentation returns the software cost, in cycles, of
+// ABR's CAD collection on an ABR-active batch: nearly free on the
+// reordered path (run lengths fall out of the sort), a parallel
+// concurrent-hash-map pass on the non-reordered path (the paper's
+// 0.54x-slowdown case).
+func (s *Simulator) SimulateInstrumentation(b *graph.Batch, reordered bool) float64 {
+	n := len(b.Edges)
+	if n == 0 {
+		return 0
+	}
+	per := n/len(s.workers) + 1
+	if reordered {
+		// One walk over the run boundaries: a few instructions per
+		// distinct vertex.
+		return float64(per*4) / float64(s.M.Config().IssueWidth)
+	}
+	// Concurrent map: per edge, hash + shard lock + insert, with the
+	// shard lines contended across workers, plus the scan over the
+	// map entries — a separate parallel region.
+	perEdge := 30.0/float64(s.M.Config().IssueWidth) + 40
+	return forkJoinCycles + float64(per)*perEdge
+}
+
+// barrier synchronizes the workers (the RO passes are separated by
+// barriers in the software implementation).
+func barrier(coreTime []float64, workers []int) {
+	m := 0.0
+	for _, c := range workers {
+		if coreTime[c] > m {
+			m = coreTime[c]
+		}
+	}
+	for _, c := range workers {
+		coreTime[c] = m
+	}
+}
+
+func maxTime(ts []float64) float64 {
+	m := math.Inf(-1)
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}

@@ -1,0 +1,116 @@
+// Package oca implements Overlap-based Compute Aggregation (Section
+// 5): when consecutive input batches modify largely the same vertices,
+// scheduling two separate computation rounds re-touches the same graph
+// regions, so OCA merges them into one aggregated round.
+//
+// Inter-batch locality is measured online during the update phase of
+// ABR-active batches, from the per-vertex latest_bid field the stores
+// maintain: the ratio of overlap_counter (vertices whose previous
+// latest_bid was the preceding batch) to node_counter (unique vertices
+// in the batch). The update engines produce exactly these counters
+// (update.Stats.OverlapVerts / UniqueVerts).
+//
+// When the measured locality is at or above the threshold, the
+// aggregator defers the current batch's compute and runs a single
+// round over that batch and the next — coarsening the granularity by
+// exactly one batch, the paper's bound.
+package oca
+
+import "streamgraph/internal/graph"
+
+// DefaultThreshold is the paper's empirically chosen inter-batch
+// locality threshold (Section 5).
+const DefaultThreshold = 0.25
+
+// Config tunes the aggregator.
+type Config struct {
+	// Threshold is the locality level at or above which aggregation
+	// activates; 0 means DefaultThreshold.
+	Threshold float64
+	// Disabled turns aggregation off entirely (for latency-critical
+	// applications that cannot trade granularity, and for baselines).
+	Disabled bool
+}
+
+func (c Config) threshold() float64 {
+	if c.Threshold > 0 {
+		return c.Threshold
+	}
+	return DefaultThreshold
+}
+
+// Stats summarizes the aggregator's activity.
+type Stats struct {
+	// Rounds is the number of computation rounds scheduled.
+	Rounds int
+	// Aggregated is how many of those rounds covered two batches.
+	Aggregated int
+	// LastLocality is the most recent locality measurement.
+	LastLocality float64
+}
+
+// Aggregator decides per batch whether to compute now or defer. Not
+// safe for concurrent use; one aggregator serves one batch stream.
+type Aggregator struct {
+	cfg      Config
+	locality float64
+	pending  []*graph.Batch
+	stats    Stats
+}
+
+// NewAggregator returns an aggregator with no locality evidence yet
+// (it computes every batch until told otherwise).
+func NewAggregator(cfg Config) *Aggregator {
+	return &Aggregator{cfg: cfg}
+}
+
+// Observe feeds the overlap counters measured during an ABR-active
+// batch's update phase. unique is node_counter, overlap is
+// overlap_counter.
+func (a *Aggregator) Observe(unique, overlap int64) {
+	if unique <= 0 {
+		a.locality = 0
+		return
+	}
+	a.locality = float64(overlap) / float64(unique)
+	a.stats.LastLocality = a.locality
+}
+
+// Locality returns the current locality estimate.
+func (a *Aggregator) Locality() float64 { return a.locality }
+
+// Next is called after batch b's update phase completes. It returns
+// the batches to analyze in one computation round now, or nil if the
+// round is deferred to aggregate with the next batch.
+func (a *Aggregator) Next(b *graph.Batch) []*graph.Batch {
+	a.pending = append(a.pending, b)
+	if len(a.pending) >= 2 {
+		// A deferred batch is waiting: this round aggregates both.
+		out := a.pending
+		a.pending = nil
+		a.stats.Rounds++
+		a.stats.Aggregated++
+		return out
+	}
+	if !a.cfg.Disabled && a.locality >= a.cfg.threshold() {
+		return nil // defer: high inter-batch locality predicted
+	}
+	out := a.pending
+	a.pending = nil
+	a.stats.Rounds++
+	return out
+}
+
+// Flush returns any still-deferred batch at end of stream, so no
+// batch's modifications go unanalyzed.
+func (a *Aggregator) Flush() []*graph.Batch {
+	out := a.pending
+	a.pending = nil
+	if len(out) > 0 {
+		a.stats.Rounds++
+	}
+	return out
+}
+
+// Stats returns the aggregator's activity counters.
+func (a *Aggregator) Stats() Stats { return a.stats }

@@ -1,0 +1,146 @@
+package oca
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamgraph/internal/graph"
+)
+
+func b(id int) *graph.Batch { return &graph.Batch{ID: id} }
+
+func TestNoEvidenceComputesEveryBatch(t *testing.T) {
+	a := NewAggregator(Config{})
+	for i := 0; i < 5; i++ {
+		got := a.Next(b(i))
+		if len(got) != 1 || got[0].ID != i {
+			t.Fatalf("batch %d: got %v", i, got)
+		}
+	}
+	st := a.Stats()
+	if st.Rounds != 5 || st.Aggregated != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHighLocalityAggregatesPairs(t *testing.T) {
+	a := NewAggregator(Config{})
+	a.Observe(100, 50) // locality 0.5 ≥ 0.25
+	if a.Locality() != 0.5 {
+		t.Fatalf("Locality = %v", a.Locality())
+	}
+	if got := a.Next(b(0)); got != nil {
+		t.Fatalf("batch 0 should defer, got %v", got)
+	}
+	got := a.Next(b(1))
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("aggregated round = %v", got)
+	}
+	// Next pair starts fresh: defer again.
+	if got := a.Next(b(2)); got != nil {
+		t.Fatalf("batch 2 should defer, got %v", got)
+	}
+	st := a.Stats()
+	if st.Aggregated != 1 {
+		t.Fatalf("Aggregated = %d", st.Aggregated)
+	}
+}
+
+func TestLowLocalityDoesNotAggregate(t *testing.T) {
+	a := NewAggregator(Config{})
+	a.Observe(100, 10) // 0.1 < 0.25
+	if got := a.Next(b(0)); len(got) != 1 {
+		t.Fatalf("should compute immediately, got %v", got)
+	}
+}
+
+func TestThresholdBoundary(t *testing.T) {
+	a := NewAggregator(Config{Threshold: 0.25})
+	a.Observe(4, 1) // exactly 0.25 → aggregate (>= comparison)
+	if got := a.Next(b(0)); got != nil {
+		t.Fatal("locality == threshold must aggregate")
+	}
+	a.Flush()
+}
+
+func TestDisabled(t *testing.T) {
+	a := NewAggregator(Config{Disabled: true})
+	a.Observe(10, 10) // locality 1.0
+	if got := a.Next(b(0)); len(got) != 1 {
+		t.Fatal("disabled aggregator must compute every batch")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	a := NewAggregator(Config{})
+	a.Observe(10, 9)
+	if a.Next(b(0)) != nil {
+		t.Fatal("expected defer")
+	}
+	got := a.Flush()
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("Flush = %v", got)
+	}
+	if a.Flush() != nil {
+		t.Fatal("second Flush should be empty")
+	}
+}
+
+func TestObserveZeroUnique(t *testing.T) {
+	a := NewAggregator(Config{})
+	a.Observe(10, 9)
+	a.Observe(0, 0)
+	if a.Locality() != 0 {
+		t.Fatalf("Locality after zero-unique = %v", a.Locality())
+	}
+}
+
+// TestNoBatchLost: every batch handed to Next comes back exactly once
+// through Next results or Flush, regardless of the locality sequence.
+func TestNoBatchLost(t *testing.T) {
+	f := func(localities []float64, nBatches uint8) bool {
+		a := NewAggregator(Config{})
+		n := int(nBatches)%20 + 1
+		seen := make(map[int]int)
+		for i := 0; i < n; i++ {
+			if len(localities) > 0 {
+				l := localities[i%len(localities)]
+				if l < 0 {
+					l = -l
+				}
+				a.Observe(100, int64(l*100)%101)
+			}
+			for _, batch := range a.Next(b(i)) {
+				seen[batch.ID]++
+			}
+		}
+		for _, batch := range a.Flush() {
+			seen[batch.ID]++
+		}
+		if len(seen) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if seen[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxTwoBatchesPerRound: granularity is coarsened by at most one
+// extra batch (the paper's bound).
+func TestMaxTwoBatchesPerRound(t *testing.T) {
+	a := NewAggregator(Config{})
+	a.Observe(10, 10) // always high locality
+	for i := 0; i < 10; i++ {
+		got := a.Next(b(i))
+		if len(got) > 2 {
+			t.Fatalf("round covered %d batches", len(got))
+		}
+	}
+}

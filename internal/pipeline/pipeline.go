@@ -1,0 +1,511 @@
+// Package pipeline assembles the full streaming graph system: per
+// input batch it runs the ABR decision, dispatches the update to the
+// selected execution mode (software baseline, RO, RO+USC, or the
+// simulated HAU), feeds OCA's locality measurement, and schedules
+// (possibly aggregated) computation rounds.
+//
+// A Runner executes one policy over one batch stream. Software
+// policies measure real wall-clock time on the host (like the paper's
+// Xeon measurements of ABR/USC/OCA); Sim* policies measure update
+// cycles on the internal/sim machine (like the paper's Sniper
+// measurements of HAU), while the functional state change is applied
+// with a software engine so compute still runs on real data.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"streamgraph/internal/abr"
+	"streamgraph/internal/compute"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/hau"
+	"streamgraph/internal/oca"
+	"streamgraph/internal/sim"
+	"streamgraph/internal/update"
+)
+
+// Policy selects the update execution strategy.
+type Policy int
+
+const (
+	// Baseline: edge-parallel locked updates, never reorder.
+	Baseline Policy = iota
+	// AlwaysRO: input-oblivious batch reordering on every batch.
+	AlwaysRO
+	// AlwaysROUSC: input-oblivious reordering plus USC on every batch.
+	AlwaysROUSC
+	// ABR: adaptive reordering (no USC).
+	ABR
+	// ABRUSC: adaptive reordering with USC on reordered batches.
+	ABRUSC
+	// PerfectABR: oracle reordering decisions at zero overhead.
+	PerfectABR
+	// SimBaseline: software baseline timed on the simulated machine.
+	SimBaseline
+	// SimRO: input-oblivious reordering timed on the simulated
+	// machine.
+	SimRO
+	// SimROUSC: input-oblivious reordering plus USC timed on the
+	// simulated machine.
+	SimROUSC
+	// SimABR: adaptive software reordering without USC (RO /
+	// baseline) timed on the simulated machine.
+	SimABR
+	// SimABRUSC: adaptive software (RO+USC / baseline) timed on the
+	// simulated machine — Table 3's normalization reference.
+	SimABRUSC
+	// SimABRUSCHAU: the paper's full input-aware SW/HW system —
+	// reordering-friendly batches run RO+USC, reordering-adverse
+	// batches run HAU, timed on the simulated machine.
+	SimABRUSCHAU
+	// SimHAU: HAU enforced on every batch (the HW-only strawman of
+	// Fig. 15 right).
+	SimHAU
+)
+
+// String returns the policy's report name.
+func (p Policy) String() string {
+	switch p {
+	case Baseline:
+		return "baseline"
+	case AlwaysRO:
+		return "ro"
+	case AlwaysROUSC:
+		return "ro+usc"
+	case ABR:
+		return "abr"
+	case ABRUSC:
+		return "abr+usc"
+	case PerfectABR:
+		return "perfect-abr"
+	case SimBaseline:
+		return "sim-baseline"
+	case SimRO:
+		return "sim-ro"
+	case SimROUSC:
+		return "sim-ro+usc"
+	case SimABR:
+		return "sim-abr"
+	case SimABRUSC:
+		return "sim-abr+usc"
+	case SimABRUSCHAU:
+		return "sim-abr+usc+hau"
+	case SimHAU:
+		return "sim-hau"
+	default:
+		return "unknown"
+	}
+}
+
+// simulated reports whether the policy is timed on the sim machine.
+func (p Policy) simulated() bool { return p >= SimBaseline }
+
+// adaptive reports whether the policy runs the ABR controller.
+func (p Policy) adaptive() bool {
+	switch p {
+	case ABR, ABRUSC, SimABR, SimABRUSC, SimABRUSCHAU:
+		return true
+	}
+	return false
+}
+
+// Config configures a Runner.
+type Config struct {
+	// Policy is the update execution strategy.
+	Policy Policy
+	// ABRParams tunes the controller; zero value means
+	// abr.DefaultParams.
+	ABRParams abr.Params
+	// Oracle supplies ground-truth reorder decisions for PerfectABR
+	// (and, if set, replaces instrumented decisions in Sim policies,
+	// where ABR overhead is not part of the simulated time anyway).
+	Oracle func(b *graph.Batch) bool
+	// OCA configures compute aggregation. The zero value enables OCA
+	// with the paper's threshold; set OCA.Disabled for baselines.
+	OCA oca.Config
+	// AutoTune enables online feedback tuning of the ABR threshold
+	// (the paper's suggested extension): after each ABR-active batch
+	// the controller's TH is adjusted from the observed per-edge
+	// update cost. Software policies only.
+	AutoTune bool
+	// Workers is the software engine worker count (0 = GOMAXPROCS).
+	Workers int
+	// Compute is the analytics engine run after updates; nil skips
+	// the compute phase (update-only studies).
+	Compute compute.Engine
+	// ConcurrentCompute overlaps each computation round with the next
+	// batch's update (the GraphOne/Aspen-style latency hiding the
+	// paper discusses in Section 6.2.3): the round runs on an
+	// immutable flat CSR snapshot while the live store ingests the
+	// next batch. Round results land in the batch's metrics when the
+	// round finishes; call Finish before reading final metrics.
+	ConcurrentCompute bool
+	// SimConfig is the simulated machine for Sim policies; zero
+	// value means sim.DefaultConfig.
+	SimConfig sim.Config
+}
+
+// BatchMetrics records one processed batch.
+type BatchMetrics struct {
+	BatchID int
+	// ABRActive marks instrumented batches; Reordered the decision
+	// in effect; UsedHAU that the batch ran in the HW mode.
+	ABRActive bool
+	Reordered bool
+	UsedHAU   bool
+	// CAD is the measured CAD_λ (ABR-active batches only).
+	CAD float64
+	// Locality is OCA's inter-batch locality for this batch.
+	Locality float64
+	// Update is the software update wall time (includes reordering
+	// and any instrumentation overhead). Zero for Sim policies.
+	Update time.Duration
+	// SimCycles is the simulated update time (Sim policies only).
+	SimCycles float64
+	// Compute is the computation-round wall time triggered after
+	// this batch (zero when the round was deferred by OCA).
+	Compute time.Duration
+	// AggregatedBatches is how many batches the compute round
+	// covered (0 when no round ran).
+	AggregatedBatches int
+	// Stats are the update engine counters (software policies).
+	Stats update.Stats
+	// HAUResult holds the simulator's per-core report (Sim policies).
+	HAUResult *hau.Result
+}
+
+// RunMetrics aggregates a whole run.
+type RunMetrics struct {
+	Policy  Policy
+	Batches []BatchMetrics
+}
+
+// UpdateSeconds returns total software update time in seconds.
+func (r *RunMetrics) UpdateSeconds() float64 {
+	var d time.Duration
+	for i := range r.Batches {
+		d += r.Batches[i].Update
+	}
+	return d.Seconds()
+}
+
+// ComputeSeconds returns total compute time in seconds.
+func (r *RunMetrics) ComputeSeconds() float64 {
+	var d time.Duration
+	for i := range r.Batches {
+		d += r.Batches[i].Compute
+	}
+	return d.Seconds()
+}
+
+// SimCycles returns total simulated update cycles.
+func (r *RunMetrics) SimCycles() float64 {
+	var c float64
+	for i := range r.Batches {
+		c += r.Batches[i].SimCycles
+	}
+	return c
+}
+
+// UpdateSecondsEquivalent returns the update time in seconds for any
+// policy: wall time for software policies, simulated cycles divided
+// by the core frequency for Sim policies.
+func (r *RunMetrics) UpdateSecondsEquivalent(freqGHz float64) float64 {
+	if r.Policy.simulated() {
+		return r.SimCycles() / (freqGHz * 1e9)
+	}
+	return r.UpdateSeconds()
+}
+
+// Runner executes one policy over a batch stream. Not safe for
+// concurrent use.
+type Runner struct {
+	cfg        Config
+	store      *graph.AdjacencyStore
+	controller *abr.Controller
+	agg        *oca.Aggregator
+
+	baseEng *update.Baseline
+	roEng   *update.Reordered
+	uscEng  *update.Reordered
+
+	tuner *abr.AutoTuner
+
+	simulator *hau.Simulator // Sim policies only
+
+	// computeCh signals completion of the in-flight async round
+	// (ConcurrentCompute); at most one round is outstanding.
+	computeCh chan struct{}
+
+	metrics RunMetrics
+}
+
+// NewRunner builds a runner over a store pre-sized for numVertices.
+func NewRunner(cfg Config, numVertices int) *Runner {
+	return NewRunnerWithStore(cfg, graph.NewAdjacencyStore(numVertices))
+}
+
+// NewRunnerWithStore builds a runner over an existing store — e.g. a
+// snapshot restored by internal/trace. The analytics engine (if any)
+// starts empty; run Compute.Update(store) once to initialize results
+// for the pre-existing graph.
+func NewRunnerWithStore(cfg Config, store *graph.AdjacencyStore) *Runner {
+	params := cfg.ABRParams
+	if params == (abr.Params{}) {
+		params = abr.DefaultParams
+	}
+	cfg.ABRParams = params
+	engCfg := update.Config{Workers: cfg.Workers}
+	runCfg := engCfg
+	runCfg.CollectDstRuns = true
+	r := &Runner{
+		cfg:        cfg,
+		store:      store,
+		controller: abr.NewController(params),
+		agg:        oca.NewAggregator(cfg.OCA),
+		baseEng:    &update.Baseline{Cfg: engCfg},
+		roEng:      &update.Reordered{Cfg: runCfg},
+		uscEng:     &update.Reordered{Cfg: runCfg, USC: true},
+	}
+	if cfg.Policy.simulated() {
+		simCfg := cfg.SimConfig
+		if simCfg.Cores == 0 {
+			simCfg = sim.DefaultConfig()
+		}
+		r.simulator = hau.NewSimulator(simCfg, hau.ModeBaseline)
+	}
+	if cfg.AutoTune && cfg.Policy.adaptive() && !cfg.Policy.simulated() {
+		r.tuner = abr.NewAutoTuner(params)
+	}
+	r.metrics.Policy = cfg.Policy
+	return r
+}
+
+// TunedParams returns the current ABR parameters, reflecting any
+// AutoTune adjustments.
+func (r *Runner) TunedParams() abr.Params {
+	if r.tuner != nil {
+		return r.tuner.Params()
+	}
+	return r.cfg.ABRParams
+}
+
+// Store exposes the graph state (for verification and examples).
+func (r *Runner) Store() *graph.AdjacencyStore { return r.store }
+
+// Metrics returns the metrics accumulated so far.
+func (r *Runner) Metrics() *RunMetrics { return &r.metrics }
+
+// ProcessBatch runs the full per-batch pipeline and returns its
+// metrics (also appended to the run metrics).
+func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
+	// One async round may be in flight; it must drain before this
+	// batch's update mutates the store's metrics slot invariants.
+	r.waitCompute()
+
+	var bm BatchMetrics
+	bm.BatchID = b.ID
+
+	if r.cfg.Policy.simulated() {
+		r.processSim(b, &bm)
+	} else {
+		r.processSoftware(b, &bm)
+	}
+
+	// OCA: feed locality from this batch's counters when instrumented
+	// (active batches under adaptive policies; every batch otherwise).
+	if bm.ABRActive || !r.cfg.Policy.adaptive() {
+		r.agg.Observe(bm.Stats.UniqueVerts, bm.Stats.OverlapVerts)
+	}
+	bm.Locality = r.agg.Locality()
+
+	// Compute phase, possibly aggregated, possibly overlapped with
+	// the next batch's update.
+	if r.cfg.Compute != nil {
+		toCompute := r.agg.Next(b)
+		if len(toCompute) > 0 && r.cfg.ConcurrentCompute {
+			snap := r.store.SnapshotCSR()
+			r.metrics.Batches = append(r.metrics.Batches, bm)
+			slot := &r.metrics.Batches[len(r.metrics.Batches)-1]
+			r.computeCh = make(chan struct{})
+			go func(done chan struct{}) {
+				defer close(done)
+				cs := time.Now()
+				r.cfg.Compute.Update(snap, toCompute...)
+				slot.Compute = time.Since(cs)
+				slot.AggregatedBatches = len(toCompute)
+			}(r.computeCh)
+			return bm
+		}
+		if len(toCompute) > 0 {
+			cs := time.Now()
+			r.cfg.Compute.Update(r.store, toCompute...)
+			bm.Compute = time.Since(cs)
+			bm.AggregatedBatches = len(toCompute)
+		}
+	}
+
+	r.metrics.Batches = append(r.metrics.Batches, bm)
+	return bm
+}
+
+// waitCompute blocks until the in-flight async round (if any) ends.
+func (r *Runner) waitCompute() {
+	if r.computeCh != nil {
+		<-r.computeCh
+		r.computeCh = nil
+	}
+}
+
+// Finish waits for any in-flight concurrent round and flushes any
+// compute round OCA deferred at end of stream.
+func (r *Runner) Finish() {
+	r.waitCompute()
+	if r.cfg.Compute == nil {
+		return
+	}
+	if rest := r.agg.Flush(); len(rest) > 0 {
+		last := &r.metrics.Batches[len(r.metrics.Batches)-1]
+		cs := time.Now()
+		r.cfg.Compute.Update(r.store, rest...)
+		last.Compute += time.Since(cs)
+		last.AggregatedBatches += len(rest)
+	}
+}
+
+// decide produces this batch's (active, reorder) pair per policy.
+func (r *Runner) decide(b *graph.Batch) (active, reorderNow bool) {
+	switch r.cfg.Policy {
+	case Baseline, SimBaseline:
+		return false, false
+	case AlwaysRO, AlwaysROUSC, SimRO, SimROUSC:
+		return false, true
+	case SimHAU:
+		return false, false
+	case PerfectABR:
+		return false, r.cfg.Oracle(b)
+	default: // adaptive policies
+		if r.cfg.Oracle != nil && r.cfg.Policy.simulated() {
+			// Sim policies may use the oracle: ABR's software
+			// overhead is outside the simulated time anyway.
+			return false, r.cfg.Oracle(b)
+		}
+		return r.controller.NextBatch()
+	}
+}
+
+// processSoftware runs one batch in the real software engines.
+func (r *Runner) processSoftware(b *graph.Batch, bm *BatchMetrics) {
+	active, reorderNow := r.decide(b)
+	bm.ABRActive = active
+	bm.Reordered = reorderNow
+
+	eng := r.pickEngine(reorderNow)
+	start := time.Now()
+	st := eng.Apply(r.store, b)
+	if active {
+		// Instrumentation overlapped with the update: the reordered
+		// path reads run lengths; the non-reordered path pays the
+		// concurrent-hash-map pass.
+		var cad float64
+		if reorderNow {
+			cad = abr.CADFromRuns(st.DstRunLens, r.cfg.ABRParams.Lambda)
+		} else {
+			cad = abr.CollectConcurrent(b, r.cfg.ABRParams.Lambda, r.cfg.Workers)
+		}
+		r.controller.Report(cad)
+		bm.CAD = cad
+	}
+	bm.Update = time.Since(start)
+	bm.Stats = st
+
+	// Online feedback tuning: feed the active batch's outcome and
+	// rebuild the controller when TH moved.
+	if active && r.tuner != nil && st.EdgesApplied > 0 {
+		before := r.tuner.Params().TH
+		perEdge := float64(bm.Update.Nanoseconds()) / float64(st.EdgesApplied)
+		r.tuner.Observe(bm.CAD, reorderNow, perEdge)
+		if after := r.tuner.Params(); after.TH != before {
+			fresh := abr.NewController(after)
+			fresh.Report(bm.CAD) // carry over the latest measurement
+			// Preserve the instrumentation cadence by replaying the
+			// batch count? The period restarts; with n batches per
+			// period this shifts the phase by at most one period.
+			r.controller = fresh
+			r.cfg.ABRParams = after
+		}
+	}
+}
+
+// pickEngine selects the software engine for the current decision.
+func (r *Runner) pickEngine(reorderNow bool) update.Engine {
+	if !reorderNow {
+		return r.baseEng
+	}
+	switch r.cfg.Policy {
+	case AlwaysROUSC, ABRUSC:
+		return r.uscEng
+	default:
+		return r.roEng
+	}
+}
+
+// processSim runs one batch on the simulated machine, then applies it
+// functionally so compute and subsequent batches see real state.
+func (r *Runner) processSim(b *graph.Batch, bm *BatchMetrics) {
+	active, reorderNow := r.decide(b)
+	bm.ABRActive = active
+	bm.Reordered = reorderNow
+
+	switch r.cfg.Policy {
+	case SimBaseline:
+		r.simulator.Mode = hau.ModeBaseline
+	case SimRO:
+		r.simulator.Mode = hau.ModeRO
+	case SimROUSC:
+		r.simulator.Mode = hau.ModeROUSC
+	case SimABR:
+		if reorderNow {
+			r.simulator.Mode = hau.ModeRO
+		} else {
+			r.simulator.Mode = hau.ModeBaseline
+		}
+	case SimHAU:
+		r.simulator.Mode = hau.ModeHAU
+		bm.UsedHAU = true
+	case SimABRUSC:
+		if reorderNow {
+			r.simulator.Mode = hau.ModeROUSC
+		} else {
+			r.simulator.Mode = hau.ModeBaseline
+		}
+	case SimABRUSCHAU:
+		if reorderNow {
+			r.simulator.Mode = hau.ModeROUSC
+		} else {
+			r.simulator.Mode = hau.ModeHAU
+			bm.UsedHAU = true
+		}
+	default:
+		panic(fmt.Sprintf("pipeline: policy %v is not simulated", r.cfg.Policy))
+	}
+
+	res := r.simulator.SimulateBatch(b, r.store)
+	bm.SimCycles = res.Cycles
+	bm.HAUResult = &res
+
+	// Functional application (not timed): USC engine for speed.
+	st := r.uscEng.Apply(r.store, b)
+	bm.Stats = st
+
+	// Adaptive Sim policies without an oracle measure CAD on
+	// ABR-active batches and pay the simulated instrumentation cost
+	// (cheap on the reordered path, a concurrent-map pass otherwise).
+	if active && r.cfg.Policy.adaptive() && r.cfg.Oracle == nil {
+		cad := abr.CADFromRuns(st.DstRunLens, r.cfg.ABRParams.Lambda)
+		r.controller.Report(cad)
+		bm.CAD = cad
+		bm.SimCycles += r.simulator.SimulateInstrumentation(b, reorderNow)
+	}
+}

@@ -1,0 +1,151 @@
+// Package reorder implements batch reordering (RO): the pre-update
+// transformation that clusters an input batch's edges per vertex so
+// that a single thread can apply all of one vertex's updates without
+// locks (Section 3.2 of the paper).
+//
+// The paper sorts with Boost's parallel stable sort and schedules with
+// OpenMP dynamic scheduling; here the sort is a parallel merge of
+// per-worker stable-sorted chunks, and the update engines consume the
+// resulting vertex runs through a dynamic work queue.
+//
+// Reordering produces two sorted views — by source and by destination —
+// because out-edge updates cluster by source while in-edge updates
+// cluster by destination, and the two views must be applied as two
+// separate passes (one of RO's costs).
+package reorder
+
+import (
+	"sort"
+	"sync"
+
+	"streamgraph/internal/graph"
+)
+
+// Reordered is a reordered input batch: the same edges stable-sorted
+// by source and by destination.
+type Reordered struct {
+	BySrc []graph.Edge
+	ByDst []graph.Edge
+}
+
+// Run is a maximal contiguous span of edges sharing one vertex key:
+// edges[Lo:Hi] all have V as their source (in the BySrc view) or
+// destination (ByDst view). A run is the unit of vertex-centric work.
+type Run struct {
+	V      graph.VertexID
+	Lo, Hi int
+}
+
+// Len returns the number of edges in the run.
+func (r Run) Len() int { return r.Hi - r.Lo }
+
+// Reorder produces the two sorted views of b using up to workers
+// goroutines per sort. The input batch is not modified.
+func Reorder(b *graph.Batch, workers int) *Reordered {
+	return &Reordered{
+		BySrc: parallelStableSort(b.Edges, workers, func(e graph.Edge) graph.VertexID { return e.Src }),
+		ByDst: parallelStableSort(b.Edges, workers, func(e graph.Edge) graph.VertexID { return e.Dst }),
+	}
+}
+
+// parallelStableSort returns a copy of edges stable-sorted by key. It
+// sorts per-worker chunks concurrently and then merges pairwise,
+// always preferring the left chunk on equal keys to preserve input
+// order.
+func parallelStableSort(edges []graph.Edge, workers int, key func(graph.Edge) graph.VertexID) []graph.Edge {
+	out := make([]graph.Edge, len(edges))
+	copy(out, edges)
+	if workers < 1 {
+		workers = 1
+	}
+	if len(out) < 2048 || workers == 1 {
+		sort.SliceStable(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+		return out
+	}
+
+	// Chunk boundaries.
+	n := len(out)
+	chunk := (n + workers - 1) / workers
+	var bounds []int
+	for lo := 0; lo < n; lo += chunk {
+		bounds = append(bounds, lo)
+	}
+	bounds = append(bounds, n)
+
+	var wg sync.WaitGroup
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		wg.Add(1)
+		go func(s []graph.Edge) {
+			defer wg.Done()
+			sort.SliceStable(s, func(i, j int) bool { return key(s[i]) < key(s[j]) })
+		}(out[lo:hi])
+	}
+	wg.Wait()
+
+	// Pairwise merge rounds until a single sorted run remains.
+	buf := make([]graph.Edge, n)
+	for len(bounds) > 2 {
+		var next []int
+		var mg sync.WaitGroup
+		for i := 0; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeStable(buf[lo:hi], out[lo:mid], out[mid:hi], key)
+				copy(out[lo:hi], buf[lo:hi])
+			}(lo, mid, hi)
+			next = append(next, lo)
+		}
+		if len(bounds)%2 == 0 { // odd chunk count: last chunk carries over
+			next = append(next, bounds[len(bounds)-2])
+		}
+		next = append(next, n)
+		mg.Wait()
+		bounds = next
+	}
+	return out
+}
+
+// mergeStable merges sorted a then b into dst, taking from a on ties.
+func mergeStable(dst, a, b []graph.Edge, key func(graph.Edge) graph.VertexID) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if key(b[j]) < key(a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// RunsBySrc returns the vertex runs of the BySrc view.
+func (r *Reordered) RunsBySrc() []Run {
+	return runs(r.BySrc, func(e graph.Edge) graph.VertexID { return e.Src })
+}
+
+// RunsByDst returns the vertex runs of the ByDst view.
+func (r *Reordered) RunsByDst() []Run {
+	return runs(r.ByDst, func(e graph.Edge) graph.VertexID { return e.Dst })
+}
+
+func runs(edges []graph.Edge, key func(graph.Edge) graph.VertexID) []Run {
+	var out []Run
+	lo := 0
+	for lo < len(edges) {
+		v := key(edges[lo])
+		hi := lo + 1
+		for hi < len(edges) && key(edges[hi]) == v {
+			hi++
+		}
+		out = append(out, Run{V: v, Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamgraph/internal/graph"
+)
+
+func randomBatch(rng *rand.Rand, n, vspace int) *graph.Batch {
+	b := &graph.Batch{Edges: make([]graph.Edge, n)}
+	for i := range b.Edges {
+		b.Edges[i] = graph.Edge{
+			Src: graph.VertexID(rng.Intn(vspace)),
+			Dst: graph.VertexID(rng.Intn(vspace)),
+			// Weight tags input position so stability is observable.
+			Weight: graph.Weight(i),
+		}
+	}
+	return b
+}
+
+func checkSortedStable(t *testing.T, edges []graph.Edge, key func(graph.Edge) graph.VertexID) {
+	t.Helper()
+	for i := 1; i < len(edges); i++ {
+		if key(edges[i-1]) > key(edges[i]) {
+			t.Fatalf("not sorted at %d: %v > %v", i, key(edges[i-1]), key(edges[i]))
+		}
+		if key(edges[i-1]) == key(edges[i]) && edges[i-1].Weight > edges[i].Weight {
+			t.Fatalf("not stable at %d", i)
+		}
+	}
+}
+
+func checkPermutation(t *testing.T, orig, sorted []graph.Edge) {
+	t.Helper()
+	if len(orig) != len(sorted) {
+		t.Fatalf("length changed: %d -> %d", len(orig), len(sorted))
+	}
+	count := make(map[graph.Edge]int, len(orig))
+	for _, e := range orig {
+		count[e]++
+	}
+	for _, e := range sorted {
+		count[e]--
+		if count[e] < 0 {
+			t.Fatalf("edge %v appears too often in sorted view", e)
+		}
+	}
+}
+
+func TestReorderSortedStablePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 100, 5000, 40000} {
+		b := randomBatch(rng, n, 64)
+		r := Reorder(b, 8)
+		checkSortedStable(t, r.BySrc, func(e graph.Edge) graph.VertexID { return e.Src })
+		checkSortedStable(t, r.ByDst, func(e graph.Edge) graph.VertexID { return e.Dst })
+		checkPermutation(t, b.Edges, r.BySrc)
+		checkPermutation(t, b.Edges, r.ByDst)
+	}
+}
+
+func TestReorderDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := randomBatch(rng, 10000, 16)
+	before := make([]graph.Edge, len(b.Edges))
+	copy(before, b.Edges)
+	Reorder(b, 4)
+	for i := range before {
+		if b.Edges[i] != before[i] {
+			t.Fatalf("input mutated at %d", i)
+		}
+	}
+}
+
+func TestRunsCoverBatch(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz)%3000 + 1
+		b := randomBatch(rng, n, 40)
+		r := Reorder(b, 4)
+		for _, view := range []struct {
+			edges []graph.Edge
+			runs  []Run
+			key   func(graph.Edge) graph.VertexID
+		}{
+			{r.BySrc, r.RunsBySrc(), func(e graph.Edge) graph.VertexID { return e.Src }},
+			{r.ByDst, r.RunsByDst(), func(e graph.Edge) graph.VertexID { return e.Dst }},
+		} {
+			pos := 0
+			for _, run := range view.runs {
+				if run.Lo != pos || run.Hi <= run.Lo {
+					return false
+				}
+				for i := run.Lo; i < run.Hi; i++ {
+					if view.key(view.edges[i]) != run.V {
+						return false
+					}
+				}
+				// Maximality: next edge (if any) has a different key.
+				if run.Hi < len(view.edges) && view.key(view.edges[run.Hi]) == run.V {
+					return false
+				}
+				pos = run.Hi
+			}
+			if pos != len(view.edges) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLen(t *testing.T) {
+	r := Run{V: 3, Lo: 2, Hi: 7}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := randomBatch(rng, 30000, 100)
+	r1 := Reorder(b, 1)
+	r8 := Reorder(b, 8)
+	for i := range r1.BySrc {
+		if r1.BySrc[i] != r8.BySrc[i] {
+			t.Fatalf("BySrc differs at %d between 1 and 8 workers", i)
+		}
+		if r1.ByDst[i] != r8.ByDst[i] {
+			t.Fatalf("ByDst differs at %d between 1 and 8 workers", i)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package server implements the HTTP API of cmd/sgserve: streaming
+// edge ingestion, analytics queries, and snapshotting over a
+// streamgraph.System.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"streamgraph"
+)
+
+// EdgeJSON is the wire form of one edge.
+type EdgeJSON struct {
+	Src    uint32  `json:"src"`
+	Dst    uint32  `json:"dst"`
+	Weight float32 `json:"weight,omitempty"`
+	Delete bool    `json:"delete,omitempty"`
+}
+
+// BatchResponse reports one ingested batch.
+type BatchResponse struct {
+	BatchID         int     `json:"batchId"`
+	Reordered       bool    `json:"reordered"`
+	Instrumented    bool    `json:"instrumented"`
+	CAD             float64 `json:"cad,omitempty"`
+	Locality        float64 `json:"locality"`
+	UpdateMicros    int64   `json:"updateMicros"`
+	ComputeMicros   int64   `json:"computeMicros"`
+	ComputedBatches int     `json:"computedBatches"`
+}
+
+// Server serves the streaming graph API. Batches serialize on an
+// internal lock (the system's execution model is sequential).
+type Server struct {
+	mu        sync.Mutex
+	sys       *streamgraph.System
+	batches   int
+	reordered int
+	rounds    int
+	mux       *http.ServeMux
+}
+
+// New wraps sys in an HTTP handler.
+func New(sys *streamgraph.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("POST /flush", s.handleFlush)
+	s.mux.HandleFunc("GET /rank", s.vertexQuery(func(v streamgraph.VertexID) (string, float64) {
+		return "rank", s.sys.Rank(v)
+	}))
+	s.mux.HandleFunc("GET /distance", s.vertexQuery(func(v streamgraph.VertexID) (string, float64) {
+		return "distance", s.sys.Distance(v)
+	}))
+	s.mux.HandleFunc("GET /level", s.vertexQuery(func(v streamgraph.VertexID) (string, float64) {
+		return "level", float64(s.sys.Level(v))
+	}))
+	s.mux.HandleFunc("GET /component", s.vertexQuery(func(v streamgraph.VertexID) (string, float64) {
+		return "component", float64(s.sys.Component(v))
+	}))
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var in []EdgeJSON
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		http.Error(w, "bad batch JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(in) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	edges := make([]streamgraph.Edge, len(in))
+	for i, e := range in {
+		weight := streamgraph.Weight(e.Weight)
+		if weight == 0 {
+			weight = 1
+		}
+		edges[i] = streamgraph.Edge{
+			Src:    streamgraph.VertexID(e.Src),
+			Dst:    streamgraph.VertexID(e.Dst),
+			Weight: weight,
+			Delete: e.Delete,
+		}
+	}
+
+	s.mu.Lock()
+	res, err := s.sys.ApplyBatch(edges)
+	if err == nil {
+		s.batches++
+		if res.Reordered {
+			s.reordered++
+		}
+		if res.ComputedBatches > 0 {
+			s.rounds++
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, BatchResponse{
+		BatchID:         res.BatchID,
+		Reordered:       res.Reordered,
+		Instrumented:    res.Instrumented,
+		CAD:             res.CAD,
+		Locality:        res.Locality,
+		UpdateMicros:    res.Update.Microseconds(),
+		ComputeMicros:   res.Compute.Microseconds(),
+		ComputedBatches: res.ComputedBatches,
+	})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	s.sys.Flush()
+	s.mu.Unlock()
+	writeJSON(w, map[string]string{"status": "flushed"})
+}
+
+// vertexQuery builds a handler answering per-vertex analytics.
+func (s *Server) vertexQuery(get func(streamgraph.VertexID) (string, float64)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		raw := r.URL.Query().Get("v")
+		v, err := strconv.ParseUint(raw, 10, 32)
+		if err != nil {
+			http.Error(w, "bad or missing vertex parameter v", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		name, val := get(streamgraph.VertexID(v))
+		s.mu.Unlock()
+		out := map[string]any{"vertex": v}
+		if math.IsInf(val, 1) {
+			out[name] = "unreachable"
+		} else {
+			out[name] = val
+		}
+		writeJSON(w, out)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := map[string]any{
+		"vertices": s.sys.NumVertices(),
+		"edges":    s.sys.NumEdges(),
+		"batches":  s.batches,
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+// handleMetrics exposes Prometheus-style text counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP streamgraph_batches_total Batches ingested.\n")
+	fmt.Fprintf(w, "# TYPE streamgraph_batches_total counter\n")
+	fmt.Fprintf(w, "streamgraph_batches_total %d\n", s.batches)
+	fmt.Fprintf(w, "# HELP streamgraph_reordered_batches_total Batches ABR chose to reorder.\n")
+	fmt.Fprintf(w, "# TYPE streamgraph_reordered_batches_total counter\n")
+	fmt.Fprintf(w, "streamgraph_reordered_batches_total %d\n", s.reordered)
+	fmt.Fprintf(w, "# HELP streamgraph_compute_rounds_total Computation rounds scheduled (OCA may cover two batches per round).\n")
+	fmt.Fprintf(w, "# TYPE streamgraph_compute_rounds_total counter\n")
+	fmt.Fprintf(w, "streamgraph_compute_rounds_total %d\n", s.rounds)
+	fmt.Fprintf(w, "# HELP streamgraph_edges Current directed edge count.\n")
+	fmt.Fprintf(w, "# TYPE streamgraph_edges gauge\n")
+	fmt.Fprintf(w, "streamgraph_edges %d\n", s.sys.NumEdges())
+	fmt.Fprintf(w, "# HELP streamgraph_vertices Current vertex-space size.\n")
+	fmt.Fprintf(w, "# TYPE streamgraph_vertices gauge\n")
+	fmt.Fprintf(w, "streamgraph_vertices %d\n", s.sys.NumVertices())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="graph.sgsnap"`)
+	s.mu.Lock()
+	err := s.sys.WriteSnapshot(w)
+	s.mu.Unlock()
+	if err != nil {
+		// Headers are out; all we can do is log-style report.
+		fmt.Fprintf(w, "\nsnapshot error: %v\n", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"streamgraph"
+	"streamgraph/internal/trace"
+)
+
+func newTestServer(t *testing.T, analytics streamgraph.Analytics) *httptest.Server {
+	t.Helper()
+	sys := streamgraph.New(streamgraph.Config{
+		Vertices:   1000,
+		Workers:    2,
+		Analytics:  analytics,
+		DisableOCA: true,
+	})
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, body string) BatchResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /batch status %d", resp.StatusCode)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status %d", path, resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestIngestAndRank(t *testing.T) {
+	ts := newTestServer(t, streamgraph.AnalyticsPageRank)
+	res := postBatch(t, ts, `[{"src":1,"dst":7},{"src":2,"dst":7},{"src":3,"dst":7}]`)
+	if res.BatchID != 0 {
+		t.Fatalf("BatchID = %d", res.BatchID)
+	}
+	stats := getJSON(t, ts, "/stats")
+	if stats["edges"].(float64) != 3 || stats["batches"].(float64) != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+	rank := getJSON(t, ts, "/rank?v=7")
+	if rank["rank"].(float64) <= 0 {
+		t.Fatalf("rank = %v", rank)
+	}
+}
+
+func TestSSSPEndpoints(t *testing.T) {
+	ts := newTestServer(t, streamgraph.AnalyticsSSSP)
+	postBatch(t, ts, `[{"src":0,"dst":1,"weight":2},{"src":1,"dst":2,"weight":3}]`)
+	d := getJSON(t, ts, "/distance?v=2")
+	if d["distance"].(float64) != 5 {
+		t.Fatalf("distance = %v", d)
+	}
+	unreached := getJSON(t, ts, "/distance?v=99")
+	if unreached["distance"] != "unreachable" {
+		t.Fatalf("unreached = %v", unreached)
+	}
+}
+
+func TestBFSAndCCEndpoints(t *testing.T) {
+	bfs := newTestServer(t, streamgraph.AnalyticsBFS)
+	postBatch(t, bfs, `[{"src":0,"dst":1},{"src":1,"dst":2}]`)
+	if lv := getJSON(t, bfs, "/level?v=2"); lv["level"].(float64) != 2 {
+		t.Fatalf("level = %v", lv)
+	}
+
+	cc := newTestServer(t, streamgraph.AnalyticsCC)
+	postBatch(t, cc, `[{"src":5,"dst":6},{"src":6,"dst":7}]`)
+	if comp := getJSON(t, cc, "/component?v=7"); comp["component"].(float64) != 5 {
+		t.Fatalf("component = %v", comp)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, streamgraph.AnalyticsNone)
+	for _, c := range []struct{ path, body string }{
+		{"/batch", `not json`},
+		{"/batch", `[]`},
+	} {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s %q: status %d", c.path, c.body, resp.StatusCode)
+		}
+	}
+	resp, _ := http.Get(ts.URL + "/rank?v=notanumber")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad vertex param: status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp2, _ := http.Get(ts.URL + "/batch")
+	resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("GET /batch should not succeed")
+	}
+}
+
+func TestFlushAndSnapshot(t *testing.T) {
+	ts := newTestServer(t, streamgraph.AnalyticsPageRank)
+	postBatch(t, ts, `[{"src":1,"dst":2},{"src":2,"dst":3}]`)
+	resp, err := http.Post(ts.URL+"/flush", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush status %d", resp.StatusCode)
+	}
+
+	snap, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(snap.Body); err != nil {
+		t.Fatal(err)
+	}
+	store, err := trace.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.NumEdges() != 2 {
+		t.Fatalf("snapshot has %d edges", store.NumEdges())
+	}
+	if !store.HasEdge(1, 2) || !store.HasEdge(2, 3) {
+		t.Fatal("snapshot lost edges")
+	}
+}
+
+func TestDefaultWeightAndDelete(t *testing.T) {
+	ts := newTestServer(t, streamgraph.AnalyticsNone)
+	postBatch(t, ts, `[{"src":1,"dst":2}]`) // weight omitted → 1
+	postBatch(t, ts, `[{"src":1,"dst":2,"delete":true}]`)
+	stats := getJSON(t, ts, "/stats")
+	if stats["edges"].(float64) != 0 {
+		t.Fatalf("edges after delete = %v", stats["edges"])
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, streamgraph.AnalyticsPageRank)
+	postBatch(t, ts, `[{"src":1,"dst":2},{"src":2,"dst":3}]`)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	out := buf.String()
+	for _, want := range []string{
+		"streamgraph_batches_total 1",
+		"streamgraph_edges 2",
+		"streamgraph_compute_rounds_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+// cache is a set-associative LRU tag array. It is purely functional
+// (presence tracking); latency accounting lives in Machine.
+type cache struct {
+	sets    int
+	ways    int
+	tags    []uint64 // sets*ways entries; 0 = invalid
+	lruTick []uint64 // per-entry last-touch tick
+	tick    uint64
+}
+
+func newCache(sizeKB, ways, lineBytes int) *cache {
+	lines := sizeKB * 1024 / lineBytes
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &cache{
+		sets:    sets,
+		ways:    ways,
+		tags:    make([]uint64, sets*ways),
+		lruTick: make([]uint64, sets*ways),
+	}
+}
+
+// key encodes a line so that 0 can mean "invalid".
+func cacheKey(line uint64) uint64 { return line + 1 }
+
+// lookup reports whether line is present, refreshing LRU on hit.
+func (c *cache) lookup(line uint64) bool {
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	k := cacheKey(line)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == k {
+			c.tick++
+			c.lruTick[i] = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// insert fills line, evicting the LRU way. It does not check for an
+// existing copy; callers insert only after a lookup miss.
+func (c *cache) insert(line uint64) {
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == 0 {
+			victim = i
+			break
+		}
+		if c.lruTick[i] < c.lruTick[victim] {
+			victim = i
+		}
+	}
+	c.tick++
+	c.tags[victim] = cacheKey(line)
+	c.lruTick[victim] = c.tick
+}
+
+// invalidate removes line if present, returning whether it was.
+func (c *cache) invalidate(line uint64) bool {
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	k := cacheKey(line)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == k {
+			c.tags[i] = 0
+			return true
+		}
+	}
+	return false
+}

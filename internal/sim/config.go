@@ -1,0 +1,98 @@
+// Package sim is a cycle-approximate model of the paper's simulated
+// baseline architecture (Table 1): a 16-core 2.5GHz CPU with private
+// L1/L2 caches, a NUCA L3 sliced across tiles, a 4x4 mesh NoC with
+// XY routing, and 4 DRAM controllers.
+//
+// Substitution note (DESIGN.md §3): the paper evaluates HAU on
+// Sniper-7.2. No full-system simulator is available here, so this
+// package models the same machine at the granularity the paper's
+// results depend on: per-access cache-hierarchy latency with
+// functional LRU tag arrays, ownership-transfer penalties for
+// cross-core writes (lock ping-pong), mesh hop latency with per-link
+// queueing and serialization, and DRAM queue delay. Cores keep local
+// clocks; shared resources arbitrate through next-free times, the
+// standard approximation for trace-driven models. Both the software
+// update and HAU run on the same machine model, so their *relative*
+// performance — what Table 3 and Figs. 15/19/20 report — is
+// preserved even though absolute cycle counts are approximate.
+//
+// The model is deterministic and single-threaded: a Machine must not
+// be used from multiple goroutines.
+package sim
+
+// AccessKind distinguishes memory operations.
+type AccessKind int
+
+const (
+	// Read is a load.
+	Read AccessKind = iota
+	// Write is a store (acquires line ownership, invalidating other
+	// private copies).
+	Write
+	// Atomic is a read-modify-write (lock acquisition/release); it
+	// behaves like Write plus a serialization penalty.
+	Atomic
+)
+
+// Config describes the simulated machine. All latencies are in core
+// cycles. The zero value is not useful; start from DefaultConfig.
+type Config struct {
+	// Cores is the core/tile count (Table 1: 16).
+	Cores int
+	// FreqGHz is the core frequency (2.5), used to convert ns.
+	FreqGHz float64
+	// IssueWidth is instructions per cycle (4-issue).
+	IssueWidth int
+
+	// LineBytes is the cacheline size (64).
+	LineBytes int
+
+	// L1KB/L1Ways/L1Lat describe the private L1D (32KB, 8-way, 3cyc).
+	L1KB, L1Ways, L1Lat int
+	// L2KB/L2Ways/L2Lat describe the private L2 (256KB, 8-way, 8cyc).
+	L2KB, L2Ways, L2Lat int
+	// L3SliceKB/L3Slices/L3Ways/L3Lat describe the NUCA L3. The
+	// default is one 1MB slice per tile (16MB total, 16-way, 8-cycle
+	// bank); the paper words it as "2MB slices" over the same 16MB —
+	// per-tile slices preserve the total capacity and make the
+	// local-tile NUCA behaviour (Fig. 20) expressible.
+	L3SliceKB, L3Slices, L3Ways, L3Lat int
+
+	// MeshW/MeshH is the mesh geometry (4x4); HopLat the per-hop
+	// latency (2); LinkBytesPerCycle the per-link per-direction
+	// bandwidth (256 bits/cycle = 32 B/cycle).
+	MeshW, MeshH, HopLat, LinkBytesPerCycle int
+
+	// MemControllers (4), MemLatNs device access latency (40ns) and
+	// MemBWGBs per-controller bandwidth (17GB/s). Queue delay is
+	// modeled per controller.
+	MemControllers int
+	MemLatNs       float64
+	MemBWGBs       float64
+
+	// AtomicPenalty is the extra serialization cost of an Atomic
+	// access beyond a Write (pipeline drain + RMW).
+	AtomicPenalty float64
+}
+
+// DefaultConfig returns the Table 1 machine.
+func DefaultConfig() Config {
+	return Config{
+		Cores:      16,
+		FreqGHz:    2.5,
+		IssueWidth: 4,
+		LineBytes:  64,
+		L1KB:       32, L1Ways: 8, L1Lat: 3,
+		L2KB: 256, L2Ways: 8, L2Lat: 8,
+		L3SliceKB: 1024, L3Slices: 16, L3Ways: 16, L3Lat: 8,
+		MeshW: 4, MeshH: 4, HopLat: 2, LinkBytesPerCycle: 32,
+		MemControllers: 4, MemLatNs: 40, MemBWGBs: 17,
+		AtomicPenalty: 15,
+	}
+}
+
+// memLatCycles converts the DRAM device latency to cycles.
+func (c Config) memLatCycles() float64 { return c.MemLatNs * c.FreqGHz }
+
+// memBytesPerCycle is per-controller DRAM bandwidth in bytes/cycle.
+func (c Config) memBytesPerCycle() float64 { return c.MemBWGBs / c.FreqGHz }

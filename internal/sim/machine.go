@@ -1,0 +1,270 @@
+package sim
+
+// CoreStats aggregates one core's activity. Lines are attributed to
+// the accessing core; packets to the sending core.
+type CoreStats struct {
+	// L1Hits/L2Hits/L3Hits/MemAccesses classify where each line
+	// access was served.
+	L1Hits, L2Hits, L3Hits, MemAccesses int64
+	// LinesAccessed is the total cacheline accesses.
+	LinesAccessed int64
+	// LocalLines were served within the core's own tile (private
+	// cache hit or home L3 slice on this tile); RemoteLines crossed
+	// the mesh.
+	LocalLines, RemoteLines int64
+	// Packets and PacketCycles aggregate NoC traffic originated by
+	// this core (mesh traversals; PacketCycles counts network transit
+	// time, so PacketCycles/Packets is the average packet latency).
+	Packets      int64
+	PacketCycles float64
+	// Invalidations counts ownership transfers this core triggered by
+	// writing lines another core owned.
+	Invalidations int64
+}
+
+// AvgPacketLatency returns the mean NoC packet latency in cycles.
+func (s CoreStats) AvgPacketLatency() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return s.PacketCycles / float64(s.Packets)
+}
+
+// Machine is the simulated multicore. Cores keep caller-managed local
+// clocks (cycle floats passed through Access/Send); the machine
+// tracks shared-resource contention and statistics. Not safe for
+// concurrent use.
+type Machine struct {
+	cfg Config
+
+	l1, l2 []*cache
+	l3     []*cache // one per slice
+
+	// memFree[core][controller] is each core's next-free cycle at
+	// each DRAM controller: a core's own bursts queue behind
+	// themselves. Cross-core DRAM contention is not modeled (core
+	// clocks are local, so a shared queue would convert clock skew
+	// into phantom waits); utilization in the evaluated workloads is
+	// low enough that self-queueing dominates.
+	memFree [][]float64
+
+	owner map[uint64]int32 // last writing core per line, for transfers
+
+	// home holds each line's NUCA home slice, assigned on first L3
+	// fill to the requesting core's nearest slice (first-touch
+	// D-NUCA placement: data lives in the tile that uses it). Lines
+	// never touched fall back to address interleaving.
+	home map[uint64]int8
+
+	stats []CoreStats
+}
+
+// New builds a machine for cfg.
+func New(cfg Config) *Machine {
+	m := &Machine{cfg: cfg, owner: make(map[uint64]int32), home: make(map[uint64]int8)}
+	for i := 0; i < cfg.Cores; i++ {
+		m.l1 = append(m.l1, newCache(cfg.L1KB, cfg.L1Ways, cfg.LineBytes))
+		m.l2 = append(m.l2, newCache(cfg.L2KB, cfg.L2Ways, cfg.LineBytes))
+	}
+	for i := 0; i < cfg.L3Slices; i++ {
+		m.l3 = append(m.l3, newCache(cfg.L3SliceKB, cfg.L3Ways, cfg.LineBytes))
+	}
+	m.memFree = make([][]float64, cfg.Cores)
+	for i := range m.memFree {
+		m.memFree[i] = make([]float64, cfg.MemControllers)
+	}
+	m.stats = make([]CoreStats, cfg.Cores)
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Stats returns a copy of the per-core statistics.
+func (m *Machine) Stats() []CoreStats {
+	out := make([]CoreStats, len(m.stats))
+	copy(out, m.stats)
+	return out
+}
+
+// CoreStat returns a copy of one core's statistics.
+func (m *Machine) CoreStat(core int) CoreStats { return m.stats[core] }
+
+// ResetStats zeroes the statistics, keeping cache and timing state.
+func (m *Machine) ResetStats() {
+	for i := range m.stats {
+		m.stats[i] = CoreStats{}
+	}
+}
+
+// ResetClock rewinds the shared-resource next-free times to zero.
+// Callers that restart their core clocks at zero for a new phase
+// (e.g. a new input batch) must rewind the resources too, or stale
+// future timestamps masquerade as queueing delay. Cache contents
+// survive: only timing state is reset.
+func (m *Machine) ResetClock() {
+	for i := range m.memFree {
+		for j := range m.memFree[i] {
+			m.memFree[i][j] = 0
+		}
+	}
+}
+
+// Instr advances a core clock by n instructions at the issue width.
+func (m *Machine) Instr(t float64, n int) float64 {
+	return t + float64(n)/float64(m.cfg.IssueWidth)
+}
+
+// sliceTile returns the tile hosting L3 slice i. Slices spread evenly
+// across the tile grid.
+func (m *Machine) sliceTile(slice int) int {
+	return slice * m.cfg.Cores / m.cfg.L3Slices
+}
+
+// homeSlice returns a line's NUCA home slice: the first-touch
+// assignment when one exists, address interleaving otherwise.
+func (m *Machine) homeSlice(line uint64) int {
+	if h, ok := m.home[line]; ok {
+		return int(h)
+	}
+	return int(line % uint64(m.cfg.L3Slices))
+}
+
+// nearestSlice returns the L3 slice co-located with (or closest to)
+// the given tile.
+func (m *Machine) nearestSlice(tile int) int {
+	s := tile * m.cfg.L3Slices / m.cfg.Cores
+	if s >= m.cfg.L3Slices {
+		s = m.cfg.L3Slices - 1
+	}
+	return s
+}
+
+// route sends one packet of the given payload size from tile a to
+// tile b with XY routing. Wormhole switching: per-hop head latency
+// plus one serialization of the payload over the link bandwidth.
+// Returns the arrival time and records packet stats against statCore.
+func (m *Machine) route(statCore, a, b int, bytes int, t float64) float64 {
+	start := t
+	if a != b {
+		hops := m.HopDistance(a, b)
+		ser := float64(bytes) / float64(m.cfg.LinkBytesPerCycle)
+		t += float64(hops*m.cfg.HopLat) + ser
+	}
+	st := &m.stats[statCore]
+	st.Packets++
+	st.PacketCycles += t - start
+	return t
+}
+
+// Send transmits a point-to-point message (e.g. an HAU update task)
+// from core a to core b, returning its arrival time.
+func (m *Machine) Send(a, b, bytes int, t float64) float64 {
+	return m.route(a, a, b, bytes, t)
+}
+
+// Access performs one memory access by core at local time t and
+// returns the completion time. It walks L1 → L2 → home L3 slice →
+// DRAM, modeling mesh transit for non-local levels, and ownership
+// transfer for writes to lines last written by another core.
+func (m *Machine) Access(core int, addr uint64, kind AccessKind, t float64) float64 {
+	cfg := &m.cfg
+	line := addr / uint64(cfg.LineBytes)
+	st := &m.stats[core]
+	st.LinesAccessed++
+
+	write := kind == Write || kind == Atomic
+	if kind == Atomic {
+		t += cfg.AtomicPenalty
+	}
+
+	// Ownership transfer: writing a line last written elsewhere
+	// invalidates the previous owner's private copies and pays a
+	// coherence round trip to its tile.
+	if write {
+		if o, ok := m.owner[line]; ok && int(o) != core {
+			m.l1[o].invalidate(line)
+			m.l2[o].invalidate(line)
+			st.Invalidations++
+			// Invalidation request + ack through the home slice.
+			home := m.sliceTile(m.homeSlice(line))
+			t = m.route(core, core, home, 16, t)
+			t = m.route(core, home, int(o), 16, t)
+			t = m.route(core, int(o), core, 16, t)
+			// The local copy (if any) is stale after a remote write;
+			// force a refetch below.
+			m.l1[core].invalidate(line)
+			m.l2[core].invalidate(line)
+		}
+		m.owner[line] = int32(core)
+	}
+
+	if m.l1[core].lookup(line) {
+		st.L1Hits++
+		st.LocalLines++
+		return t + float64(cfg.L1Lat)
+	}
+	t += float64(cfg.L1Lat) // L1 probe
+	if m.l2[core].lookup(line) {
+		st.L2Hits++
+		st.LocalLines++
+		m.l1[core].insert(line)
+		return t + float64(cfg.L2Lat)
+	}
+	t += float64(cfg.L2Lat) // L2 probe
+
+	slice := m.homeSlice(line)
+	home := m.sliceTile(slice)
+	local := home == core
+	if local {
+		st.LocalLines++
+	} else {
+		st.RemoteLines++
+		t = m.route(core, core, home, 16, t) // request
+	}
+	t += float64(cfg.L3Lat)
+	if m.l3[slice].lookup(line) {
+		st.L3Hits++
+	} else {
+		// First-touch placement: on a fill from memory, the line's
+		// home moves to the requester's nearest slice.
+		if ns := m.nearestSlice(core); ns != slice {
+			slice = ns
+			m.home[line] = int8(ns)
+		}
+		// DRAM: queue behind this core's own outstanding requests at
+		// the line's controller, then the device access.
+		mc := int(line % uint64(cfg.MemControllers))
+		if f := m.memFree[core][mc]; f > t {
+			t = f
+		}
+		ser := float64(cfg.LineBytes) / cfg.memBytesPerCycle()
+		m.memFree[core][mc] = t + ser
+		t += cfg.memLatCycles()
+		st.MemAccesses++
+		m.l3[slice].insert(line)
+	}
+	if !local {
+		t = m.route(core, home, core, cfg.LineBytes, t) // data reply
+	}
+	m.l2[core].insert(line)
+	m.l1[core].insert(line)
+	return t
+}
+
+// Tile returns the mesh tile of a core (identity: one core per tile).
+func (m *Machine) Tile(core int) int { return core }
+
+// HopDistance returns the XY hop count between two tiles.
+func (m *Machine) HopDistance(a, b int) int {
+	w := m.cfg.MeshW
+	dx := a%w - b%w
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a/w - b/w
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}

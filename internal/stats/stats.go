@@ -1,0 +1,191 @@
+// Package stats provides the small statistical helpers used throughout the
+// benchmark harness and the adaptive controllers: geometric and arithmetic
+// means, percentiles, and degree histograms over input batches.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Geomean returns the geometric mean of xs. Non-positive values are
+// ignored (a speedup of zero or below is meaningless); an empty or
+// all-ignored input yields 0.
+func Geomean(xs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Histogram counts occurrences of integer-valued observations, used for
+// batch degree distributions N(k).
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation of value k.
+func (h *Histogram) Add(k int) { h.AddN(k, 1) }
+
+// AddN records n observations of value k.
+func (h *Histogram) AddN(k, n int) {
+	h.counts[k] += n
+	h.total += n
+}
+
+// Count returns the number of observations with value k.
+func (h *Histogram) Count(k int) int { return h.counts[k] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns P(k): the fraction of observations with value k.
+func (h *Histogram) Fraction(k int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[k]) / float64(h.total)
+}
+
+// Keys returns the observed values in ascending order.
+func (h *Histogram) Keys() []int {
+	ks := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// MaxKey returns the largest observed value, or 0 if empty.
+func (h *Histogram) MaxKey() int {
+	m := 0
+	for k := range h.counts {
+		if k > m {
+			m = k
+		}
+	}
+	return m
+}
+
+// TopKeys returns the n largest observed values in descending order
+// (fewer if the histogram has fewer distinct values).
+func (h *Histogram) TopKeys(n int) []int {
+	ks := h.Keys()
+	out := make([]int, 0, n)
+	for i := len(ks) - 1; i >= 0 && len(out) < n; i-- {
+		out = append(out, ks[i])
+	}
+	return out
+}
+
+// Bucket describes a half-open degree range [Lo, Hi] used by the Fig. 5
+// style stacked distribution views.
+type Bucket struct {
+	Lo, Hi int
+	Label  string
+}
+
+// Share returns the fraction of observations, weighted by the value
+// itself (i.e. the share of *edges* originating from vertices whose
+// degree falls in the bucket), matching Fig. 5's y-axis.
+func (h *Histogram) Share(b Bucket) float64 {
+	edges := 0
+	totalEdges := 0
+	for k, c := range h.counts {
+		totalEdges += k * c
+		if k >= b.Lo && k <= b.Hi {
+			edges += k * c
+		}
+	}
+	if totalEdges == 0 {
+		return 0
+	}
+	return float64(edges) / float64(totalEdges)
+}
+
+// FormatRatio renders a speedup ratio the way the paper does: two
+// decimals with a trailing x, e.g. "2.70x".
+func FormatRatio(r float64) string {
+	return fmt.Sprintf("%.2fx", r)
+}

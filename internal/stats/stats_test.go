@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{2, 8}, 4},
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{4}, 4},
+		{[]float64{0, -1}, 0},    // ignored values
+		{[]float64{0, 2, 8}, 4},  // zero ignored
+		{[]float64{0.5, 2}, 1.0}, // reciprocal pair
+	}
+	for _, c := range cases {
+		if got := Geomean(c.in); !almostEqual(got, c.want) {
+			t.Errorf("Geomean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); !almostEqual(got, 2.8) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty-slice cases should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	// Does not mutate input.
+	ys := []float64{5, 1}
+	Percentile(ys, 50)
+	if ys[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.AddN(7, 3)
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(7) != 3 || h.Count(2) != 0 {
+		t.Fatal("bad counts")
+	}
+	if !almostEqual(h.Fraction(1), 0.4) {
+		t.Fatalf("Fraction(1) = %v", h.Fraction(1))
+	}
+	if h.MaxKey() != 7 {
+		t.Fatalf("MaxKey = %d", h.MaxKey())
+	}
+	keys := h.Keys()
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 7 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	top := h.TopKeys(5)
+	if len(top) != 2 || top[0] != 7 || top[1] != 1 {
+		t.Fatalf("TopKeys = %v", top)
+	}
+}
+
+func TestHistogramShare(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(1, 10) // 10 edges from degree-1 vertices
+	h.AddN(10, 1) // 10 edges from a degree-10 vertex
+	if got := h.Share(Bucket{Lo: 1, Hi: 1}); !almostEqual(got, 0.5) {
+		t.Fatalf("Share(deg=1) = %v", got)
+	}
+	if got := h.Share(Bucket{Lo: 2, Hi: 100}); !almostEqual(got, 0.5) {
+		t.Fatalf("Share(2..100) = %v", got)
+	}
+	empty := NewHistogram()
+	if empty.Share(Bucket{Lo: 0, Hi: 10}) != 0 {
+		t.Fatal("empty histogram share should be 0")
+	}
+}
+
+func TestGeomeanBounds(t *testing.T) {
+	// Property: min <= geomean <= max for positive inputs.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			v := math.Abs(r)
+			if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) && v < 1e100 {
+				xs = append(xs, v+1e-6)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramTotalsConsistent(t *testing.T) {
+	// Property: sum of fractions over keys is 1 for non-empty histograms.
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		sum := 0.0
+		for _, k := range h.Keys() {
+			sum += h.Fraction(k)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatRatio(t *testing.T) {
+	if got := FormatRatio(2.7); got != "2.70x" {
+		t.Fatalf("FormatRatio = %q", got)
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"streamgraph/internal/graph"
+)
+
+// FuzzReadEdgeStream feeds arbitrary bytes to the stream reader: it
+// must never panic or loop, only return edges or errors.
+func FuzzReadEdgeStream(f *testing.F) {
+	var seed bytes.Buffer
+	w, _ := NewWriter(&seed)
+	w.WriteEdge(graph.Edge{Src: 1, Dst: 2, Weight: 1})
+	w.WriteEdge(graph.Edge{Src: 300000, Dst: 4, Weight: 7.5, Delete: true})
+	w.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte(streamMagic))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1_000_000; i++ {
+			if _, err := r.ReadEdge(); err != nil {
+				return
+			}
+		}
+		t.Fatal("reader did not terminate on bounded input")
+	})
+}
+
+// FuzzReadSnapshot feeds arbitrary bytes to the snapshot reader.
+func FuzzReadSnapshot(f *testing.F) {
+	var seed bytes.Buffer
+	s := graph.NewAdjacencyStore(4)
+	s.InsertEdge(graph.Edge{Src: 0, Dst: 1, Weight: 2})
+	s.InsertEdge(graph.Edge{Src: 1, Dst: 2, Weight: 3})
+	WriteSnapshot(&seed, s)
+	f.Add(seed.Bytes())
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed snapshot must be internally
+		// consistent: every out-edge mirrored by an in-edge.
+		inCount := 0
+		for v := 0; v < got.NumVertices(); v++ {
+			got.ForEachIn(graph.VertexID(v), func(graph.Neighbor) { inCount++ })
+		}
+		if inCount != got.NumEdges() {
+			t.Fatalf("parsed snapshot inconsistent: %d in-edges vs %d edges", inCount, got.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,255 @@
+// Package trace provides durable encodings for the streaming graph
+// system: a binary edge-stream format (for recording and replaying
+// input streams) and a binary snapshot format for the adjacency
+// store (for checkpoint/restore).
+//
+// Both formats are versioned by magic header and use varint encoding
+// for IDs and degrees, so sparse high-ID graphs stay compact.
+// In-adjacency is not stored: it mirrors the out-adjacency and is
+// rebuilt on load.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"streamgraph/internal/graph"
+)
+
+// Format magics. The trailing digit versions the format.
+const (
+	streamMagic   = "SGEDGE1\n"
+	snapshotMagic = "SGSNAP1\n"
+)
+
+// ErrBadFormat reports a magic/version mismatch.
+var ErrBadFormat = errors.New("trace: unrecognized format or version")
+
+// edge flag bits.
+const (
+	flagDelete   = 1 << 0
+	flagWeighted = 1 << 1 // weight field present (absent means 1)
+)
+
+// Writer encodes an edge stream.
+type Writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	n   int64
+}
+
+// NewWriter starts a stream on w, writing the header immediately.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(streamMagic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (w *Writer) uvarint(x uint64) error {
+	n := binary.PutUvarint(w.buf[:], x)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// WriteEdge appends one edge to the stream.
+func (w *Writer) WriteEdge(e graph.Edge) error {
+	flags := byte(0)
+	if e.Delete {
+		flags |= flagDelete
+	}
+	if e.Weight != 1 {
+		flags |= flagWeighted
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	if err := w.uvarint(uint64(e.Src)); err != nil {
+		return err
+	}
+	if err := w.uvarint(uint64(e.Dst)); err != nil {
+		return err
+	}
+	if flags&flagWeighted != 0 {
+		var wb [4]byte
+		binary.LittleEndian.PutUint32(wb[:], math.Float32bits(float32(e.Weight)))
+		if _, err := w.w.Write(wb[:]); err != nil {
+			return err
+		}
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of edges written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush flushes buffered output. Call before closing the sink.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes an edge stream written by Writer.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader opens a stream, validating the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(streamMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading stream header: %w", err)
+	}
+	if string(magic) != streamMagic {
+		return nil, ErrBadFormat
+	}
+	return &Reader{r: br}, nil
+}
+
+// ReadEdge returns the next edge, or io.EOF at end of stream.
+func (r *Reader) ReadEdge() (graph.Edge, error) {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return graph.Edge{}, err // io.EOF at a clean boundary
+	}
+	src, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return graph.Edge{}, unexpected(err)
+	}
+	dst, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return graph.Edge{}, unexpected(err)
+	}
+	e := graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), Weight: 1, Delete: flags&flagDelete != 0}
+	if flags&flagWeighted != 0 {
+		var wb [4]byte
+		if _, err := io.ReadFull(r.r, wb[:]); err != nil {
+			return graph.Edge{}, unexpected(err)
+		}
+		e.Weight = graph.Weight(math.Float32frombits(binary.LittleEndian.Uint32(wb[:])))
+	}
+	return e, nil
+}
+
+// ReadBatch reads up to size edges into a batch with the given ID.
+// It returns io.EOF (with a nil batch) when the stream is exhausted
+// before any edge is read.
+func (r *Reader) ReadBatch(id, size int) (*graph.Batch, error) {
+	b := &graph.Batch{ID: id}
+	for len(b.Edges) < size {
+		e, err := r.ReadEdge()
+		if err == io.EOF {
+			if len(b.Edges) == 0 {
+				return nil, io.EOF
+			}
+			return b, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.Edges = append(b.Edges, e)
+	}
+	return b, nil
+}
+
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// WriteSnapshot serializes the store's out-adjacency (the in-lists
+// are mirrors and are rebuilt on load).
+func WriteSnapshot(w io.Writer, s *graph.AdjacencyStore) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	n := s.NumVertices()
+	if err := put(uint64(n)); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		id := graph.VertexID(v)
+		if err := put(uint64(s.OutDegree(id))); err != nil {
+			return err
+		}
+		var werr error
+		s.ForEachOut(id, func(nb graph.Neighbor) {
+			if werr != nil {
+				return
+			}
+			if werr = put(uint64(nb.ID)); werr != nil {
+				return
+			}
+			var wb [4]byte
+			binary.LittleEndian.PutUint32(wb[:], math.Float32bits(float32(nb.Weight)))
+			_, werr = bw.Write(wb[:])
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot reconstructs a store from a snapshot, including the
+// mirrored in-adjacency.
+func ReadSnapshot(r io.Reader) (*graph.AdjacencyStore, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, ErrBadFormat
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, unexpected(err)
+	}
+	const maxVertices = 1 << 31
+	if n > maxVertices {
+		return nil, fmt.Errorf("trace: snapshot vertex count %d exceeds limit", n)
+	}
+	s := graph.NewAdjacencyStore(int(n))
+	for v := uint64(0); v < n; v++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, unexpected(err)
+		}
+		if deg > n {
+			return nil, fmt.Errorf("trace: vertex %d degree %d exceeds vertex count", v, deg)
+		}
+		src := graph.VertexID(v)
+		for i := uint64(0); i < deg; i++ {
+			dst, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, unexpected(err)
+			}
+			if dst >= n {
+				return nil, fmt.Errorf("trace: vertex %d has neighbor %d out of range", v, dst)
+			}
+			var wb [4]byte
+			if _, err := io.ReadFull(br, wb[:]); err != nil {
+				return nil, unexpected(err)
+			}
+			weight := graph.Weight(math.Float32frombits(binary.LittleEndian.Uint32(wb[:])))
+			nb := graph.Neighbor{ID: graph.VertexID(dst), Weight: weight}
+			s.AppendOutUnsafe(src, nb)
+			s.AppendInUnsafe(nb.ID, graph.Neighbor{ID: src, Weight: weight})
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"streamgraph/internal/gen"
+	"streamgraph/internal/graph"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	p, _ := gen.ProfileByName("fb")
+	s := gen.NewStream(p)
+	s.SetDeleteFraction(0.2)
+	var edges []graph.Edge
+	for i := 0; i < 5000; i++ {
+		edges = append(edges, s.NextEdge())
+	}
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := w.WriteEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 5000 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range edges {
+		got, err := r.ReadEdge()
+		if err != nil {
+			t.Fatalf("edge %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("edge %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := r.ReadEdge(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestStreamRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32, delMask []bool) bool {
+		var edges []graph.Edge
+		for i, r := range raw {
+			e := graph.Edge{
+				Src:    graph.VertexID(r % 100000),
+				Dst:    graph.VertexID((r >> 8) % 100000),
+				Weight: graph.Weight(r%97) + 1,
+			}
+			if i < len(delMask) && delMask[i] {
+				e.Delete = true
+			}
+			edges = append(edges, e)
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, e := range edges {
+			if w.WriteEdge(e) != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range edges {
+			got, err := r.ReadEdge()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err = r.ReadEdge()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBatch(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 25; i++ {
+		w.WriteEdge(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Weight: 1})
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	b0, err := r.ReadBatch(0, 10)
+	if err != nil || b0.Size() != 10 || b0.ID != 0 {
+		t.Fatalf("batch 0: %v %v", b0, err)
+	}
+	b1, _ := r.ReadBatch(1, 10)
+	if b1.Size() != 10 {
+		t.Fatalf("batch 1 size %d", b1.Size())
+	}
+	b2, _ := r.ReadBatch(2, 10) // partial tail
+	if b2.Size() != 5 {
+		t.Fatalf("tail batch size %d", b2.Size())
+	}
+	if _, err := r.ReadBatch(3, 10); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("NOPEXXXX")); err != ErrBadFormat {
+		t.Fatalf("stream: %v", err)
+	}
+	if _, err := ReadSnapshot(bytes.NewBufferString("NOPEXXXX")); err != ErrBadFormat {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if _, err := NewReader(bytes.NewBufferString("x")); err == nil {
+		t.Fatal("short stream header should error")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.WriteEdge(graph.Edge{Src: 300, Dst: 4000, Weight: 7})
+	w.Flush()
+	data := buf.Bytes()
+	// Chop mid-edge: every prefix longer than the header but shorter
+	// than the full encoding must error, not loop or panic.
+	for cut := len(streamMagic) + 1; cut < len(data); cut++ {
+		r, err := NewReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ReadEdge(); err == nil {
+			t.Fatalf("cut %d: expected error", cut)
+		}
+	}
+}
+
+func edgeSet(s *graph.AdjacencyStore) map[[2]graph.VertexID]graph.Weight {
+	out := map[[2]graph.VertexID]graph.Weight{}
+	for v := 0; v < s.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		s.ForEachOut(id, func(n graph.Neighbor) {
+			out[[2]graph.VertexID{id, n.ID}] = n.Weight
+		})
+	}
+	return out
+}
+
+func inSet(s *graph.AdjacencyStore) map[[2]graph.VertexID]graph.Weight {
+	out := map[[2]graph.VertexID]graph.Weight{}
+	for v := 0; v < s.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		s.ForEachIn(id, func(n graph.Neighbor) {
+			out[[2]graph.VertexID{n.ID, id}] = n.Weight
+		})
+	}
+	return out
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := graph.NewAdjacencyStore(200)
+	for i := 0; i < 3000; i++ {
+		s.InsertEdge(graph.Edge{
+			Src:    graph.VertexID(rng.Intn(200)),
+			Dst:    graph.VertexID(rng.Intn(200)),
+			Weight: graph.Weight(rng.Intn(50)) + 1,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != s.NumVertices() || got.NumEdges() != s.NumEdges() {
+		t.Fatalf("shape: %d/%d vs %d/%d",
+			got.NumVertices(), got.NumEdges(), s.NumVertices(), s.NumEdges())
+	}
+	if want, have := edgeSet(s), edgeSet(got); len(want) != len(have) {
+		t.Fatalf("edge sets differ in size")
+	} else {
+		for k, w := range want {
+			if have[k] != w {
+				t.Fatalf("edge %v: weight %v != %v", k, have[k], w)
+			}
+		}
+	}
+	// The mirrored in-adjacency must be rebuilt exactly.
+	wantIn := inSet(s)
+	haveIn := inSet(got)
+	if len(wantIn) != len(haveIn) {
+		t.Fatalf("in-edge mirrors differ: %d vs %d", len(haveIn), len(wantIn))
+	}
+	for k, w := range wantIn {
+		if haveIn[k] != w {
+			t.Fatalf("in-edge %v mismatch", k)
+		}
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, graph.NewAdjacencyStore(0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil || got.NumVertices() != 0 {
+		t.Fatalf("empty snapshot: %v %v", got, err)
+	}
+}
+
+func TestSnapshotRejectsCorruptDegrees(t *testing.T) {
+	// Hand-craft a snapshot claiming an absurd degree.
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	buf.Write([]byte{2})                      // 2 vertices
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // vertex 0: enormous degree
+	if _, err := ReadSnapshot(&buf); err == nil {
+		t.Fatal("corrupt degree accepted")
+	}
+}
+
+// TestStreamIsDeterministicBytes: encoding the same edges twice gives
+// identical bytes (important for reproducible recorded traces).
+func TestStreamIsDeterministicBytes(t *testing.T) {
+	mk := func() []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		p, _ := gen.ProfileByName("lj")
+		s := gen.NewStream(p)
+		for i := 0; i < 2000; i++ {
+			w.WriteEdge(s.NextEdge())
+		}
+		w.Flush()
+		return buf.Bytes()
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Fatal("stream encoding not deterministic")
+	}
+	// Unweighted edges should cost ≤ ~6 bytes each at lj's ID range.
+	if len(a) > 2000*8 {
+		t.Fatalf("encoding too large: %d bytes for 2000 edges", len(a))
+	}
+}
+
+func TestSnapshotOrderIndependence(t *testing.T) {
+	// Two stores with the same edge set inserted in different orders
+	// produce snapshots that load into equal edge sets.
+	edges := []graph.Edge{
+		{Src: 1, Dst: 2, Weight: 5}, {Src: 2, Dst: 3, Weight: 1}, {Src: 1, Dst: 3, Weight: 2},
+	}
+	s1 := graph.NewAdjacencyStore(4)
+	s2 := graph.NewAdjacencyStore(4)
+	for _, e := range edges {
+		s1.InsertEdge(e)
+	}
+	perm := []int{2, 0, 1}
+	for _, i := range perm {
+		s2.InsertEdge(edges[i])
+	}
+	var b1, b2 bytes.Buffer
+	WriteSnapshot(&b1, s1)
+	WriteSnapshot(&b2, s2)
+	g1, _ := ReadSnapshot(&b1)
+	g2, _ := ReadSnapshot(&b2)
+	e1 := edgeSet(g1)
+	e2 := edgeSet(g2)
+	keys := func(m map[[2]graph.VertexID]graph.Weight) [][2]graph.VertexID {
+		var ks [][2]graph.VertexID
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool {
+			return ks[i][0] < ks[j][0] || (ks[i][0] == ks[j][0] && ks[i][1] < ks[j][1])
+		})
+		return ks
+	}
+	k1, k2 := keys(e1), keys(e2)
+	if len(k1) != len(k2) {
+		t.Fatal("edge sets differ")
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] || e1[k1[i]] != e2[k2[i]] {
+			t.Fatal("edge sets differ")
+		}
+	}
+}

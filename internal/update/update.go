@@ -1,0 +1,202 @@
+// Package update implements the graph update engines the paper
+// evaluates:
+//
+//   - Baseline: edge-parallel ingestion with per-vertex locks and a
+//     linear duplicate-check search per edge (Section 3.2's baseline).
+//   - Reordered (RO): lock-free vertex-centric ingestion over a batch
+//     reordered by internal/reorder; pays two parallel stable sorts
+//     and two update passes (out-edges by source, in-edges by
+//     destination).
+//   - Reordered+USC: RO plus update search coalescing — one scan of a
+//     vertex's edge data serves all of that vertex's incoming updates
+//     through a small hash table (Section 4.3).
+//
+// All engines implement the same semantics so that any mode can be
+// chosen per batch: within a batch, all insertions are applied before
+// all deletions (the paper's HAU update-ordering policy, adopted
+// globally so every execution mode converges to the same state);
+// inserting an existing edge updates its weight; deleting an absent
+// edge is a no-op.
+package update
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/reorder"
+)
+
+// Stats describes one batch update: where the time went and how much
+// synchronization and search work the engine performed. Counters are
+// exact, not sampled.
+type Stats struct {
+	// Locks is the number of per-vertex lock acquisitions.
+	Locks int64
+	// Comparisons is the number of adjacency entries examined by
+	// duplicate-check searches (including USC's single scans).
+	Comparisons int64
+	// HashOps is the number of USC hash-table operations.
+	HashOps int64
+	// EdgesApplied is the number of edge operations ingested.
+	EdgesApplied int64
+	// UniqueVerts and OverlapVerts support OCA: vertices touched for
+	// the first time in this batch, and those whose previous
+	// latest_bid was exactly the preceding batch.
+	UniqueVerts  int64
+	OverlapVerts int64
+	// Sort is the time spent reordering (zero for the baseline);
+	// Update is the ingestion time; Total covers both.
+	Sort   time.Duration
+	Update time.Duration
+	Total  time.Duration
+	// DstRunLens holds the destination-run lengths (per-vertex
+	// intra-batch in-degrees) when Config.CollectDstRuns is set on a
+	// reordered engine; ABR's reordered-path instrumentation reads
+	// CAD_λ from these at near-zero cost.
+	DstRunLens []int
+}
+
+// add accumulates worker-local counters into s.
+func (s *Stats) add(w *workerStats) {
+	s.Locks += w.locks
+	s.Comparisons += w.comparisons
+	s.HashOps += w.hashOps
+	s.EdgesApplied += w.edges
+	s.UniqueVerts += w.unique
+	s.OverlapVerts += w.overlap
+}
+
+type workerStats struct {
+	locks       int64
+	comparisons int64
+	hashOps     int64
+	edges       int64
+	unique      int64
+	overlap     int64
+}
+
+// touch records vertex v's appearance in batch bid, maintaining the
+// latest_bid field OCA reads and counting unique/overlap vertices
+// exactly once per batch.
+func (w *workerStats) touch(s *graph.AdjacencyStore, v graph.VertexID, bid int32) {
+	prev := s.LatestBID(v)
+	if prev == bid {
+		return
+	}
+	if s.SwapLatestBID(v, bid) == bid {
+		return // another worker won the race; it did the counting
+	}
+	w.unique++
+	if prev >= 0 && prev == bid-1 {
+		w.overlap++
+	}
+}
+
+// Config holds engine tuning knobs shared by all engines.
+type Config struct {
+	// Workers is the goroutine count; 0 means GOMAXPROCS.
+	Workers int
+	// MinCoalesceRun is the smallest vertex run USC builds a hash
+	// table for; shorter runs use direct scans, where coalescing is
+	// superfluous (the paper's degree-1 argument, Section 4.5).
+	// 0 means the default of 8.
+	MinCoalesceRun int
+	// CollectDstRuns makes reordered engines record destination run
+	// lengths into Stats.DstRunLens (ABR-active instrumentation).
+	CollectDstRuns bool
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) minCoalesce() int {
+	if c.MinCoalesceRun > 0 {
+		return c.MinCoalesceRun
+	}
+	return 8
+}
+
+// Engine applies input batches to an adjacency store.
+type Engine interface {
+	// Name identifies the engine in reports ("baseline", "ro", ...).
+	Name() string
+	// Apply ingests b and returns the update statistics.
+	Apply(s *graph.AdjacencyStore, b *graph.Batch) Stats
+}
+
+// chunk is the dynamic-scheduling granularity for edge-parallel work.
+const chunk = 256
+
+// parallelChunks runs fn over [0,n) in dynamically scheduled chunks
+// using the configured worker count, giving each worker a private
+// workerStats that is merged into st afterwards.
+func parallelChunks(n, workers int, st *Stats, fn func(lo, hi int, w *workerStats)) {
+	if n == 0 {
+		return
+	}
+	if workers > n/chunk+1 {
+		workers = n/chunk + 1
+	}
+	var next atomic.Int64
+	locals := make([]workerStats, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(w *workerStats) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi, w)
+			}
+		}(&locals[k])
+	}
+	wg.Wait()
+	for i := range locals {
+		st.add(&locals[i])
+	}
+}
+
+// parallelRuns dynamically schedules whole vertex runs across workers
+// (the RO work division: one thread owns all of a vertex's edges).
+func parallelRuns(runs []reorder.Run, workers int, st *Stats, fn func(r reorder.Run, w *workerStats)) {
+	if len(runs) == 0 {
+		return
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	var next atomic.Int64
+	locals := make([]workerStats, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(w *workerStats) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(runs) {
+					return
+				}
+				fn(runs[i], w)
+			}
+		}(&locals[k])
+	}
+	wg.Wait()
+	for i := range locals {
+		st.add(&locals[i])
+	}
+}

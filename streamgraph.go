@@ -1,0 +1,345 @@
+// Package streamgraph is an input-aware streaming graph processing
+// system, reproducing "Improving Streaming Graph Processing
+// Performance using Input Knowledge" (MICRO 2021).
+//
+// A streaming graph system ingests batches of edge updates and runs
+// analytics on each new snapshot. This library's contribution — the
+// paper's — is that both phases are optimized *adaptively, from the
+// input itself*:
+//
+//   - Adaptive Batch Reordering (ABR) measures each sampled batch's
+//     degree distribution (the CAD_λ metric) and reorders only the
+//     batches whose high-degree vertices would otherwise serialize on
+//     per-vertex locks.
+//   - Update Search Coalescing (USC) turns a reordered vertex's many
+//     duplicate-check searches into one scan plus a hash table.
+//   - Overlap-based Compute Aggregation (OCA) merges the computation
+//     rounds of consecutive batches that modify the same region of
+//     the graph.
+//   - A simulated CPU-coupled accelerator (HAU, internal/hau +
+//     internal/sim) covers the reordering-adverse batches that
+//     software cannot speed up.
+//
+// # Quick start
+//
+//	sys := streamgraph.New(streamgraph.Config{
+//		Vertices:  100000,
+//		Analytics: streamgraph.AnalyticsPageRank,
+//	})
+//	res, _ := sys.ApplyBatch(edges) // []streamgraph.Edge
+//	fmt.Println(res.Reordered, sys.Rank(42))
+//
+// The examples/ directory contains runnable scenarios and
+// cmd/sgbench regenerates every figure and table from the paper's
+// evaluation.
+package streamgraph
+
+import (
+	"errors"
+	"io"
+	"math"
+	"time"
+
+	"streamgraph/internal/abr"
+	"streamgraph/internal/compute"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/oca"
+	"streamgraph/internal/pipeline"
+	"streamgraph/internal/trace"
+)
+
+// Re-exported core types. External callers use these aliases; the
+// implementation lives in internal packages.
+type (
+	// VertexID identifies a vertex (dense, starting at 0).
+	VertexID = graph.VertexID
+	// Weight is an edge weight; unweighted graphs use 1.
+	Weight = graph.Weight
+	// Edge is one streamed modification (Delete marks removals).
+	Edge = graph.Edge
+	// Neighbor is one adjacency entry.
+	Neighbor = graph.Neighbor
+	// Store is the read-only graph snapshot interface.
+	Store = graph.Store
+	// ABRParams are the adaptive batch reordering parameters
+	// (instrumentation period N, degree cutoff Lambda, threshold TH).
+	ABRParams = abr.Params
+)
+
+// Policy selects the update execution strategy.
+type Policy int
+
+const (
+	// Adaptive is the paper's input-aware software mode: ABR decides
+	// per batch whether to reorder, and reordered batches use USC.
+	Adaptive Policy = iota
+	// NeverReorder is the locked edge-parallel baseline.
+	NeverReorder
+	// AlwaysReorder applies input-oblivious reordering plus USC.
+	AlwaysReorder
+)
+
+// Analytics selects the streaming computation.
+type Analytics int
+
+const (
+	// AnalyticsNone ingests updates without computing.
+	AnalyticsNone Analytics = iota
+	// AnalyticsPageRank maintains incremental PageRank.
+	AnalyticsPageRank
+	// AnalyticsSSSP maintains incremental single-source shortest
+	// paths from Config.Source.
+	AnalyticsSSSP
+	// AnalyticsBFS maintains incremental hop distances from
+	// Config.Source.
+	AnalyticsBFS
+	// AnalyticsCC maintains incremental connected components
+	// (undirected interpretation).
+	AnalyticsCC
+)
+
+// Config configures a System. The zero value is usable: an adaptive
+// update-only system that grows from an empty graph.
+type Config struct {
+	// Vertices pre-sizes the vertex space (the store grows on demand).
+	Vertices int
+	// Workers is the goroutine count; 0 means GOMAXPROCS.
+	Workers int
+	// Policy is the update strategy (default Adaptive).
+	Policy Policy
+	// ABR overrides the adaptive parameters; zero value means the
+	// paper's n=10, λ=256, TH=465.
+	ABR ABRParams
+	// Analytics selects the maintained computation.
+	Analytics Analytics
+	// Source is the SSSP source vertex.
+	Source VertexID
+	// DisableOCA turns off compute aggregation, for latency-critical
+	// applications that cannot trade computation granularity.
+	DisableOCA bool
+	// AutoTune enables online feedback tuning of the ABR threshold
+	// (Adaptive policy only): TH adjusts from observed per-edge
+	// update costs instead of staying at the offline-fitted constant.
+	AutoTune bool
+	// ConcurrentCompute overlaps each computation round with the next
+	// batch's update, running analytics on an immutable flat snapshot
+	// (Aspen-style latency hiding). Round durations land in a later
+	// batch's Result; call Flush before reading final analytics.
+	ConcurrentCompute bool
+}
+
+// Result reports one ingested batch.
+type Result struct {
+	// BatchID is the sequence number assigned to the batch.
+	BatchID int
+	// Reordered reports whether the batch ran in the reordered mode;
+	// Instrumented whether ABR measured it (ABR-active).
+	Reordered    bool
+	Instrumented bool
+	// CAD is the measured CAD_λ on instrumented batches.
+	CAD float64
+	// Locality is the current inter-batch locality estimate.
+	Locality float64
+	// Update and Compute are the phase durations. Compute is zero
+	// when OCA deferred this batch's round.
+	Update  time.Duration
+	Compute time.Duration
+	// ComputedBatches is how many batches the compute round covered
+	// (0 if deferred).
+	ComputedBatches int
+	// Locks and SearchComparisons expose the update engine's
+	// synchronization and duplicate-search work for observability
+	// (the quantities the paper's optimizations target).
+	Locks             int64
+	SearchComparisons int64
+}
+
+// System is a streaming graph processing instance. Not safe for
+// concurrent use: batches are ingested sequentially, as in the
+// paper's execution model.
+type System struct {
+	cfg    Config
+	runner *pipeline.Runner
+	pr     *compute.PageRank
+	sssp   *compute.SSSP
+	bfs    *compute.BFS
+	cc     *compute.CC
+	nextID int
+}
+
+// New builds a system from cfg.
+func New(cfg Config) *System {
+	return newSystem(cfg, graph.NewAdjacencyStore(cfg.Vertices))
+}
+
+// NewFromSnapshot restores a system from a snapshot written by
+// WriteSnapshot. The configured analytic is initialized with one full
+// refresh over the restored graph.
+func NewFromSnapshot(cfg Config, r io.Reader) (*System, error) {
+	store, err := trace.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	s := newSystem(cfg, store)
+	if eng := s.engine(); eng != nil {
+		eng.Update(store) // zero batches = full refresh
+	}
+	return s, nil
+}
+
+// engine returns the configured compute engine, if any.
+func (s *System) engine() compute.Engine {
+	switch {
+	case s.pr != nil:
+		return s.pr
+	case s.sssp != nil:
+		return s.sssp
+	case s.bfs != nil:
+		return s.bfs
+	case s.cc != nil:
+		return s.cc
+	}
+	return nil
+}
+
+func newSystem(cfg Config, store *graph.AdjacencyStore) *System {
+	s := &System{cfg: cfg}
+
+	var engine compute.Engine
+	switch cfg.Analytics {
+	case AnalyticsPageRank:
+		s.pr = &compute.PageRank{Incremental: true, Workers: cfg.Workers}
+		engine = s.pr
+	case AnalyticsSSSP:
+		s.sssp = &compute.SSSP{Incremental: true, Workers: cfg.Workers, Source: cfg.Source}
+		engine = s.sssp
+	case AnalyticsBFS:
+		s.bfs = &compute.BFS{Incremental: true, Workers: cfg.Workers, Source: cfg.Source}
+		engine = s.bfs
+	case AnalyticsCC:
+		s.cc = &compute.CC{Incremental: true, Workers: cfg.Workers}
+		engine = s.cc
+	}
+
+	var pol pipeline.Policy
+	switch cfg.Policy {
+	case NeverReorder:
+		pol = pipeline.Baseline
+	case AlwaysReorder:
+		pol = pipeline.AlwaysROUSC
+	default:
+		pol = pipeline.ABRUSC
+	}
+
+	s.runner = pipeline.NewRunnerWithStore(pipeline.Config{
+		Policy:            pol,
+		ABRParams:         cfg.ABR,
+		AutoTune:          cfg.AutoTune,
+		Workers:           cfg.Workers,
+		Compute:           engine,
+		ConcurrentCompute: cfg.ConcurrentCompute,
+		OCA:               oca.Config{Disabled: cfg.DisableOCA || engine == nil},
+	}, store)
+	return s
+}
+
+// TunedABR returns the ABR parameters currently in effect (they move
+// when Config.AutoTune is enabled).
+func (s *System) TunedABR() ABRParams { return s.runner.TunedParams() }
+
+// WriteSnapshot serializes the current graph for later restoration
+// with NewFromSnapshot. Call Flush first if deferred compute rounds
+// must be reflected in analytics (the snapshot itself only stores the
+// graph).
+func (s *System) WriteSnapshot(w io.Writer) error {
+	return trace.WriteSnapshot(w, s.runner.Store())
+}
+
+// Recompute refreshes the configured analytic over the whole current
+// snapshot (a full static round).
+func (s *System) Recompute() {
+	if eng := s.engine(); eng != nil {
+		eng.Update(s.runner.Store())
+	}
+}
+
+// ApplyBatch ingests one batch of edges and runs the (possibly
+// aggregated) computation round.
+func (s *System) ApplyBatch(edges []Edge) (Result, error) {
+	if len(edges) == 0 {
+		return Result{}, errors.New("streamgraph: empty batch")
+	}
+	b := &graph.Batch{ID: s.nextID, Edges: edges}
+	s.nextID++
+	bm := s.runner.ProcessBatch(b)
+	return Result{
+		BatchID:           bm.BatchID,
+		Reordered:         bm.Reordered,
+		Instrumented:      bm.ABRActive,
+		CAD:               bm.CAD,
+		Locality:          bm.Locality,
+		Update:            bm.Update,
+		Compute:           bm.Compute,
+		ComputedBatches:   bm.AggregatedBatches,
+		Locks:             bm.Stats.Locks,
+		SearchComparisons: bm.Stats.Comparisons,
+	}, nil
+}
+
+// Flush forces any computation round OCA deferred. Call at stream
+// end (or before reading results that must reflect every batch).
+func (s *System) Flush() { s.runner.Finish() }
+
+// Graph returns the current snapshot for ad-hoc queries.
+func (s *System) Graph() Store { return s.runner.Store() }
+
+// NumVertices returns the current vertex-space size.
+func (s *System) NumVertices() int { return s.runner.Store().NumVertices() }
+
+// NumEdges returns the current directed edge count.
+func (s *System) NumEdges() int { return s.runner.Store().NumEdges() }
+
+// Rank returns a vertex's current PageRank (0 when PageRank is not
+// the configured analytic).
+func (s *System) Rank(v VertexID) float64 {
+	if s.pr == nil {
+		return 0
+	}
+	return s.pr.Rank(v)
+}
+
+// Ranks returns a copy of the PageRank vector (nil when PageRank is
+// not the configured analytic).
+func (s *System) Ranks() []float64 {
+	if s.pr == nil {
+		return nil
+	}
+	return s.pr.Ranks()
+}
+
+// Distance returns a vertex's current shortest-path distance from
+// Config.Source (+Inf when unreached or SSSP is not configured).
+func (s *System) Distance(v VertexID) float64 {
+	if s.sssp == nil {
+		return math.Inf(1)
+	}
+	return s.sssp.Dist(v)
+}
+
+// Level returns a vertex's current BFS hop distance from
+// Config.Source (-1 when unreached or BFS is not configured).
+func (s *System) Level(v VertexID) int32 {
+	if s.bfs == nil {
+		return -1
+	}
+	return s.bfs.Level(v)
+}
+
+// Component returns a vertex's current connected-component label (the
+// vertex's own ID when CC is not configured or v is isolated).
+func (s *System) Component(v VertexID) VertexID {
+	if s.cc == nil {
+		return v
+	}
+	return s.cc.Label(v)
+}
