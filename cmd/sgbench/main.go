@@ -7,10 +7,13 @@
 //	sgbench -exp all              # run everything
 //	sgbench -exp tab3 -quick      # smaller sweep for smoke tests
 //	sgbench -exp fig3 -full       # add the 500K batch size
+//	sgbench -exp fig13 -timing    # append a per-stage timing summary
 //
 // Each experiment prints one or more text tables with the paper's
 // reported values alongside the measured ones. Progress goes to
-// stderr with -v.
+// stderr with -v. With -timing, every experiment runs under a fresh
+// observer and prints the stage latencies (update, compute,
+// per-engine apply) and decision counts it accumulated.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"streamgraph/internal/bench"
+	"streamgraph/internal/obs"
 )
 
 func main() {
@@ -35,6 +39,7 @@ func main() {
 		workers = flag.Int("workers", 0, "software worker goroutines (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "progress output on stderr")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		timing  = flag.Bool("timing", false, "print a per-experiment stage-timing summary")
 	)
 	flag.Parse()
 
@@ -82,6 +87,12 @@ func main() {
 	for _, e := range exps {
 		start := time.Now()
 		fmt.Printf("# %s — %s\n# paper: %s\n\n", e.ID, e.Title, e.Paper)
+		if *timing {
+			// Fresh observer per experiment so the summary reflects
+			// only this experiment's pipeline runs. Tracing stays off:
+			// the summary needs histograms, not per-batch traces.
+			bench.SetRunObserver(obs.New(obs.Options{TraceCapacity: -1}))
+		}
 		for i, t := range e.Run(cfg) {
 			t.Render(os.Stdout)
 			if *csvDir != "" {
@@ -91,6 +102,13 @@ func main() {
 					os.Exit(1)
 				}
 			}
+		}
+		if *timing {
+			fmt.Printf("# %s stage timing:\n", e.ID)
+			for _, line := range bench.TimingSummary(bench.RunObserver()) {
+				fmt.Printf("#   %s\n", line)
+			}
+			bench.SetRunObserver(nil)
 		}
 		fmt.Printf("# %s completed in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}

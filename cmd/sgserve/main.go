@@ -13,8 +13,15 @@
 //	GET  /level?v=7      → {"vertex":7,"level":2}      (BFS mode)
 //	GET  /component?v=7  → {"vertex":7,"component":0}  (CC mode)
 //	GET  /stats          → {"vertices":...,"edges":...,"batches":...}
+//	GET  /metrics        → Prometheus text exposition (pipeline, ABR,
+//	                       OCA, and update-engine series)
+//	GET  /metrics.json   → the same counters as a JSON snapshot
+//	GET  /trace?n=10     → last n per-batch decision traces
 //	GET  /snapshot       → binary snapshot download
 //	POST /flush          → force any deferred compute round
+//
+// With -pprof, net/http/pprof and expvar are additionally served
+// under /debug/.
 //
 // The system processes batches sequentially (the paper's execution
 // model); concurrent POSTs serialize on an internal lock.
@@ -26,6 +33,7 @@ import (
 	"net/http"
 
 	"streamgraph"
+	"streamgraph/internal/obs"
 	"streamgraph/internal/server"
 )
 
@@ -36,6 +44,8 @@ func main() {
 		analytics = flag.String("analytics", "pagerank", "pagerank | sssp | bfs | cc | none")
 		source    = flag.Uint("source", 0, "source vertex for sssp/bfs")
 		noOCA     = flag.Bool("no-oca", false, "disable compute aggregation (latency-critical mode)")
+		traceCap  = flag.Int("trace-buffer", 256, "per-batch trace ring size (0 disables tracing)")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof and expvar under /debug/")
 	)
 	flag.Parse()
 
@@ -55,14 +65,29 @@ func main() {
 		log.Fatalf("sgserve: unknown analytics %q", *analytics)
 	}
 
+	// Observability is on by default: the registry's per-batch cost is
+	// a handful of atomics (see BenchmarkObsOverhead), and a serving
+	// binary without /metrics is blind.
+	ringCap := *traceCap
+	if ringCap == 0 {
+		ringCap = -1 // Observer semantics: negative disables tracing
+	}
+	o := streamgraph.NewObserver(ringCap)
+
 	sys := streamgraph.New(streamgraph.Config{
 		Vertices:   *vertices,
 		Analytics:  a,
 		Source:     streamgraph.VertexID(*source),
 		DisableOCA: *noOCA,
+		Observer:   o,
 	})
 
-	h := server.New(sys)
+	mux := http.NewServeMux()
+	mux.Handle("/", server.New(sys))
+	if *pprofOn {
+		obs.RegisterProfiling(mux)
+		log.Printf("sgserve: pprof+expvar on /debug/")
+	}
 	log.Printf("sgserve: %s analytics on %s", *analytics, *listen)
-	log.Fatal(http.ListenAndServe(*listen, h))
+	log.Fatal(http.ListenAndServe(*listen, mux))
 }

@@ -1,5 +1,7 @@
 // Quickstart: build an input-aware streaming graph system, feed it a
 // few batches, and watch ABR's decisions while PageRank stays fresh.
+// An attached observer records a per-batch decision trace, summarized
+// at the end.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,18 +10,21 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"streamgraph"
 )
 
 func main() {
 	const vertices = 20000
+	observer := streamgraph.NewObserver(0) // 0 → default ring size
 	sys := streamgraph.New(streamgraph.Config{
 		Vertices:  vertices,
 		Analytics: streamgraph.AnalyticsPageRank,
 		// Instrument every other batch so the demo shows ABR
 		// reacting to the alternating batch character.
-		ABR: streamgraph.ABRParams{N: 2, Lambda: 256, TH: 465},
+		ABR:      streamgraph.ABRParams{N: 2, Lambda: 256, TH: 465},
+		Observer: observer,
 	})
 
 	rng := rand.New(rand.NewSource(42))
@@ -66,5 +71,27 @@ func main() {
 	fmt.Println("\ntop 5 PageRank vertices:")
 	for _, e := range top[:5] {
 		fmt.Printf("  v%-6d %.6f\n", e.v, e.r)
+	}
+
+	// The observer kept a decision trace for every batch: which mode
+	// ABR picked (and the CAD it compared against TH), what OCA did
+	// with the compute round, and how long each stage took.
+	fmt.Println("\nper-batch decision trace:")
+	for _, tr := range observer.Traces.Last(0) {
+		mode := "plain"
+		if tr.Reordered {
+			mode = "reorder"
+		}
+		round := "computed"
+		if tr.ComputeDeferred {
+			round = "deferred"
+		} else if tr.AggregatedBatches > 1 {
+			round = fmt.Sprintf("aggregated×%d", tr.AggregatedBatches)
+		}
+		fmt.Printf("  batch %d: engine=%-8s mode=%-7s cad=%-7.1f (TH=%.0f)  locality=%.2f  %s  update=%s compute=%s\n",
+			tr.BatchID, tr.Engine, mode, tr.CAD, tr.CADThreshold,
+			tr.Locality, round,
+			tr.SpanDur("update").Round(time.Microsecond),
+			tr.SpanDur("compute").Round(time.Microsecond))
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"streamgraph/internal/graph"
+	"streamgraph/internal/obs"
 	"streamgraph/internal/reorder"
 	"streamgraph/internal/stats"
 )
@@ -51,6 +52,7 @@ type Controller struct {
 	params    Params
 	reorder   bool
 	batchSeen int
+	obs       *obs.Observer
 }
 
 // NewController returns a controller with reordering initially
@@ -65,6 +67,11 @@ func NewController(p Params) *Controller {
 // Params returns the controller's parameters.
 func (c *Controller) Params() Params { return c.params }
 
+// SetObserver attaches observability instrumentation: each Report
+// records the measured CAD_λ and whether the decision flipped the
+// current mode. A nil observer (the default) disables it.
+func (c *Controller) SetObserver(o *obs.Observer) { c.obs = o }
+
 // NextBatch advances to the next input batch and returns whether this
 // batch is ABR-active (must be instrumented) and whether it should be
 // reordered. The first batch is active.
@@ -77,7 +84,9 @@ func (c *Controller) NextBatch() (active, reorderBatch bool) {
 // Report feeds the CAD_λ measured on an ABR-active batch back into
 // the controller, fixing the decision for the next n batches.
 func (c *Controller) Report(cad float64) {
-	c.reorder = cad >= c.params.TH
+	next := cad >= c.params.TH
+	c.obs.ObserveCAD(cad, next != c.reorder)
+	c.reorder = next
 }
 
 // Reordering returns the current decision without advancing.

@@ -21,9 +21,11 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"streamgraph/internal/gen"
 	"streamgraph/internal/graph"
+	"streamgraph/internal/obs"
 )
 
 // Table is one rendered result artifact.
@@ -94,6 +96,22 @@ type Config struct {
 	// Progress, when non-nil, receives progress lines.
 	Progress io.Writer
 }
+
+// runObs instruments every pipeline run the experiments perform; see
+// SetRunObserver. Experiments execute sequentially on one goroutine,
+// so a package variable suffices.
+var runObs *obs.Observer
+
+// SetRunObserver attaches (or, with nil, detaches) an observer to all
+// subsequent experiment pipeline runs: stage latencies, ABR/OCA
+// decisions, and update-engine work counters accumulate into its
+// registry. cmd/sgbench -timing uses this to print a per-experiment
+// stage-timing summary.
+func SetRunObserver(o *obs.Observer) { runObs = o }
+
+// RunObserver returns the observer set by SetRunObserver (nil when
+// experiment runs are uninstrumented).
+func RunObserver() *obs.Observer { return runObs }
 
 func (c Config) batches() int {
 	if c.Batches > 0 {
@@ -170,6 +188,42 @@ func ByID(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// TimingSummary renders a compact per-stage timing summary from an
+// observer's registry: batch counts per execution mode, latency
+// quantiles for the update and compute stages, and per-engine apply
+// latencies. Histograms with no samples are omitted.
+func TimingSummary(o *obs.Observer) []string {
+	if o == nil {
+		return nil
+	}
+	var out []string
+	out = append(out, fmt.Sprintf(
+		"batches=%d reordered=%d abr-active=%d compute-rounds=%d aggregated=%d",
+		o.BatchesTotal.Value(), o.ReorderedTotal.Value(),
+		o.ABRActiveTotal.Value(), o.ComputeRoundsTotal.Value(),
+		o.AggregatedRoundsTotal.Value()))
+	hist := func(label string, h *obs.Histogram) {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			return
+		}
+		out = append(out, fmt.Sprintf("%s: n=%d mean=%s p50=%s p99=%s",
+			label, s.Count,
+			secs(s.Mean()), secs(s.Quantile(0.50)), secs(s.Quantile(0.99))))
+	}
+	hist("update", o.UpdateSeconds)
+	hist("compute", o.ComputeSeconds)
+	for _, name := range []string{"baseline", "ro", "ro+usc"} {
+		hist("engine "+name, o.EngineHistogram(name))
+	}
+	return out
+}
+
+// secs formats a duration given in seconds.
+func secs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 // applyBatch ingests a batch functionally (untimed).

@@ -71,6 +71,7 @@ func run(w workload, n int, o runOpts) *pipeline.RunMetrics {
 		Workers: o.workers,
 		Compute: o.compute,
 		OCA:     oca.Config{Disabled: !o.oca},
+		Obs:     runObs,
 	}
 	if o.oracle {
 		friendly := w.friendly()

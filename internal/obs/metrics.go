@@ -1,0 +1,429 @@
+// Package obs is the observability layer of the streaming graph
+// system: a dependency-free metrics registry (atomic counters, gauges,
+// and sharded lock-free histograms) with Prometheus text-format
+// exposition, structured per-batch decision traces in a fixed-size
+// ring buffer, and profiling-endpoint wiring for the serving binary.
+//
+// The paper devotes Fig. 16 to the cost of its own instrumentation;
+// this package follows the same discipline: every primitive is cheap
+// enough to leave enabled in production (a handful of atomic
+// operations per observation, no locks on the hot path), and
+// BenchmarkObsOverhead in internal/pipeline accounts for the total
+// pipeline slowdown the way the paper accounts for ABR's.
+//
+// A nil *Observer disables all instrumentation; every method on
+// Observer, BatchTrace and Ring is nil-receiver safe so instrumented
+// code needs no branching beyond what the compiler inlines.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histShards spreads concurrent Observe calls across cachelines. The
+// per-call shard hint is a single wait-free atomic add; bucket counts
+// and the sum accumulator are then uncontended in the common case.
+const histShards = 8
+
+// histShard is one shard of a histogram: per-bucket counts plus a
+// float sum maintained with a CAS loop. Padded to a cacheline so
+// shards don't false-share.
+type histShard struct {
+	counts  []atomic.Uint64 // len(buckets)+1; last is +Inf
+	sumBits atomic.Uint64
+	_       [40]byte // pad: slice header (24) + sum (8) + 40 ≥ 64
+}
+
+func (s *histShard) addSum(v float64) {
+	for {
+		old := s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket, sharded, lock-free histogram. Bucket
+// boundaries are upper bounds (Prometheus "le" semantics); a final
+// implicit +Inf bucket catches the rest.
+type Histogram struct {
+	buckets []float64 // ascending upper bounds, exclusive of +Inf
+	shards  [histShards]histShard
+	hint    atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	h := &Histogram{buckets: bs}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, len(bs)+1)
+	}
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	sh := &h.shards[h.hint.Add(1)%histShards]
+	// Binary search the first bucket whose bound is ≥ v.
+	i := sort.SearchFloat64s(h.buckets, v)
+	sh.counts[i].Add(1)
+	sh.addSum(v)
+}
+
+// ObserveDuration records a sample given in seconds (an alias kept for
+// call-site readability when timing stages).
+func (h *Histogram) ObserveDuration(seconds float64) { h.Observe(seconds) }
+
+// HistogramSnapshot is a point-in-time merged view of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] is the per-bucket
+	// (non-cumulative) count, with Counts[len(Bounds)] the +Inf bucket.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot merges all shards. Concurrent Observe calls may or may not
+// be included; each included sample is counted exactly once.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	out := HistogramSnapshot{
+		Bounds: h.buckets,
+		Counts: make([]uint64, len(h.buckets)+1),
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for j := range sh.counts {
+			c := sh.counts[j].Load()
+			out.Counts[j] += c
+			out.Count += c
+		}
+		out.Sum += math.Float64frombits(sh.sumBits.Load())
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// inside the containing bucket, the standard Prometheus estimation.
+// An empty histogram yields 0; q ≤ 0 returns the lowest populated
+// bucket's lower bound, q ≥ 1 the highest populated bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			lo, hi := 0.0, 0.0
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
+			} else if len(s.Bounds) > 0 {
+				// +Inf bucket: report the largest finite bound.
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+	}
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return 0
+}
+
+// Mean returns the average of all observed samples (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start (start, start*factor, ...).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets covers 1µs .. ~68s in ×4 steps, suitable for batch
+// update and compute stage latencies (values in seconds).
+func DurationBuckets() []float64 { return ExpBuckets(1e-6, 4, 14) }
+
+// metricKind tags a registered metric for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series. A full name may carry a Prometheus
+// label set suffix: `streamgraph_update_seconds{engine="ro"}`; series
+// sharing a base name share one HELP/TYPE header.
+type metric struct {
+	name   string // full series name, possibly with {labels}
+	base   string // name with the label suffix stripped
+	labels string // inside of {...}, empty when unlabelled
+	help   string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds an ordered set of metrics and renders them in the
+// Prometheus text exposition format. Registration is mutex-guarded;
+// metric updates are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// splitName separates an optional {label} suffix from a series name.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+func (r *Registry) register(name, help string, kind metricKind) *metric {
+	base, labels := splitName(name)
+	m := &metric{name: name, base: base, labels: labels, help: help, kind: kind}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// NewCounter registers and returns a counter. The name may carry a
+// label suffix, e.g. `requests_total{code="200"}`.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	m := r.register(name, help, kindCounter)
+	m.counter = &Counter{}
+	return m.counter
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	m := r.register(name, help, kindGauge)
+	m.gauge = &Gauge{}
+	return m.gauge
+}
+
+// NewHistogram registers and returns a histogram with the given bucket
+// upper bounds (a +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	m := r.register(name, help, kindHistogram)
+	m.hist = newHistogram(buckets)
+	return m.hist
+}
+
+// fmtFloat renders a sample value the way Prometheus expects.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// joinLabels merges a series label set with one extra label (used for
+// histogram "le").
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "":
+		return extra
+	case extra == "":
+		return labels
+	default:
+		return labels + "," + extra
+	}
+}
+
+// WritePrometheus renders every registered metric in the text
+// exposition format (version 0.0.4). Series sharing a base name emit
+// one HELP/TYPE header, first occurrence wins.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	seen := make(map[string]bool, len(metrics))
+	for _, m := range metrics {
+		if !seen[m.base] {
+			seen[m.base] = true
+			fmt.Fprintf(w, "# HELP %s %s\n", m.base, m.help)
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.base, m.kind)
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.gauge.Value()))
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			var cum uint64
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = fmtFloat(s.Bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket{%s} %d\n",
+					m.base, joinLabels(m.labels, `le="`+le+`"`), cum)
+			}
+			if m.labels == "" {
+				fmt.Fprintf(w, "%s_sum %s\n", m.base, fmtFloat(s.Sum))
+				fmt.Fprintf(w, "%s_count %d\n", m.base, s.Count)
+			} else {
+				fmt.Fprintf(w, "%s_sum{%s} %s\n", m.base, m.labels, fmtFloat(s.Sum))
+				fmt.Fprintf(w, "%s_count{%s} %d\n", m.base, m.labels, s.Count)
+			}
+		}
+	}
+}
+
+// MetricSnapshot is the JSON form of one registered metric.
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	// Value is set for counters and gauges.
+	Value float64 `json:"value,omitempty"`
+	// Histogram summary fields.
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P90   float64 `json:"p90,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// Snapshot returns a JSON-friendly view of every registered metric.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(metrics))
+	for _, m := range metrics {
+		ms := MetricSnapshot{Name: m.name, Type: m.kind.String()}
+		switch m.kind {
+		case kindCounter:
+			ms.Value = float64(m.counter.Value())
+		case kindGauge:
+			ms.Value = m.gauge.Value()
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			ms.Count = s.Count
+			ms.Sum = s.Sum
+			ms.P50 = s.Quantile(0.50)
+			ms.P90 = s.Quantile(0.90)
+			ms.P99 = s.Quantile(0.99)
+		}
+		out = append(out, ms)
+	}
+	return out
+}

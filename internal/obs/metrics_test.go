@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	var g *Gauge
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+
+	r := NewRegistry()
+	cc := r.NewCounter("c_total", "help")
+	cc.Inc()
+	cc.Add(2)
+	if cc.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", cc.Value())
+	}
+	gg := r.NewGauge("g", "help")
+	gg.Set(-1.25)
+	if gg.Value() != -1.25 {
+		t.Fatalf("gauge = %v, want -1.25", gg.Value())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.NewCounter("dup_total", "help")
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram(ExpBuckets(1, 2, 4))
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("empty histogram: count=%d sum=%v", s.Count, s.Sum)
+	}
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	if m := s.Mean(); m != 0 {
+		t.Fatalf("empty mean = %v, want 0", m)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	h.Observe(7)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 7 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v := s.Quantile(q)
+		// The single sample lives in the (1,10] bucket; every
+		// quantile must resolve inside it.
+		if v < 1 || v > 10 {
+			t.Fatalf("q%v = %v, outside the sample's bucket", q, v)
+		}
+	}
+}
+
+func TestHistogramAllEqual(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for i := 0; i < 1000; i++ {
+		h.Observe(10) // exactly on a bound: le=10 bucket
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 10000 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := s.Quantile(q); v < 1 || v > 10 {
+			t.Fatalf("q%v = %v, want within (1,10]", q, v)
+		}
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	h := newHistogram(ExpBuckets(1, 2, 12)) // 1,2,4,...,2048
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	p0, p50, p99, p100 := s.Quantile(0), s.Quantile(0.5), s.Quantile(0.99), s.Quantile(1)
+	if !(p0 <= p50 && p50 <= p99 && p99 <= p100) {
+		t.Fatalf("quantiles not monotone: %v %v %v %v", p0, p50, p99, p100)
+	}
+	// Uniform 1..1000: the median must land in the bucket holding 500.
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("p50 = %v, want within (256,1024]", p50)
+	}
+	if p99 < 512 || p99 > 1024 {
+		t.Fatalf("p99 = %v, want within (512,1024]", p99)
+	}
+	// Overflow: a sample above every bound goes to +Inf; quantiles in
+	// that bucket clamp to the largest finite bound, never Inf.
+	h.Observe(1e9)
+	if v := h.Snapshot().Quantile(1); math.IsInf(v, 1) {
+		t.Fatalf("p100 with overflow sample = +Inf, want finite clamp")
+	}
+}
+
+// TestHistogramConcurrent checks no samples or sum mass are lost when
+// many goroutines record at once (run under -race).
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(ExpBuckets(1, 2, 10))
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	wantSum := float64(per * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8))
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	var inBuckets uint64
+	for _, c := range s.Counts {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket counts total %d, want %d", inBuckets, s.Count)
+	}
+}
+
+// TestWritePrometheusFormat parses the exposition output line by line
+// and checks the structural invariants of the text format: HELP/TYPE
+// before samples, cumulative non-decreasing buckets ending at +Inf,
+// and _count consistent with the +Inf bucket.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("x_total", "a counter")
+	c.Add(42)
+	g := r.NewGauge("y", "a gauge")
+	g.Set(1.5)
+	h := r.NewHistogram("z_seconds", "a histogram", ExpBuckets(0.001, 10, 3))
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(99) // overflow
+
+	le := r.NewHistogram(`w_seconds{engine="ro"}`, "labeled", ExpBuckets(1, 2, 2))
+	le.Observe(1)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP x_total a counter",
+		"# TYPE x_total counter",
+		"x_total 42",
+		"# TYPE y gauge",
+		"y 1.5",
+		"# TYPE z_seconds histogram",
+		`z_seconds_bucket{le="+Inf"} 3`,
+		"z_seconds_count 3",
+		`w_seconds_bucket{engine="ro",le="+Inf"} 1`,
+		`w_seconds_count{engine="ro"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Structural pass: every sample line has exactly two fields and a
+	// parseable value; TYPE precedes the first sample of each metric.
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("sample line %q has %d fields", line, len(fields))
+		}
+		name, _ := splitName(fields[0])
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if !typed[base] && !typed[name] {
+			t.Fatalf("sample %q before its TYPE line", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cumulative bucket check on z_seconds.
+	var prev uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "z_seconds_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value %q: %v", fields[1], err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+	}
+	if prev != 3 {
+		t.Fatalf("final bucket = %d, want 3", prev)
+	}
+}
+
+func TestRegistrySnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "h").Add(7)
+	h := r.NewHistogram("b_seconds", "h", ExpBuckets(1, 2, 4))
+	h.Observe(3)
+	snaps := r.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("%d snapshots, want 2", len(snaps))
+	}
+	byName := map[string]MetricSnapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	cs := byName["a_total"]
+	if cs.Type != "counter" || cs.Value != 7 {
+		t.Fatalf("counter snapshot: %+v", cs)
+	}
+	hs := byName["b_seconds"]
+	if hs.Type != "histogram" || hs.Count != 1 || hs.Sum != 3 {
+		t.Fatalf("histogram snapshot: %+v", hs)
+	}
+	if hs.P50 <= 0 || hs.P99 < hs.P50 {
+		t.Fatalf("histogram quantiles: %+v", hs)
+	}
+}

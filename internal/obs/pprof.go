@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterProfiling wires the Go runtime's profiling and introspection
+// endpoints onto mux under the conventional paths:
+//
+//	/debug/pprof/            index, plus profile/heap/goroutine/...
+//	/debug/vars              expvar JSON (memstats, cmdline)
+//
+// cmd/sgserve exposes these behind its -pprof flag; they are the
+// heavyweight counterpart to the always-on /metrics endpoint and cost
+// nothing until scraped.
+func RegisterProfiling(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}

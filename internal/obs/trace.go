@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed pipeline stage inside a batch trace. Offsets are
+// relative to the batch's arrival so traces are self-contained.
+type Span struct {
+	// Stage names the pipeline stage: "abr_decide", "update",
+	// "abr_instrument", "oca_decide", "compute".
+	Stage string `json:"stage"`
+	// StartNs is the offset from BatchTrace.Start; DurNs the duration.
+	StartNs int64 `json:"startNs"`
+	DurNs   int64 `json:"durNs"`
+}
+
+// BatchTrace is the structured record of one batch's trip through the
+// pipeline: what each stage cost and what the input-aware controllers
+// decided and why (measured value vs threshold).
+type BatchTrace struct {
+	BatchID int       `json:"batchId"`
+	Start   time.Time `json:"start"`
+	Policy  string    `json:"policy"`
+	Edges   int       `json:"edges"`
+
+	// ABR decision: Active marks instrumented batches, Reordered the
+	// decision in effect, CAD the measured CAD_λ (active batches only)
+	// and CADThreshold the TH it was compared against.
+	ABRActive    bool    `json:"abrActive"`
+	Reordered    bool    `json:"reordered"`
+	CAD          float64 `json:"cad"`
+	CADThreshold float64 `json:"cadThreshold"`
+
+	// Engine is the execution mode that ran the update ("baseline",
+	// "ro", "ro+usc", "hau", "sim-*"); UsedHAU marks hardware batches.
+	Engine  string `json:"engine"`
+	UsedHAU bool   `json:"usedHAU,omitempty"`
+
+	// OCA decision: measured inter-batch locality vs the threshold,
+	// whether this batch's round was deferred, and how many batches the
+	// round that did run covered (0 when none ran).
+	Locality          float64 `json:"locality"`
+	LocalityThreshold float64 `json:"localityThreshold"`
+	ComputeDeferred   bool    `json:"computeDeferred"`
+	AggregatedBatches int     `json:"aggregatedBatches"`
+
+	// SimCycles is the simulated update cost (Sim policies only).
+	SimCycles float64 `json:"simCycles,omitempty"`
+
+	Spans []Span `json:"spans"`
+}
+
+// noopEnd is the shared no-op closure returned for nil traces, so
+// disabled instrumentation allocates nothing per span.
+var noopEnd = func() {}
+
+// Span starts a stage span and returns the closure that ends it.
+// Nil-receiver safe.
+func (t *BatchTrace) Span(stage string) func() {
+	if t == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() {
+		t.Spans = append(t.Spans, Span{
+			Stage:   stage,
+			StartNs: start.Sub(t.Start).Nanoseconds(),
+			DurNs:   time.Since(start).Nanoseconds(),
+		})
+	}
+}
+
+// AddSpan appends an already-measured span. Nil-receiver safe.
+func (t *BatchTrace) AddSpan(stage string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{
+		Stage:   stage,
+		StartNs: start.Sub(t.Start).Nanoseconds(),
+		DurNs:   d.Nanoseconds(),
+	})
+}
+
+// SpanDur returns the duration of the first span with the given stage
+// name, or 0.
+func (t *BatchTrace) SpanDur(stage string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	for _, s := range t.Spans {
+		if s.Stage == stage {
+			return time.Duration(s.DurNs)
+		}
+	}
+	return 0
+}
+
+// Ring is a fixed-capacity ring buffer of batch traces. Writers and
+// readers may be concurrent (the ConcurrentCompute goroutine emits
+// traces while HTTP handlers read them); a mutex guards the buffer —
+// trace emission is once per batch, far off the per-edge hot path.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []BatchTrace
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding the last cap traces (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]BatchTrace, capacity)}
+}
+
+// Add appends a trace, evicting the oldest when full. Nil-safe.
+func (r *Ring) Add(t BatchTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of stored traces.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Last returns up to n most recent traces, oldest first. n ≤ 0 means
+// all stored traces. Nil-safe (returns nil).
+func (r *Ring) Last(n int) []BatchTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stored := r.next
+	if r.full {
+		stored = len(r.buf)
+	}
+	if n <= 0 || n > stored {
+		n = stored
+	}
+	out := make([]BatchTrace, 0, n)
+	// Oldest wanted trace sits n slots behind the write cursor.
+	for i := 0; i < n; i++ {
+		idx := (r.next - n + i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *BatchTrace
+	end := tr.Span("update") // must not panic
+	end()
+	tr.AddSpan("compute", time.Now(), time.Millisecond)
+	if tr.SpanDur("update") != 0 {
+		t.Fatal("nil trace should report zero spans")
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := &BatchTrace{BatchID: 3}
+	end := tr.Span("update")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.AddSpan("compute", time.Now(), 5*time.Millisecond)
+	if d := tr.SpanDur("update"); d <= 0 {
+		t.Fatalf("update span = %v", d)
+	}
+	if d := tr.SpanDur("compute"); d != 5*time.Millisecond {
+		t.Fatalf("compute span = %v", d)
+	}
+	if d := tr.SpanDur("nope"); d != 0 {
+		t.Fatalf("missing span = %v", d)
+	}
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	tr := BatchTrace{
+		BatchID:           7,
+		Policy:            "abr+usc",
+		Edges:             100,
+		ABRActive:         true,
+		Reordered:         true,
+		CAD:               512.5,
+		CADThreshold:      465,
+		Engine:            "ro+usc",
+		Locality:          0.31,
+		LocalityThreshold: 0.25,
+	}
+	tr.AddSpan("update", time.Now(), time.Millisecond)
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"batchId", "policy", "abrActive", "reordered",
+		"cad", "cadThreshold", "engine", "locality", "localityThreshold", "spans"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("trace JSON missing %q: %s", key, raw)
+		}
+	}
+}
+
+func TestRingEvictionAndOrder(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Last(0); len(got) != 0 {
+		t.Fatalf("empty ring Last = %v", got)
+	}
+	for i := 0; i < 5; i++ {
+		r.Add(BatchTrace{BatchID: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	got := r.Last(0)
+	if len(got) != 3 || got[0].BatchID != 2 || got[2].BatchID != 4 {
+		t.Fatalf("Last(0) = %+v, want batches 2..4 oldest-first", got)
+	}
+	got = r.Last(2)
+	if len(got) != 2 || got[0].BatchID != 3 || got[1].BatchID != 4 {
+		t.Fatalf("Last(2) = %+v, want batches 3,4", got)
+	}
+	if got := r.Last(100); len(got) != 3 {
+		t.Fatalf("Last(100) = %d traces, want 3", len(got))
+	}
+	var nilRing *Ring
+	nilRing.Add(BatchTrace{})
+	if nilRing.Len() != 0 || nilRing.Last(1) != nil {
+		t.Fatal("nil ring should be inert")
+	}
+}
+
+func TestObserverNilSafe(t *testing.T) {
+	var o *Observer
+	if tr := o.StartBatch(0, 10, "baseline"); tr != nil {
+		t.Fatal("nil observer should yield nil trace")
+	}
+	o.ObserveCAD(100, true)
+	o.ObserveLocality(0.5)
+	o.ObserveRound(1, false)
+	o.ObserveEngineApply("ro", 0.1, 1, 1, 1, 1)
+	o.EmitBatch(nil)
+	if h := o.EngineHistogram("ro"); h != nil {
+		t.Fatal("nil observer should yield nil histogram")
+	}
+}
+
+func TestObserverEmitBatch(t *testing.T) {
+	o := New(Options{TraceCapacity: 4})
+	tr := o.StartBatch(0, 50, "abr")
+	if tr == nil {
+		t.Fatal("StartBatch returned nil on a live observer")
+	}
+	tr.ABRActive = true
+	tr.Reordered = true
+	tr.UsedHAU = false
+	tr.AggregatedBatches = 2
+	tr.AddSpan("update", time.Now(), 2*time.Millisecond)
+	tr.AddSpan("compute", time.Now(), 3*time.Millisecond)
+	o.EmitBatch(tr)
+
+	if o.BatchesTotal.Value() != 1 || o.ReorderedTotal.Value() != 1 ||
+		o.ABRActiveTotal.Value() != 1 {
+		t.Fatalf("counters: batches=%d reordered=%d active=%d",
+			o.BatchesTotal.Value(), o.ReorderedTotal.Value(), o.ABRActiveTotal.Value())
+	}
+	if s := o.UpdateSeconds.Snapshot(); s.Count != 1 {
+		t.Fatalf("update histogram count = %d", s.Count)
+	}
+	if s := o.ComputeSeconds.Snapshot(); s.Count != 1 {
+		t.Fatalf("compute histogram count = %d", s.Count)
+	}
+	if s := o.BatchEdges.Snapshot(); s.Count != 1 || s.Sum != 50 {
+		t.Fatalf("batch edges histogram: %+v", s)
+	}
+	traces := o.Traces.Last(0)
+	if len(traces) != 1 || traces[0].AggregatedBatches != 2 {
+		t.Fatalf("ring traces: %+v", traces)
+	}
+}
+
+// TestObserverNoRingStillCounts: a negative trace capacity disables
+// the ring but the trace must still function as the metrics carrier.
+func TestObserverNoRingStillCounts(t *testing.T) {
+	o := New(Options{TraceCapacity: -1})
+	if o.Traces != nil {
+		t.Fatal("negative capacity should disable the ring")
+	}
+	tr := o.StartBatch(0, 10, "baseline")
+	if tr == nil {
+		t.Fatal("StartBatch must return a trace even with tracing off")
+	}
+	o.EmitBatch(tr)
+	if o.BatchesTotal.Value() != 1 {
+		t.Fatal("metrics lost when tracing is disabled")
+	}
+}
+
+func TestObserverEngineHistogramDynamic(t *testing.T) {
+	o := New(Options{})
+	// Pre-registered engines.
+	for _, name := range []string{"baseline", "ro", "ro+usc"} {
+		if o.EngineHistogram(name) == nil {
+			t.Fatalf("engine %q not pre-registered", name)
+		}
+	}
+	// Unknown engines register on first use and are stable.
+	h1 := o.EngineHistogram("hau")
+	h2 := o.EngineHistogram("hau")
+	if h1 == nil || h1 != h2 {
+		t.Fatal("dynamic engine histogram not memoized")
+	}
+	o.ObserveEngineApply("ro", 0.25, 100, 7, 30, 9)
+	if o.EdgesAppliedTotal.Value() != 100 || o.LocksTotal.Value() != 7 ||
+		o.ComparisonsTotal.Value() != 30 || o.HashOpsTotal.Value() != 9 {
+		t.Fatal("engine work counters not accumulated")
+	}
+	if s := o.EngineHistogram("ro").Snapshot(); s.Count != 1 || s.Sum != 0.25 {
+		t.Fatalf("ro engine histogram: %+v", s)
+	}
+}

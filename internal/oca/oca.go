@@ -16,7 +16,10 @@
 // exactly one batch, the paper's bound.
 package oca
 
-import "streamgraph/internal/graph"
+import (
+	"streamgraph/internal/graph"
+	"streamgraph/internal/obs"
+)
 
 // DefaultThreshold is the paper's empirically chosen inter-batch
 // locality threshold (Section 5).
@@ -39,6 +42,11 @@ func (c Config) threshold() float64 {
 	return DefaultThreshold
 }
 
+// EffectiveThreshold returns the locality threshold in effect (the
+// configured value, or DefaultThreshold when unset). Observability
+// surfaces report it next to each locality measurement.
+func (c Config) EffectiveThreshold() float64 { return c.threshold() }
+
 // Stats summarizes the aggregator's activity.
 type Stats struct {
 	// Rounds is the number of computation rounds scheduled.
@@ -56,6 +64,7 @@ type Aggregator struct {
 	locality float64
 	pending  []*graph.Batch
 	stats    Stats
+	obs      *obs.Observer
 }
 
 // NewAggregator returns an aggregator with no locality evidence yet
@@ -64,16 +73,23 @@ func NewAggregator(cfg Config) *Aggregator {
 	return &Aggregator{cfg: cfg}
 }
 
+// SetObserver attaches observability instrumentation: locality
+// measurements and round scheduling decisions are recorded. A nil
+// observer (the default) disables it.
+func (a *Aggregator) SetObserver(o *obs.Observer) { a.obs = o }
+
 // Observe feeds the overlap counters measured during an ABR-active
 // batch's update phase. unique is node_counter, overlap is
 // overlap_counter.
 func (a *Aggregator) Observe(unique, overlap int64) {
 	if unique <= 0 {
 		a.locality = 0
+		a.obs.ObserveLocality(0)
 		return
 	}
 	a.locality = float64(overlap) / float64(unique)
 	a.stats.LastLocality = a.locality
+	a.obs.ObserveLocality(a.locality)
 }
 
 // Locality returns the current locality estimate.
@@ -90,14 +106,17 @@ func (a *Aggregator) Next(b *graph.Batch) []*graph.Batch {
 		a.pending = nil
 		a.stats.Rounds++
 		a.stats.Aggregated++
+		a.obs.ObserveRound(len(out), false)
 		return out
 	}
 	if !a.cfg.Disabled && a.locality >= a.cfg.threshold() {
+		a.obs.ObserveRound(0, true)
 		return nil // defer: high inter-batch locality predicted
 	}
 	out := a.pending
 	a.pending = nil
 	a.stats.Rounds++
+	a.obs.ObserveRound(len(out), false)
 	return out
 }
 
@@ -108,6 +127,7 @@ func (a *Aggregator) Flush() []*graph.Batch {
 	a.pending = nil
 	if len(out) > 0 {
 		a.stats.Rounds++
+		a.obs.ObserveRound(len(out), false)
 	}
 	return out
 }

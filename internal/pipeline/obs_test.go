@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"streamgraph/internal/compute"
+	"streamgraph/internal/obs"
+	"streamgraph/internal/oca"
+)
+
+// TestMetricsSnapshotConcurrentWithCompute is the regression test for
+// the ConcurrentCompute data race: the async compute goroutine writes
+// a batch's Compute/AggregatedBatches fields after ProcessBatch has
+// returned, so a reader polling metrics mid-stream raced it. The test
+// hammers MetricsSnapshot from another goroutine while the pipeline
+// runs with concurrent compute; `go test -race` fails on the old code.
+func TestMetricsSnapshotConcurrentWithCompute(t *testing.T) {
+	batches, verts := batchesFor("fb", 3000, 6)
+	r := NewRunner(Config{
+		Policy:            Baseline,
+		Workers:           2,
+		Compute:           &compute.PageRank{Incremental: true, Workers: 2},
+		ConcurrentCompute: true,
+		OCA:               oca.Config{Disabled: true},
+	}, verts)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := r.MetricsSnapshot()
+			// Touch the copied fields so the race detector sees reads.
+			for i := range m.Batches {
+				_ = m.Batches[i].Compute
+				_ = m.Batches[i].AggregatedBatches
+			}
+		}
+	}()
+	for _, b := range batches {
+		r.ProcessBatch(b)
+	}
+	r.Finish()
+	close(stop)
+	<-done
+
+	m := r.MetricsSnapshot()
+	if len(m.Batches) != len(batches) {
+		t.Fatalf("snapshot has %d batches, want %d", len(m.Batches), len(batches))
+	}
+	total := 0
+	for _, bm := range m.Batches {
+		total += bm.AggregatedBatches
+	}
+	if total != len(batches) {
+		t.Fatalf("%d batches computed, want %d", total, len(batches))
+	}
+}
+
+// TestObserverTraceAndMetrics checks the pipeline fills decision
+// traces (ABR and OCA fields, per-stage spans) and the registry
+// counters agree with the run metrics.
+func TestObserverTraceAndMetrics(t *testing.T) {
+	batches, verts := batchesFor("wiki", 2000, 6)
+	o := obs.New(obs.Options{})
+	r := NewRunner(Config{
+		Policy:  ABRUSC,
+		Workers: 2,
+		Compute: &compute.PageRank{Incremental: true, Workers: 2},
+		Obs:     o,
+	}, verts)
+	for _, b := range batches {
+		r.ProcessBatch(b)
+	}
+	r.Finish()
+
+	if got := o.BatchesTotal.Value(); got != int64(len(batches)) {
+		t.Fatalf("BatchesTotal = %d, want %d", got, len(batches))
+	}
+	traces := o.Traces.Last(0)
+	if len(traces) != len(batches) {
+		t.Fatalf("%d traces, want %d", len(traces), len(batches))
+	}
+	for i, tr := range traces {
+		if tr.BatchID != i {
+			t.Fatalf("trace %d has BatchID %d", i, tr.BatchID)
+		}
+		if tr.Policy != ABRUSC.String() {
+			t.Fatalf("trace policy %q", tr.Policy)
+		}
+		if tr.Engine == "" {
+			t.Fatalf("trace %d missing engine", i)
+		}
+		if tr.CADThreshold <= 0 {
+			t.Fatalf("trace %d missing CAD threshold", i)
+		}
+		if tr.LocalityThreshold <= 0 {
+			t.Fatalf("trace %d missing locality threshold", i)
+		}
+		if tr.SpanDur("update") <= 0 {
+			t.Fatalf("trace %d missing update span", i)
+		}
+		if tr.SpanDur("abr_decide") < 0 || tr.SpanDur("oca_decide") < 0 {
+			t.Fatalf("trace %d missing decision spans", i)
+		}
+	}
+	// The ABRUSC run instruments every n-th batch; CAD samples must
+	// have landed in the histogram.
+	if o.CADHist.Snapshot().Count == 0 {
+		t.Fatal("no CAD samples recorded")
+	}
+	if o.UpdateSeconds.Snapshot().Count != uint64(len(batches)) {
+		t.Fatalf("UpdateSeconds count %d, want %d",
+			o.UpdateSeconds.Snapshot().Count, len(batches))
+	}
+	if o.EdgesAppliedTotal.Value() == 0 {
+		t.Fatal("no applied-edge work recorded")
+	}
+}
+
+// BenchmarkObsOverhead quantifies the cost of full observability
+// (registry + tracing) on the wiki profile at the paper's 100K batch
+// size, the configuration ISSUE/Fig. 16 uses for instrumentation
+// overhead. It alternates instrumented and bare runs within each
+// iteration so clock drift cancels, and reports the relative slowdown
+// as overhead-%; the acceptance bar is <5%.
+func BenchmarkObsOverhead(b *testing.B) {
+	batches, verts := batchesFor("wiki", 100000, 3)
+	run := func(o *obs.Observer) time.Duration {
+		r := NewRunner(Config{
+			Policy:  ABRUSC,
+			Workers: 2,
+			OCA:     oca.Config{Disabled: true},
+			Obs:     o,
+		}, verts)
+		start := time.Now()
+		for _, bt := range batches {
+			r.ProcessBatch(bt)
+		}
+		r.Finish()
+		return time.Since(start)
+	}
+	// Warm the page cache / allocator once per variant.
+	run(nil)
+	run(obs.New(obs.Options{}))
+
+	var bare, instrumented time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bare += run(nil)
+		instrumented += run(obs.New(obs.Options{}))
+	}
+	b.StopTimer()
+	if bare > 0 {
+		overhead := (instrumented.Seconds() - bare.Seconds()) / bare.Seconds() * 100
+		b.ReportMetric(overhead, "overhead-%")
+	}
+}

@@ -14,12 +14,14 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"streamgraph/internal/abr"
 	"streamgraph/internal/compute"
 	"streamgraph/internal/graph"
 	"streamgraph/internal/hau"
+	"streamgraph/internal/obs"
 	"streamgraph/internal/oca"
 	"streamgraph/internal/sim"
 	"streamgraph/internal/update"
@@ -144,6 +146,11 @@ type Config struct {
 	// SimConfig is the simulated machine for Sim policies; zero
 	// value means sim.DefaultConfig.
 	SimConfig sim.Config
+	// Obs, when non-nil, receives metrics and per-batch decision
+	// traces from every pipeline stage (see internal/obs). The
+	// instrumentation is cheap enough to leave on; nil disables it
+	// entirely.
+	Obs *obs.Observer
 }
 
 // BatchMetrics records one processed batch.
@@ -218,8 +225,9 @@ func (r *RunMetrics) UpdateSecondsEquivalent(freqGHz float64) float64 {
 	return r.UpdateSeconds()
 }
 
-// Runner executes one policy over a batch stream. Not safe for
-// concurrent use.
+// Runner executes one policy over a batch stream. ProcessBatch is not
+// safe for concurrent use, but MetricsSnapshot may be called from any
+// goroutine while batches are in flight.
 type Runner struct {
 	cfg        Config
 	store      *graph.AdjacencyStore
@@ -238,6 +246,10 @@ type Runner struct {
 	// (ConcurrentCompute); at most one round is outstanding.
 	computeCh chan struct{}
 
+	// mu guards metrics: the ConcurrentCompute goroutine fills a
+	// batch's Compute/AggregatedBatches fields after ProcessBatch has
+	// returned, so concurrent readers must go through MetricsSnapshot.
+	mu      sync.Mutex
 	metrics RunMetrics
 }
 
@@ -259,6 +271,8 @@ func NewRunnerWithStore(cfg Config, store *graph.AdjacencyStore) *Runner {
 	engCfg := update.Config{Workers: cfg.Workers}
 	runCfg := engCfg
 	runCfg.CollectDstRuns = true
+	engCfg.Obs = cfg.Obs
+	runCfg.Obs = cfg.Obs
 	r := &Runner{
 		cfg:        cfg,
 		store:      store,
@@ -268,6 +282,8 @@ func NewRunnerWithStore(cfg Config, store *graph.AdjacencyStore) *Runner {
 		roEng:      &update.Reordered{Cfg: runCfg},
 		uscEng:     &update.Reordered{Cfg: runCfg, USC: true},
 	}
+	r.controller.SetObserver(cfg.Obs)
+	r.agg.SetObserver(cfg.Obs)
 	if cfg.Policy.simulated() {
 		simCfg := cfg.SimConfig
 		if simCfg.Cores == 0 {
@@ -294,8 +310,32 @@ func (r *Runner) TunedParams() abr.Params {
 // Store exposes the graph state (for verification and examples).
 func (r *Runner) Store() *graph.AdjacencyStore { return r.store }
 
-// Metrics returns the metrics accumulated so far.
+// Metrics returns the metrics accumulated so far. The returned
+// pointer aliases live state: with ConcurrentCompute enabled it is
+// only safe to read after Finish (or between batches); concurrent
+// readers must use MetricsSnapshot instead.
 func (r *Runner) Metrics() *RunMetrics { return &r.metrics }
+
+// MetricsSnapshot returns a copy of the run metrics that is safe to
+// read while batches (and their overlapped compute rounds) are in
+// flight on other goroutines.
+func (r *Runner) MetricsSnapshot() RunMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunMetrics{
+		Policy:  r.metrics.Policy,
+		Batches: append([]BatchMetrics(nil), r.metrics.Batches...),
+	}
+}
+
+// appendMetrics records bm under the metrics lock and returns the
+// slot index (stable: batches are only ever appended).
+func (r *Runner) appendMetrics(bm BatchMetrics) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics.Batches = append(r.metrics.Batches, bm)
+	return len(r.metrics.Batches) - 1
+}
 
 // ProcessBatch runs the full per-batch pipeline and returns its
 // metrics (also appended to the run metrics).
@@ -304,17 +344,21 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 	// batch's update mutates the store's metrics slot invariants.
 	r.waitCompute()
 
+	o := r.cfg.Obs
+	tr := o.StartBatch(b.ID, len(b.Edges), r.cfg.Policy.String())
+
 	var bm BatchMetrics
 	bm.BatchID = b.ID
 
 	if r.cfg.Policy.simulated() {
-		r.processSim(b, &bm)
+		r.processSim(b, &bm, tr)
 	} else {
-		r.processSoftware(b, &bm)
+		r.processSoftware(b, &bm, tr)
 	}
 
 	// OCA: feed locality from this batch's counters when instrumented
 	// (active batches under adaptive policies; every batch otherwise).
+	endOCA := tr.Span("oca_decide")
 	if bm.ABRActive || !r.cfg.Policy.adaptive() {
 		r.agg.Observe(bm.Stats.UniqueVerts, bm.Stats.OverlapVerts)
 	}
@@ -322,19 +366,42 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 
 	// Compute phase, possibly aggregated, possibly overlapped with
 	// the next batch's update.
+	var toCompute []*graph.Batch
 	if r.cfg.Compute != nil {
-		toCompute := r.agg.Next(b)
+		toCompute = r.agg.Next(b)
+	}
+	endOCA()
+	if tr != nil {
+		tr.ABRActive = bm.ABRActive
+		tr.Reordered = bm.Reordered
+		tr.UsedHAU = bm.UsedHAU
+		tr.CAD = bm.CAD
+		tr.CADThreshold = r.cfg.ABRParams.TH
+		tr.SimCycles = bm.SimCycles
+		tr.Locality = bm.Locality
+		tr.LocalityThreshold = r.cfg.OCA.EffectiveThreshold()
+		tr.ComputeDeferred = r.cfg.Compute != nil && len(toCompute) == 0 && !r.cfg.OCA.Disabled
+	}
+
+	if r.cfg.Compute != nil {
 		if len(toCompute) > 0 && r.cfg.ConcurrentCompute {
 			snap := r.store.SnapshotCSR()
-			r.metrics.Batches = append(r.metrics.Batches, bm)
-			slot := &r.metrics.Batches[len(r.metrics.Batches)-1]
+			slot := r.appendMetrics(bm)
 			r.computeCh = make(chan struct{})
 			go func(done chan struct{}) {
 				defer close(done)
 				cs := time.Now()
 				r.cfg.Compute.Update(snap, toCompute...)
-				slot.Compute = time.Since(cs)
-				slot.AggregatedBatches = len(toCompute)
+				d := time.Since(cs)
+				r.mu.Lock()
+				r.metrics.Batches[slot].Compute = d
+				r.metrics.Batches[slot].AggregatedBatches = len(toCompute)
+				r.mu.Unlock()
+				if tr != nil {
+					tr.AddSpan("compute", cs, d)
+					tr.AggregatedBatches = len(toCompute)
+					o.EmitBatch(tr)
+				}
 			}(r.computeCh)
 			return bm
 		}
@@ -343,10 +410,15 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 			r.cfg.Compute.Update(r.store, toCompute...)
 			bm.Compute = time.Since(cs)
 			bm.AggregatedBatches = len(toCompute)
+			tr.AddSpan("compute", cs, bm.Compute)
+			if tr != nil {
+				tr.AggregatedBatches = len(toCompute)
+			}
 		}
 	}
 
-	r.metrics.Batches = append(r.metrics.Batches, bm)
+	r.appendMetrics(bm)
+	o.EmitBatch(tr)
 	return bm
 }
 
@@ -366,11 +438,17 @@ func (r *Runner) Finish() {
 		return
 	}
 	if rest := r.agg.Flush(); len(rest) > 0 {
-		last := &r.metrics.Batches[len(r.metrics.Batches)-1]
 		cs := time.Now()
 		r.cfg.Compute.Update(r.store, rest...)
-		last.Compute += time.Since(cs)
+		d := time.Since(cs)
+		r.mu.Lock()
+		last := &r.metrics.Batches[len(r.metrics.Batches)-1]
+		last.Compute += d
 		last.AggregatedBatches += len(rest)
+		r.mu.Unlock()
+		if o := r.cfg.Obs; o != nil {
+			o.ComputeSeconds.Observe(d.Seconds())
+		}
 	}
 }
 
@@ -396,28 +474,37 @@ func (r *Runner) decide(b *graph.Batch) (active, reorderNow bool) {
 }
 
 // processSoftware runs one batch in the real software engines.
-func (r *Runner) processSoftware(b *graph.Batch, bm *BatchMetrics) {
+func (r *Runner) processSoftware(b *graph.Batch, bm *BatchMetrics, tr *obs.BatchTrace) {
+	endDecide := tr.Span("abr_decide")
 	active, reorderNow := r.decide(b)
+	endDecide()
 	bm.ABRActive = active
 	bm.Reordered = reorderNow
 
 	eng := r.pickEngine(reorderNow)
+	if tr != nil {
+		tr.Engine = eng.Name()
+	}
+	endUpdate := tr.Span("update")
 	start := time.Now()
 	st := eng.Apply(r.store, b)
 	if active {
 		// Instrumentation overlapped with the update: the reordered
 		// path reads run lengths; the non-reordered path pays the
 		// concurrent-hash-map pass.
+		endInstr := tr.Span("abr_instrument")
 		var cad float64
 		if reorderNow {
 			cad = abr.CADFromRuns(st.DstRunLens, r.cfg.ABRParams.Lambda)
 		} else {
 			cad = abr.CollectConcurrent(b, r.cfg.ABRParams.Lambda, r.cfg.Workers)
 		}
+		endInstr()
 		r.controller.Report(cad)
 		bm.CAD = cad
 	}
 	bm.Update = time.Since(start)
+	endUpdate()
 	bm.Stats = st
 
 	// Online feedback tuning: feed the active batch's outcome and
@@ -428,6 +515,7 @@ func (r *Runner) processSoftware(b *graph.Batch, bm *BatchMetrics) {
 		r.tuner.Observe(bm.CAD, reorderNow, perEdge)
 		if after := r.tuner.Params(); after.TH != before {
 			fresh := abr.NewController(after)
+			fresh.SetObserver(r.cfg.Obs)
 			fresh.Report(bm.CAD) // carry over the latest measurement
 			// Preserve the instrumentation cadence by replaying the
 			// batch count? The period restarts; with n batches per
@@ -453,8 +541,10 @@ func (r *Runner) pickEngine(reorderNow bool) update.Engine {
 
 // processSim runs one batch on the simulated machine, then applies it
 // functionally so compute and subsequent batches see real state.
-func (r *Runner) processSim(b *graph.Batch, bm *BatchMetrics) {
+func (r *Runner) processSim(b *graph.Batch, bm *BatchMetrics, tr *obs.BatchTrace) {
+	endDecide := tr.Span("abr_decide")
 	active, reorderNow := r.decide(b)
+	endDecide()
 	bm.ABRActive = active
 	bm.Reordered = reorderNow
 
@@ -491,6 +581,10 @@ func (r *Runner) processSim(b *graph.Batch, bm *BatchMetrics) {
 		panic(fmt.Sprintf("pipeline: policy %v is not simulated", r.cfg.Policy))
 	}
 
+	if tr != nil {
+		tr.Engine = r.simulator.Mode.String()
+	}
+	endUpdate := tr.Span("update")
 	res := r.simulator.SimulateBatch(b, r.store)
 	bm.SimCycles = res.Cycles
 	bm.HAUResult = &res
@@ -508,4 +602,5 @@ func (r *Runner) processSim(b *graph.Batch, bm *BatchMetrics) {
 		bm.CAD = cad
 		bm.SimCycles += r.simulator.SimulateInstrumentation(b, reorderNow)
 	}
+	endUpdate()
 }

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"streamgraph"
+)
+
+// newObservedServer builds a test server whose system carries an
+// observer, so /metrics exposes the registry and /trace is live.
+func newObservedServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sys := streamgraph.New(streamgraph.Config{
+		Vertices:   1000,
+		Workers:    2,
+		Analytics:  streamgraph.AnalyticsPageRank,
+		DisableOCA: true,
+		Observer:   streamgraph.NewObserver(8),
+	})
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestMetricsWithObserver(t *testing.T) {
+	ts := newObservedServer(t)
+	postBatch(t, ts, `[{"src":1,"dst":2},{"src":2,"dst":3}]`)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") ||
+		!strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	out := buf.String()
+	for _, want := range []string{
+		// Legacy server series stay intact...
+		"streamgraph_batches_total 1",
+		"streamgraph_edges 2",
+		// ...and the observer registry rides along.
+		"# TYPE streamgraph_pipeline_batches_total counter",
+		"streamgraph_pipeline_batches_total 1",
+		"# TYPE streamgraph_update_seconds histogram",
+		`streamgraph_update_seconds_bucket{le="+Inf"} 1`,
+		"streamgraph_update_seconds_count 1",
+		`streamgraph_update_engine_seconds_bucket{engine=`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsJSONEndpoint(t *testing.T) {
+	ts := newObservedServer(t)
+	postBatch(t, ts, `[{"src":1,"dst":2}]`)
+	resp, err := http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var out struct {
+		Batches  int `json:"batches"`
+		Edges    int `json:"edges"`
+		Vertices int `json:"vertices"`
+		Metrics  []struct {
+			Name string `json:"name"`
+			Type string `json:"type"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Batches != 1 || out.Edges != 1 {
+		t.Fatalf("payload: %+v", out)
+	}
+	found := false
+	for _, m := range out.Metrics {
+		if m.Name == "streamgraph_pipeline_batches_total" && m.Type == "counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registry snapshot missing pipeline counter: %+v", out.Metrics)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	ts := newObservedServer(t)
+	postBatch(t, ts, `[{"src":1,"dst":2},{"src":2,"dst":3}]`)
+	postBatch(t, ts, `[{"src":3,"dst":4}]`)
+
+	resp, err := http.Get(ts.URL + "/trace?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var traces []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("?n=1 returned %d traces", len(traces))
+	}
+	tr := traces[0]
+	if tr["batchId"].(float64) != 1 {
+		t.Fatalf("latest trace batchId = %v", tr["batchId"])
+	}
+	// The ABR and OCA decision context must be present.
+	for _, key := range []string{"policy", "engine", "cadThreshold",
+		"localityThreshold", "spans"} {
+		if _, ok := tr[key]; !ok {
+			t.Fatalf("trace missing %q: %v", key, tr)
+		}
+	}
+	if tr["cadThreshold"].(float64) <= 0 {
+		t.Fatalf("cadThreshold = %v", tr["cadThreshold"])
+	}
+
+	// All traces by default.
+	all := getJSON2(t, ts, "/trace")
+	if len(all) != 2 {
+		t.Fatalf("default /trace returned %d traces", len(all))
+	}
+
+	// Bad n values.
+	for _, q := range []string{"?n=0", "?n=-3", "?n=x"} {
+		r, _ := http.Get(ts.URL + "/trace" + q)
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("/trace%s status %d, want 400", q, r.StatusCode)
+		}
+	}
+}
+
+// getJSON2 fetches a JSON array endpoint.
+func getJSON2(t *testing.T, ts *httptest.Server, path string) []map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status %d", path, resp.StatusCode)
+	}
+	var out []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestTraceDisabledWithoutObserver(t *testing.T) {
+	ts := newTestServer(t, streamgraph.AnalyticsNone)
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/trace without observer: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMethodNotAllowed: the method-qualified mux patterns must answer
+// wrong-method requests with 405 and an Allow header.
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t, streamgraph.AnalyticsNone)
+	cases := []struct {
+		method, path string
+		allow        string
+	}{
+		{http.MethodGet, "/batch", "POST"},
+		{http.MethodGet, "/flush", "POST"},
+		{http.MethodPost, "/stats", "GET"},
+		{http.MethodPost, "/metrics", "GET"},
+		{http.MethodPost, "/metrics.json", "GET"},
+		{http.MethodPost, "/trace", "GET"},
+		{http.MethodPost, "/rank", "GET"},
+		{http.MethodDelete, "/snapshot", "GET"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, c.allow) {
+			t.Fatalf("%s %s: Allow = %q, want %q", c.method, c.path, allow, c.allow)
+		}
+	}
+}
+
+// TestJSONContentTypes: every JSON endpoint must declare its payload.
+func TestJSONContentTypes(t *testing.T) {
+	ts := newObservedServer(t)
+	postBatch(t, ts, `[{"src":1,"dst":2}]`)
+	for _, path := range []string{"/stats", "/metrics.json", "/trace", "/rank?v=2"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("GET %s Content-Type = %q", path, ct)
+		}
+	}
+	// POST endpoints respond JSON too.
+	resp, err := http.Post(ts.URL+"/batch", "application/json",
+		strings.NewReader(`[{"src":9,"dst":10}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("POST /batch Content-Type = %q", ct)
+	}
+}

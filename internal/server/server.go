@@ -39,15 +39,18 @@ type BatchResponse struct {
 type Server struct {
 	mu        sync.Mutex
 	sys       *streamgraph.System
+	obs       *streamgraph.Observer
 	batches   int
 	reordered int
 	rounds    int
 	mux       *http.ServeMux
 }
 
-// New wraps sys in an HTTP handler.
+// New wraps sys in an HTTP handler. When the system carries an
+// observer (Config.Observer), /metrics additionally exposes its full
+// registry and /trace serves its per-batch decision traces.
 func New(sys *streamgraph.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s := &Server{sys: sys, obs: sys.Observer(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /flush", s.handleFlush)
 	s.mux.HandleFunc("GET /rank", s.vertexQuery(func(v streamgraph.VertexID) (string, float64) {
@@ -64,6 +67,8 @@ func New(sys *streamgraph.System) *Server {
 	}))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("GET /trace", s.handleTrace)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	return s
 }
@@ -155,36 +160,95 @@ func (s *Server) vertexQuery(get func(streamgraph.VertexID) (string, float64)) h
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	// MetricsSnapshot is the concurrency-safe accessor: it copies the
+	// run metrics under the runner's lock, so an in-flight
+	// ConcurrentCompute round can never race this read.
+	m := s.sys.MetricsSnapshot()
 	s.mu.Lock()
 	out := map[string]any{
-		"vertices": s.sys.NumVertices(),
-		"edges":    s.sys.NumEdges(),
-		"batches":  s.batches,
+		"vertices":       s.sys.NumVertices(),
+		"edges":          s.sys.NumEdges(),
+		"batches":        s.batches,
+		"updateSeconds":  m.UpdateSeconds(),
+		"computeSeconds": m.ComputeSeconds(),
 	}
 	s.mu.Unlock()
 	writeJSON(w, out)
 }
 
-// handleMetrics exposes Prometheus-style text counters.
+// handleMetrics exposes the full metric set in the Prometheus text
+// format: the server's own ingestion counters and graph gauges, plus
+// — when the system carries an observer — every registry metric
+// (pipeline stage latencies, ABR/OCA decision series, update-engine
+// work counters).
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	batches, reordered, rounds := s.batches, s.reordered, s.rounds
+	edges, vertices := s.sys.NumEdges(), s.sys.NumVertices()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "# HELP streamgraph_batches_total Batches ingested.\n")
 	fmt.Fprintf(w, "# TYPE streamgraph_batches_total counter\n")
-	fmt.Fprintf(w, "streamgraph_batches_total %d\n", s.batches)
+	fmt.Fprintf(w, "streamgraph_batches_total %d\n", batches)
 	fmt.Fprintf(w, "# HELP streamgraph_reordered_batches_total Batches ABR chose to reorder.\n")
 	fmt.Fprintf(w, "# TYPE streamgraph_reordered_batches_total counter\n")
-	fmt.Fprintf(w, "streamgraph_reordered_batches_total %d\n", s.reordered)
+	fmt.Fprintf(w, "streamgraph_reordered_batches_total %d\n", reordered)
 	fmt.Fprintf(w, "# HELP streamgraph_compute_rounds_total Computation rounds scheduled (OCA may cover two batches per round).\n")
 	fmt.Fprintf(w, "# TYPE streamgraph_compute_rounds_total counter\n")
-	fmt.Fprintf(w, "streamgraph_compute_rounds_total %d\n", s.rounds)
+	fmt.Fprintf(w, "streamgraph_compute_rounds_total %d\n", rounds)
 	fmt.Fprintf(w, "# HELP streamgraph_edges Current directed edge count.\n")
 	fmt.Fprintf(w, "# TYPE streamgraph_edges gauge\n")
-	fmt.Fprintf(w, "streamgraph_edges %d\n", s.sys.NumEdges())
+	fmt.Fprintf(w, "streamgraph_edges %d\n", edges)
 	fmt.Fprintf(w, "# HELP streamgraph_vertices Current vertex-space size.\n")
 	fmt.Fprintf(w, "# TYPE streamgraph_vertices gauge\n")
-	fmt.Fprintf(w, "streamgraph_vertices %d\n", s.sys.NumVertices())
+	fmt.Fprintf(w, "streamgraph_vertices %d\n", vertices)
+	if s.obs != nil {
+		s.obs.Registry.WritePrometheus(w)
+	}
+}
+
+// handleMetricsJSON serves the pre-observability ad-hoc JSON payload
+// (the server counters), extended with a summary snapshot of every
+// registry metric when an observer is attached.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := map[string]any{
+		"batches":       s.batches,
+		"reordered":     s.reordered,
+		"computeRounds": s.rounds,
+		"edges":         s.sys.NumEdges(),
+		"vertices":      s.sys.NumVertices(),
+	}
+	s.mu.Unlock()
+	if s.obs != nil {
+		out["metrics"] = s.obs.Registry.Snapshot()
+	}
+	writeJSON(w, out)
+}
+
+// handleTrace serves the most recent per-batch pipeline traces (ABR
+// and OCA decisions with the values they compared, per-stage spans).
+// ?n= bounds the count; default and maximum are the ring capacity.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil || s.obs.Traces == nil {
+		http.Error(w, "tracing disabled: server started without an observer",
+			http.StatusNotFound)
+		return
+	}
+	n := 0 // all stored traces
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			http.Error(w, "bad trace count parameter n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	traces := s.obs.Traces.Last(n)
+	if traces == nil {
+		traces = []streamgraph.BatchTrace{}
+	}
+	writeJSON(w, traces)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,69 @@
+package stats
+
+import "testing"
+
+// Edge-case coverage for Percentile: empty, single-element, and
+// all-equal inputs across the p0/p50/p99/p100 probe points, plus
+// input immutability.
+func TestPercentileEmpty(t *testing.T) {
+	for _, p := range []float64{0, 50, 99, 100} {
+		if v := Percentile(nil, p); v != 0 {
+			t.Fatalf("Percentile(nil, %v) = %v, want 0", p, v)
+		}
+		if v := Percentile([]float64{}, p); v != 0 {
+			t.Fatalf("Percentile([], %v) = %v, want 0", p, v)
+		}
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	for _, p := range []float64{0, 50, 99, 100} {
+		if v := Percentile([]float64{42}, p); v != 42 {
+			t.Fatalf("Percentile([42], %v) = %v, want 42", p, v)
+		}
+	}
+}
+
+func TestPercentileAllEqual(t *testing.T) {
+	xs := []float64{7, 7, 7, 7, 7, 7, 7}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if v := Percentile(xs, p); v != 7 {
+			t.Fatalf("Percentile(all-7, %v) = %v, want 7", p, v)
+		}
+	}
+}
+
+func TestPercentileProbePoints(t *testing.T) {
+	// 1..100: closest-rank interpolation on 100 points.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(100 - i) // reverse order: Percentile must sort
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1},
+		{50, 50.5},
+		{99, 99.01},
+		{100, 100},
+	}
+	for _, c := range cases {
+		if v := Percentile(xs, c.p); !close2(v, c.want) {
+			t.Fatalf("p%v = %v, want %v", c.p, v, c.want)
+		}
+	}
+	// Out-of-range probes clamp.
+	if v := Percentile(xs, -5); v != 1 {
+		t.Fatalf("p-5 = %v, want 1", v)
+	}
+	if v := Percentile(xs, 250); v != 100 {
+		t.Fatalf("p250 = %v, want 100", v)
+	}
+	// Input untouched (still reverse-sorted).
+	if xs[0] != 100 || xs[99] != 1 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

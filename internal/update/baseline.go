@@ -48,6 +48,7 @@ func (e *Baseline) Apply(s *graph.AdjacencyStore, b *graph.Batch) Stats {
 
 	st.Update = time.Since(start)
 	st.Total = st.Update
+	e.Cfg.observe(e.Name(), &st)
 	return st
 }
 

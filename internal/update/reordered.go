@@ -56,6 +56,7 @@ func (e *Reordered) Apply(s *graph.AdjacencyStore, b *graph.Batch) Stats {
 	st.Total = time.Since(start)
 	// Each edge was visited by both passes; report it once.
 	st.EdgesApplied /= 2
+	e.Cfg.observe(e.Name(), &st)
 	return st
 }
 

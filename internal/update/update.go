@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"streamgraph/internal/graph"
+	"streamgraph/internal/obs"
 	"streamgraph/internal/reorder"
 )
 
@@ -107,6 +108,17 @@ type Config struct {
 	// CollectDstRuns makes reordered engines record destination run
 	// lengths into Stats.DstRunLens (ABR-active instrumentation).
 	CollectDstRuns bool
+	// Obs, when non-nil, receives each Apply's latency and work
+	// counters (lock acquisitions, duplicate-search comparisons, USC
+	// hash operations) — the quantities the paper's optimizations
+	// target. Nil disables the instrumentation.
+	Obs *obs.Observer
+}
+
+// observe reports one completed Apply to the configured observer.
+func (c Config) observe(engine string, st *Stats) {
+	c.Obs.ObserveEngineApply(engine, st.Total.Seconds(),
+		st.EdgesApplied, st.Locks, st.Comparisons, st.HashOps)
 }
 
 func (c Config) workers() int {

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Pre-PR gate: formatting, vet, build, and the full test suite with
+# the race detector. Run from the repository root:
+#
+#   ./scripts/check.sh
+#
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check.sh: all gates passed"

@@ -43,6 +43,7 @@ import (
 	"streamgraph/internal/abr"
 	"streamgraph/internal/compute"
 	"streamgraph/internal/graph"
+	"streamgraph/internal/obs"
 	"streamgraph/internal/oca"
 	"streamgraph/internal/pipeline"
 	"streamgraph/internal/trace"
@@ -64,7 +65,24 @@ type (
 	// ABRParams are the adaptive batch reordering parameters
 	// (instrumentation period N, degree cutoff Lambda, threshold TH).
 	ABRParams = abr.Params
+	// Observer is the observability bundle (metrics registry +
+	// per-batch decision traces); see NewObserver.
+	Observer = obs.Observer
+	// BatchTrace is one batch's structured pipeline trace.
+	BatchTrace = obs.BatchTrace
+	// RunMetrics aggregates per-batch pipeline metrics; see
+	// System.MetricsSnapshot.
+	RunMetrics = pipeline.RunMetrics
 )
+
+// NewObserver builds an observability bundle holding the last
+// traceCapacity batch traces (0 means the default of 256; negative
+// disables tracing, keeping metrics only). Pass it via
+// Config.Observer; its registry serves Prometheus exposition and its
+// ring the /trace endpoint of cmd/sgserve.
+func NewObserver(traceCapacity int) *Observer {
+	return obs.New(obs.Options{TraceCapacity: traceCapacity})
+}
 
 // Policy selects the update execution strategy.
 type Policy int
@@ -126,6 +144,10 @@ type Config struct {
 	// (Aspen-style latency hiding). Round durations land in a later
 	// batch's Result; call Flush before reading final analytics.
 	ConcurrentCompute bool
+	// Observer, when non-nil, turns on the observability layer: the
+	// pipeline, update engines, and ABR/OCA controllers record
+	// metrics and per-batch decision traces into it (see NewObserver).
+	Observer *Observer
 }
 
 // Result reports one ingested batch.
@@ -239,9 +261,20 @@ func newSystem(cfg Config, store *graph.AdjacencyStore) *System {
 		Compute:           engine,
 		ConcurrentCompute: cfg.ConcurrentCompute,
 		OCA:               oca.Config{Disabled: cfg.DisableOCA || engine == nil},
+		Obs:               cfg.Observer,
 	}, store)
 	return s
 }
+
+// Observer returns the observability bundle the system records into
+// (nil when Config.Observer was not set).
+func (s *System) Observer() *Observer { return s.cfg.Observer }
+
+// MetricsSnapshot returns a copy of the per-batch pipeline metrics
+// accumulated so far. Unlike the live Result stream, it is safe to
+// call from any goroutine, including while a ConcurrentCompute round
+// is in flight.
+func (s *System) MetricsSnapshot() RunMetrics { return s.runner.MetricsSnapshot() }
 
 // TunedABR returns the ABR parameters currently in effect (they move
 // when Config.AutoTune is enabled).
