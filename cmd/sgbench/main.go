@@ -9,6 +9,14 @@
 //	sgbench -exp fig3 -full       # add the 500K batch size
 //	sgbench -exp fig13 -timing    # append a per-stage timing summary
 //
+// CI bench-smoke mode (no -exp):
+//
+//	sgbench -ci BENCH_ci.json                          # measure, write report
+//	sgbench -ci BENCH_ci.json -ci-baseline ci/bench-baseline.json
+//	                                                   # ...and gate vs baseline
+//	sgbench -ci ci/bench-baseline.json -ci-write-baseline
+//	                                                   # refresh the baseline (halved)
+//
 // Each experiment prints one or more text tables with the paper's
 // reported values alongside the measured ones. Progress goes to
 // stderr with -v. With -timing, every experiment runs under a fresh
@@ -40,8 +48,17 @@ func main() {
 		verbose = flag.Bool("v", false, "progress output on stderr")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		timing  = flag.Bool("timing", false, "print a per-experiment stage-timing summary")
+
+		ciOut      = flag.String("ci", "", "bench-smoke mode: run the CI workload and write the JSON report here")
+		ciBaseline = flag.String("ci-baseline", "", "with -ci: fail if update throughput regresses vs this baseline file")
+		ciTol      = flag.Float64("ci-tolerance", 0.20, "with -ci-baseline: allowed fractional regression")
+		ciWrite    = flag.Bool("ci-write-baseline", false, "with -ci: halve the measured throughput and write it as a baseline")
 	)
 	flag.Parse()
+
+	if *ciOut != "" {
+		os.Exit(runCISmoke(*ciOut, *ciBaseline, *ciTol, *ciWrite, *workers))
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -112,6 +129,54 @@ func main() {
 		}
 		fmt.Printf("# %s completed in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runCISmoke is the CI bench-smoke entry point: measure update
+// throughput on the fixed smoke workload, write the report, and (when
+// a baseline is given) gate against it. Returns the process exit code.
+func runCISmoke(out, baselinePath string, tolerance float64, writeBaseline bool, workers int) int {
+	res := bench.RunCISmoke(workers)
+	if writeBaseline {
+		// Baselines are deliberately understated: CI runners are slower
+		// and noisier than dev machines, and the gate exists to catch
+		// order-of-magnitude slips, not scheduler jitter.
+		for i := range res.Results {
+			res.Results[i].EdgesPerSec /= 2
+			res.Results[i].Seconds *= 2
+		}
+	}
+	if err := bench.WriteCIResult(out, res); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		return 1
+	}
+	for _, r := range res.Results {
+		fmt.Printf("%-18s %12.0f edges/s  (%d edges in %.3fs)\n", r.Engine, r.EdgesPerSec, r.Edges, r.Seconds)
+	}
+	if writeBaseline {
+		fmt.Printf("wrote baseline (measured/2) to %s\n", out)
+		return 0
+	}
+	fmt.Printf("wrote %s\n", out)
+	if baselinePath == "" {
+		return 0
+	}
+	base, err := bench.LoadCIResult(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		return 1
+	}
+	regressions, err := bench.CompareCI(res, base, tolerance)
+	for _, msg := range regressions {
+		fmt.Fprintln(os.Stderr, "sgbench: REGRESSION:", msg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+	}
+	if len(regressions) > 0 || err != nil {
+		return 1
+	}
+	fmt.Printf("bench-smoke gate passed vs %s (tolerance %.0f%%)\n", baselinePath, tolerance*100)
+	return 0
 }
 
 // writeCSV dumps one result table for external plotting.

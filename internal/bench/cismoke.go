@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"streamgraph/internal/gen"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/pipeline"
+	"streamgraph/internal/update"
+)
+
+// CISmoke is the CI bench-smoke regression gate: a small fixed
+// workload run through each software update engine plus the adaptive
+// pipeline, reporting update throughput. CI compares the result
+// against the checked-in baseline (ci/bench-baseline.json) and fails
+// on a regression beyond the tolerance. The workload is deliberately
+// tiny — the gate exists to catch order-of-magnitude slips (an
+// accidentally quadratic duplicate search, a lock in the reordered
+// path), not single-digit noise, which is why the default tolerance
+// is a conservative 20% against deliberately understated baselines.
+
+// CIEngineResult is one engine's throughput measurement.
+type CIEngineResult struct {
+	Engine      string  `json:"engine"`
+	Edges       int64   `json:"edges"`
+	Seconds     float64 `json:"seconds"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+}
+
+// CIResult is the full bench-smoke report (BENCH_ci.json).
+type CIResult struct {
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	NumCPU    int              `json:"num_cpu"`
+	Vertices  int              `json:"vertices"`
+	BatchSize int              `json:"batch_size"`
+	Batches   int              `json:"batches"`
+	Repeats   int              `json:"repeats"`
+	Results   []CIEngineResult `json:"results"`
+}
+
+// ciSmokeWorkload fixes the smoke workload: the wiki profile (the
+// repo's canonical high-degree stream) at a small batch count.
+const (
+	ciBatchSize = 50000
+	ciBatches   = 8
+	ciRepeats   = 3
+)
+
+// RunCISmoke measures update throughput for each software engine and
+// the adaptive pipeline on the fixed smoke workload. Each engine runs
+// ciRepeats times on freshly generated identical batches; the best
+// run is reported, damping scheduler noise the way benchmarks do.
+func RunCISmoke(workers int) CIResult {
+	p := mustProfile("wiki")
+	res := CIResult{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Vertices:  p.Vertices,
+		BatchSize: ciBatchSize,
+		Batches:   ciBatches,
+		Repeats:   ciRepeats,
+	}
+
+	engines := []struct {
+		name string
+		mk   func() update.Engine
+	}{
+		{"baseline", func() update.Engine { return &update.Baseline{Cfg: update.Config{Workers: workers}} }},
+		{"ro", func() update.Engine { return &update.Reordered{Cfg: update.Config{Workers: workers}} }},
+		{"ro+usc", func() update.Engine { return &update.Reordered{Cfg: update.Config{Workers: workers}, USC: true} }},
+	}
+	for _, e := range engines {
+		var best CIEngineResult
+		for rep := 0; rep < ciRepeats; rep++ {
+			batches := gen.Batches(p, ciBatchSize, ciBatches)
+			st := graph.NewAdjacencyStore(p.Vertices)
+			eng := e.mk()
+			var edges int64
+			start := time.Now()
+			for _, b := range batches {
+				s := eng.Apply(st, b)
+				edges += s.EdgesApplied
+			}
+			secs := time.Since(start).Seconds()
+			if r := ciRate(e.name, edges, secs); rep == 0 || r.EdgesPerSec > best.EdgesPerSec {
+				best = r
+			}
+		}
+		res.Results = append(res.Results, best)
+	}
+
+	// The adaptive pipeline path (ABR+USC, update-only): covers the
+	// decision overhead and instrumentation alongside the engines.
+	var best CIEngineResult
+	for rep := 0; rep < ciRepeats; rep++ {
+		batches := gen.Batches(p, ciBatchSize, ciBatches)
+		r := pipeline.NewRunner(pipeline.Config{Policy: pipeline.ABRUSC, Workers: workers}, p.Vertices)
+		var edges int64
+		start := time.Now()
+		for _, b := range batches {
+			bm := r.ProcessBatch(b)
+			edges += bm.Stats.EdgesApplied
+		}
+		r.Finish()
+		secs := time.Since(start).Seconds()
+		if rr := ciRate("pipeline-abr+usc", edges, secs); rep == 0 || rr.EdgesPerSec > best.EdgesPerSec {
+			best = rr
+		}
+	}
+	res.Results = append(res.Results, best)
+	return res
+}
+
+func ciRate(name string, edges int64, secs float64) CIEngineResult {
+	r := CIEngineResult{Engine: name, Edges: edges, Seconds: secs}
+	if secs > 0 {
+		r.EdgesPerSec = float64(edges) / secs
+	}
+	return r
+}
+
+// WriteCIResult writes the report as indented JSON.
+func WriteCIResult(path string, res CIResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCIResult reads a report or baseline file.
+func LoadCIResult(path string) (CIResult, error) {
+	var res CIResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	err = json.Unmarshal(data, &res)
+	return res, err
+}
+
+// CompareCI gates the current run against the baseline: every engine
+// present in both must reach at least (1-tolerance) of the baseline
+// throughput. Returns one message per regression (empty = pass) and
+// an error if the baseline is missing an engine the run produced,
+// so the gate cannot silently narrow.
+func CompareCI(cur, base CIResult, tolerance float64) ([]string, error) {
+	baseBy := make(map[string]CIEngineResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Engine] = r
+	}
+	var regressions []string
+	var missing []string
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Engine]
+		if !ok {
+			missing = append(missing, r.Engine)
+			continue
+		}
+		floor := b.EdgesPerSec * (1 - tolerance)
+		if r.EdgesPerSec < floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f edges/s < floor %.0f (baseline %.0f, tolerance %.0f%%)",
+				r.Engine, r.EdgesPerSec, floor, b.EdgesPerSec, tolerance*100))
+		}
+	}
+	sort.Strings(regressions)
+	if len(missing) > 0 {
+		return regressions, fmt.Errorf("baseline has no entry for engines %v; regenerate it with -ci-write-baseline", missing)
+	}
+	return regressions, nil
+}

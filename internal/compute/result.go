@@ -1,0 +1,34 @@
+package compute
+
+// ResultVector extracts a comparable per-vertex result vector from
+// any of the built-in engines: ranks for PageRank, distances for the
+// SSSP variants, hop levels for BFS, component labels for CC. The
+// differential oracle (internal/oracle) uses it to assert that the
+// same analytic over equivalent stores produces equivalent results
+// regardless of which update engine and store representation built
+// the graph. Returns false for engines it does not know.
+func ResultVector(e Engine) ([]float64, bool) {
+	switch v := e.(type) {
+	case *PageRank:
+		return v.Ranks(), true
+	case *SSSP:
+		return v.Distances(), true
+	case *DeltaStepping:
+		return v.Distances(), true
+	case *BFS:
+		levels := v.Levels()
+		out := make([]float64, len(levels))
+		for i, l := range levels {
+			out[i] = float64(l)
+		}
+		return out, true
+	case *CC:
+		labels := v.Labels()
+		out := make([]float64, len(labels))
+		for i, l := range labels {
+			out[i] = float64(l)
+		}
+		return out, true
+	}
+	return nil, false
+}

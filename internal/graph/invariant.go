@@ -1,0 +1,67 @@
+package graph
+
+import "fmt"
+
+// CheckMirror verifies the fundamental store invariant that every
+// in-adjacency is the exact mirror of the out-adjacencies: for every
+// directed edge src->dst (weight w) in some out-list, dst's in-list
+// contains src with the same weight, and vice versa, with no strays
+// in either direction. It also cross-checks NumEdges against the sum
+// of out-degrees. The differential oracle runs this after every batch
+// on every store; it is exported because store-specific tests and
+// tools (sginspect) want the same check.
+//
+// The store must be quiescent (no concurrent writers).
+func CheckMirror(s Store) error {
+	n := s.NumVertices()
+	outTotal, inTotal := 0, 0
+	for v := 0; v < n; v++ {
+		src := VertexID(v)
+		outTotal += s.OutDegree(src)
+		inTotal += s.InDegree(src)
+		var err error
+		s.ForEachOut(src, func(nb Neighbor) {
+			if err != nil {
+				return
+			}
+			if w, ok := inWeight(s, nb.ID, src); !ok {
+				err = fmt.Errorf("graph: edge %d->%d present in out-list but missing from %d's in-list", src, nb.ID, nb.ID)
+			} else if w != nb.Weight {
+				err = fmt.Errorf("graph: edge %d->%d weight mismatch: out-list %v, in-list %v", src, nb.ID, nb.Weight, w)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		s.ForEachIn(src, func(nb Neighbor) {
+			if err != nil {
+				return
+			}
+			if !s.HasEdge(nb.ID, src) {
+				err = fmt.Errorf("graph: edge %d->%d present in %d's in-list but missing from out-list", nb.ID, src, src)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if outTotal != inTotal {
+		return fmt.Errorf("graph: out-degree sum %d != in-degree sum %d", outTotal, inTotal)
+	}
+	if got := s.NumEdges(); got != outTotal {
+		return fmt.Errorf("graph: NumEdges reports %d but out-degree sum is %d", got, outTotal)
+	}
+	return nil
+}
+
+// inWeight scans dst's in-list for src and returns its weight.
+func inWeight(s Store, dst, src VertexID) (Weight, bool) {
+	var w Weight
+	found := false
+	s.ForEachIn(dst, func(nb Neighbor) {
+		if nb.ID == src {
+			w, found = nb.Weight, true
+		}
+	})
+	return w, found
+}

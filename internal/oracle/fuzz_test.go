@@ -1,0 +1,84 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"streamgraph/internal/graph"
+)
+
+// fuzzVerts bounds the vertex space for fuzzed streams: small enough
+// that duplicate keys, re-deletions and reinsertion collisions are
+// the common case rather than the rare one.
+const fuzzVerts = 64
+
+// decodeStream turns raw fuzz bytes into a deterministic batch
+// stream. Three bytes make one edge op: src, dst (mod fuzzVerts) and
+// a control byte selecting delete vs insert and batch boundaries.
+// Insertion weights are a pure function of (src, dst, batch) so that
+// intra-batch duplicate insertions of one key carry equal weights —
+// the edge-parallel baseline resolves such duplicates in scheduling
+// order, so unequal weights would be a false (nondeterministic)
+// divergence rather than a bug. Weights still vary across batches,
+// exercising the update-in-place path.
+func decodeStream(data []byte) []*graph.Batch {
+	var batches []*graph.Batch
+	cur := &graph.Batch{ID: 0}
+	for i := 0; i+2 < len(data); i += 3 {
+		src := graph.VertexID(data[i] % fuzzVerts)
+		dst := graph.VertexID(data[i+1] % fuzzVerts)
+		ctl := data[i+2]
+		e := graph.Edge{Src: src, Dst: dst}
+		if ctl%5 == 0 {
+			e.Delete = true
+		} else {
+			e.Weight = graph.Weight(1 + (uint32(src)*31+uint32(dst)*17+uint32(cur.ID)*7)%97)
+		}
+		cur.Edges = append(cur.Edges, e)
+		// A control byte in [200,255) closes the batch, giving the
+		// fuzzer direct power over batch boundaries (the quantity the
+		// reordering engines are sensitive to).
+		if ctl >= 200 && len(cur.Edges) > 0 {
+			batches = append(batches, cur)
+			cur = &graph.Batch{ID: cur.ID + 1}
+		}
+	}
+	if len(cur.Edges) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}
+
+// FuzzUpdateEquivalence mutates raw edge streams and replays each
+// through every engine × store combination and the adaptive pipeline,
+// requiring equivalence with the sequential model after every batch.
+// Run locally with:
+//
+//	go test -run '^$' -fuzz '^FuzzUpdateEquivalence$' ./internal/oracle
+//
+// A failing input is minimized by the fuzzer and lands in
+// testdata/fuzz/FuzzUpdateEquivalence/ for replay.
+func FuzzUpdateEquivalence(f *testing.F) {
+	// Seed with the adversarial families' shapes: duplicates,
+	// deletions, batch splits, self-ish loops.
+	f.Add([]byte{1, 2, 1, 1, 2, 1, 1, 2, 0})          // dup insert then delete
+	f.Add([]byte{3, 4, 1, 3, 4, 200, 3, 4, 0})        // insert, new batch, delete
+	f.Add([]byte{5, 6, 0, 5, 6, 1, 5, 6, 200})        // delete-before-insert in one batch
+	f.Add([]byte{7, 8, 1, 8, 7, 1, 7, 8, 0, 8, 7, 0}) // anti-parallel churn
+	f.Add([]byte{9, 9, 1, 9, 10, 1, 10, 9, 200, 9, 10, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*2048 {
+			t.Skip("cap stream length; longer inputs add cost, not coverage")
+		}
+		batches := decodeStream(data)
+		if len(batches) == 0 {
+			t.Skip()
+		}
+		err := RunStream(batches, Matrix(fuzzVerts, 3), Options{
+			Context: fmt.Sprintf("fuzz input (%d bytes, %d batches); corpus file replays it", len(data), len(batches)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"streamgraph/internal/compute"
+	"streamgraph/internal/graph"
+)
+
+// Options tunes one differential run.
+type Options struct {
+	// Context is a replay line (typically an AdvSpec literal or a
+	// fuzz-input description) attached to every divergence so the
+	// failing stream can be regenerated exactly.
+	Context string
+	// Computes holds factories for the analytics whose results must
+	// agree across targets; each target gets its own instance of
+	// each. Engines should run single-worker so results are
+	// scheduling-independent. Nil disables compute checking.
+	Computes []func() compute.Engine
+	// Tolerance bounds the allowed per-vertex compute difference:
+	// |a-b| <= Tolerance * max(1, |a|, |b|). Zero means 1e-9, tight
+	// enough that any structural divergence (a dropped or duplicated
+	// edge) is far outside it while cross-store float summation-order
+	// noise stays inside. Exact-valued analytics (BFS hops, CC
+	// labels, shortest-path distances) are unaffected either way.
+	Tolerance float64
+	// CheckEvery verifies stores every k batches (and always after
+	// the last). 0 means every batch.
+	CheckEvery int
+	// SkipMirror disables the in/out mirror invariant check that
+	// otherwise runs on the final state of every target.
+	SkipMirror bool
+}
+
+func (o Options) tolerance() float64 {
+	if o.Tolerance > 0 {
+		return o.Tolerance
+	}
+	return 1e-9
+}
+
+func (o Options) every() int {
+	if o.CheckEvery > 0 {
+		return o.CheckEvery
+	}
+	return 1
+}
+
+// RunStream replays the batch stream through every target, checking
+// each against the sequential reference model after each batch (or
+// every CheckEvery batches): full-graph equivalence, latest_bid
+// equivalence where the target maintains it, and — when Computes is
+// set — equivalence of every analytic's result vector across all
+// targets. Returns nil, or the first *Divergence with the replay
+// context attached.
+//
+// Targets must be fresh (empty stores) and pre-sized so the stream
+// never grows the vertex space; Matrix handles both.
+func RunStream(batches []*graph.Batch, targets []*Target, opts Options) error {
+	model := NewModel()
+	engines := make([][]compute.Engine, len(targets))
+	for i := range targets {
+		engines[i] = make([]compute.Engine, len(opts.Computes))
+		for j, mk := range opts.Computes {
+			engines[i][j] = mk()
+		}
+	}
+
+	fail := func(d *Divergence, target string, batch int) error {
+		d.Target = target
+		d.Batch = batch
+		d.Context = opts.Context
+		return d
+	}
+
+	for bi, b := range batches {
+		model.ApplyBatch(b)
+		for _, t := range targets {
+			t.Apply(b)
+		}
+		check := (bi+1)%opts.every() == 0 || bi == len(batches)-1
+		if check {
+			for _, t := range targets {
+				if d := model.Verify(t.Store()); d != nil {
+					return fail(d, t.Name, b.ID)
+				}
+				if t.Adj != nil {
+					if d := model.VerifyLatestBIDs(t.Adj()); d != nil {
+						return fail(d, t.Name, b.ID)
+					}
+				}
+			}
+		}
+		// Compute equivalence: run each analytic on each target's
+		// store and compare result vectors against target 0.
+		var ref [][]float64
+		for i, t := range targets {
+			for j, eng := range engines[i] {
+				eng.Update(t.Store(), b)
+				vec, ok := compute.ResultVector(eng)
+				if !ok {
+					return fail(diverge("compute engine %q has no result vector", eng.Name()), t.Name, b.ID)
+				}
+				if i == 0 {
+					ref = append(ref, vec)
+					continue
+				}
+				if d := compareVectors(eng.Name(), ref[j], vec, opts.tolerance()); d != nil {
+					d.Detail = fmt.Sprintf("%s (reference target %q)", d.Detail, targets[0].Name)
+					return fail(d, t.Name, b.ID)
+				}
+			}
+		}
+	}
+
+	for _, t := range targets {
+		if t.Finish != nil {
+			t.Finish()
+		}
+		if d := model.Verify(t.Store()); d != nil {
+			return fail(d, t.Name, len(batches)-1)
+		}
+		if !opts.SkipMirror {
+			if err := graph.CheckMirror(t.Store()); err != nil {
+				return fail(diverge("mirror invariant: %v", err), t.Name, len(batches)-1)
+			}
+		}
+	}
+	return nil
+}
+
+// compareVectors checks two per-vertex result vectors entry-wise.
+func compareVectors(engine string, want, got []float64, tol float64) *Divergence {
+	if len(want) != len(got) {
+		return diverge("compute %q: result length %d, reference %d", engine, len(got), len(want))
+	}
+	for v := range want {
+		a, b := want[v], got[v]
+		if a == b { // covers +Inf == +Inf and exact integers
+			continue
+		}
+		if math.IsNaN(a) && math.IsNaN(b) {
+			continue
+		}
+		limit := tol * math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+		if math.Abs(a-b) > limit {
+			return diverge("compute %q: vertex %d result %v, reference %v (|Δ|=%g > %g)",
+				engine, v, b, a, math.Abs(a-b), limit)
+		}
+	}
+	return nil
+}
+
+// DefaultComputes returns the analytics used by the standard
+// differential runs: incremental BFS and CC (exact integer results),
+// delta-stepping SSSP (exact distances), and a fixed-iteration static
+// PageRank (float results, summation-order noise only). All
+// single-worker for scheduling independence.
+func DefaultComputes(source graph.VertexID) []func() compute.Engine {
+	return []func() compute.Engine{
+		func() compute.Engine { return &compute.BFS{Incremental: true, Workers: 1, Source: source} },
+		func() compute.Engine { return &compute.CC{Incremental: true, Workers: 1} },
+		func() compute.Engine { return &compute.DeltaStepping{Workers: 1, Source: source} },
+		func() compute.Engine { return &compute.PageRank{Workers: 1, MaxIter: 8, Tol: 1e-300} },
+	}
+}

@@ -1,0 +1,145 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"streamgraph/internal/graph"
+)
+
+func ins(src, dst graph.VertexID, w graph.Weight) graph.Edge {
+	return graph.Edge{Src: src, Dst: dst, Weight: w}
+}
+
+func del(src, dst graph.VertexID) graph.Edge {
+	return graph.Edge{Src: src, Dst: dst, Delete: true}
+}
+
+func TestModelBatchSemantics(t *testing.T) {
+	m := NewModel()
+	m.ApplyBatch(&graph.Batch{ID: 0, Edges: []graph.Edge{
+		ins(1, 2, 5),
+		ins(1, 2, 7), // duplicate: last insertion wins
+		ins(2, 3, 1),
+	}})
+	if got := m.NumEdges(); got != 2 {
+		t.Fatalf("NumEdges = %d, want 2", got)
+	}
+	if w, ok := m.Weight(1, 2); !ok || w != 7 {
+		t.Fatalf("weight(1,2) = %v,%v, want 7,true", w, ok)
+	}
+
+	// Delete-then-insert within one batch: insertions apply first, so
+	// the edge ends deleted regardless of stream order.
+	m.ApplyBatch(&graph.Batch{ID: 1, Edges: []graph.Edge{
+		del(2, 3),
+		ins(2, 3, 9),
+	}})
+	if m.HasEdge(2, 3) {
+		t.Fatal("edge 2->3 should be deleted: deletions apply after insertions")
+	}
+
+	// Deleting an absent edge is a no-op but still touches latest_bid.
+	m.ApplyBatch(&graph.Batch{ID: 2, Edges: []graph.Edge{del(7, 8)}})
+	if got := m.NumEdges(); got != 1 {
+		t.Fatalf("NumEdges after no-op delete = %d, want 1", got)
+	}
+	if got := m.LatestBID(7); got != 2 {
+		t.Fatalf("latest_bid(7) = %d, want 2 (no-op deletes touch endpoints)", got)
+	}
+	if got := m.LatestBID(1); got != 0 {
+		t.Fatalf("latest_bid(1) = %d, want 0", got)
+	}
+	if got := m.LatestBID(42); got != -1 {
+		t.Fatalf("latest_bid(42) = %d, want -1", got)
+	}
+
+	// Reinsert in a later batch resurrects the edge with the new weight.
+	m.ApplyBatch(&graph.Batch{ID: 3, Edges: []graph.Edge{ins(2, 3, 4)}})
+	if w, ok := m.Weight(2, 3); !ok || w != 4 {
+		t.Fatalf("weight(2,3) = %v,%v, want 4,true", w, ok)
+	}
+}
+
+func TestVerifyCatchesDivergence(t *testing.T) {
+	m := NewModel()
+	m.ApplyBatch(&graph.Batch{ID: 0, Edges: []graph.Edge{ins(0, 1, 2), ins(1, 2, 3)}})
+
+	t.Run("match", func(t *testing.T) {
+		s := graph.NewAdjacencyStore(4)
+		s.InsertEdge(ins(0, 1, 2))
+		s.InsertEdge(ins(1, 2, 3))
+		if d := m.Verify(s); d != nil {
+			t.Fatalf("unexpected divergence: %v", d)
+		}
+	})
+	t.Run("missing edge", func(t *testing.T) {
+		s := graph.NewAdjacencyStore(4)
+		s.InsertEdge(ins(0, 1, 2))
+		if d := m.Verify(s); d == nil {
+			t.Fatal("missing edge not caught")
+		}
+	})
+	t.Run("extra edge", func(t *testing.T) {
+		s := graph.NewAdjacencyStore(4)
+		s.InsertEdge(ins(0, 1, 2))
+		s.InsertEdge(ins(1, 2, 3))
+		s.InsertEdge(ins(2, 3, 1))
+		if d := m.Verify(s); d == nil {
+			t.Fatal("extra edge not caught")
+		}
+	})
+	t.Run("wrong weight", func(t *testing.T) {
+		s := graph.NewAdjacencyStore(4)
+		s.InsertEdge(ins(0, 1, 2))
+		s.InsertEdge(ins(1, 2, 99))
+		d := m.Verify(s)
+		if d == nil {
+			t.Fatal("weight mismatch not caught")
+		}
+		if !strings.Contains(d.Detail, "weight") {
+			t.Fatalf("divergence should mention the weight: %v", d)
+		}
+	})
+	t.Run("duplicate neighbor", func(t *testing.T) {
+		s := graph.NewAdjacencyStore(4)
+		s.InsertEdge(ins(0, 1, 2))
+		s.InsertEdge(ins(1, 2, 3))
+		// Bypass the duplicate check, as a buggy engine would.
+		s.AppendOutUnsafe(1, graph.Neighbor{ID: 2, Weight: 3})
+		s.AppendInUnsafe(2, graph.Neighbor{ID: 1, Weight: 3})
+		if d := m.Verify(s); d == nil {
+			t.Fatal("duplicated neighbor not caught")
+		}
+	})
+	t.Run("latest_bid", func(t *testing.T) {
+		s := graph.NewAdjacencyStore(4)
+		s.InsertEdge(ins(0, 1, 2))
+		s.InsertEdge(ins(1, 2, 3))
+		s.SetLatestBID(0, 0)
+		s.SetLatestBID(1, 0)
+		// vertex 2 never marked
+		if d := m.VerifyLatestBIDs(s); d == nil {
+			t.Fatal("missing latest_bid not caught")
+		}
+		s.SetLatestBID(2, 0)
+		if d := m.VerifyLatestBIDs(s); d != nil {
+			t.Fatalf("unexpected latest_bid divergence: %v", d)
+		}
+	})
+}
+
+func TestDivergenceErrorFormat(t *testing.T) {
+	d := &Divergence{
+		Target:  "ro+usc/adjlist",
+		Batch:   3,
+		Context: "gen.AdvSpec{Kind: gen.AdvDuplicateHeavy, Seed: 42, Vertices: 64, BatchSize: 128, Batches: 8}",
+		Detail:  "vertex 7: out-degree 4, model 3",
+	}
+	msg := d.Error()
+	for _, want := range []string{"ro+usc/adjlist", "batch 3", "replay:", "Seed: 42", "out-degree"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package oracle
+
+import (
+	"streamgraph/internal/graph"
+	"streamgraph/internal/pipeline"
+	"streamgraph/internal/update"
+)
+
+// Target is one system-under-test in a differential run: a way of
+// applying batches plus the store whose state must match the model.
+type Target struct {
+	// Name identifies the combination in divergence reports, e.g.
+	// "baseline/adjlist" or "pipeline/abr+usc".
+	Name string
+	// Apply ingests one batch.
+	Apply func(b *graph.Batch)
+	// Store returns the current graph state for verification.
+	Store func() graph.Store
+	// Adj returns the underlying adjacency store when the target
+	// maintains latest_bid semantics (engine and pipeline paths);
+	// nil for Mutable-path stores.
+	Adj func() *graph.AdjacencyStore
+	// Finish flushes any deferred work (pipeline targets).
+	Finish func()
+}
+
+// EngineTarget runs one update engine over a fresh adjacency store
+// pre-sized for numVerts.
+func EngineTarget(name string, eng update.Engine, numVerts int) *Target {
+	st := graph.NewAdjacencyStore(numVerts)
+	return &Target{
+		Name:  name,
+		Apply: func(b *graph.Batch) { eng.Apply(st, b) },
+		Store: func() graph.Store { return st },
+		Adj:   func() *graph.AdjacencyStore { return st },
+	}
+}
+
+// MutableTarget replays batches sequentially through the
+// coarse-grained Mutable interface of any store.
+func MutableTarget(name string, st graph.Mutable) *Target {
+	return &Target{
+		Name:  name,
+		Apply: func(b *graph.Batch) { update.ApplyMutable(st, b) },
+		Store: func() graph.Store { return st },
+	}
+}
+
+// HybridTarget replays batches through a hybrid (archive+delta)
+// store, compacting every compactEvery batches so the archive path,
+// tombstones and delta all get exercised.
+func HybridTarget(name string, numVerts, compactEvery int) *Target {
+	st := graph.NewHybridStore(numVerts)
+	applied := 0
+	return &Target{
+		Name: name,
+		Apply: func(b *graph.Batch) {
+			update.ApplyMutable(st, b)
+			applied++
+			if compactEvery > 0 && applied%compactEvery == 0 {
+				st.Compact()
+			}
+		},
+		Store: func() graph.Store { return st },
+	}
+}
+
+// PipelineTarget runs batches through a full pipeline Runner. The
+// config's Compute should be nil in differential runs — the harness
+// drives compute equivalence itself, with one engine instance per
+// target.
+func PipelineTarget(name string, cfg pipeline.Config, numVerts int) *Target {
+	r := pipeline.NewRunner(cfg, numVerts)
+	return &Target{
+		Name:   name,
+		Apply:  func(b *graph.Batch) { r.ProcessBatch(b) },
+		Store:  func() graph.Store { return r.Store() },
+		Adj:    func() *graph.AdjacencyStore { return r.Store() },
+		Finish: func() { r.Finish() },
+	}
+}
+
+// Matrix returns fresh targets covering every engine × store
+// combination plus the adaptive pipeline paths:
+//
+//   - adjacency list × {baseline, baseline(1 worker), RO, RO+USC,
+//     RO+USC with forced coalescing, sequential Mutable};
+//   - DAH store and hybrid store × sequential Mutable (the batch
+//     engines are adjacency-specific by design; the Mutable path is
+//     how those stores ingest batches);
+//   - pipeline × {ABR+USC adaptive, PerfectABR oracle decisions}.
+//
+// Every store is pre-sized for numVerts; streams must keep vertex IDs
+// below numVerts so all representations share one vertex space.
+func Matrix(numVerts, workers int) []*Target {
+	cfg := update.Config{Workers: workers}
+	forced := cfg
+	forced.MinCoalesceRun = 1
+	return []*Target{
+		EngineTarget("baseline/adjlist", &update.Baseline{Cfg: cfg}, numVerts),
+		EngineTarget("baseline-1w/adjlist", &update.Baseline{Cfg: update.Config{Workers: 1}}, numVerts),
+		EngineTarget("ro/adjlist", &update.Reordered{Cfg: cfg}, numVerts),
+		EngineTarget("ro+usc/adjlist", &update.Reordered{Cfg: cfg, USC: true}, numVerts),
+		EngineTarget("ro+usc-forced/adjlist", &update.Reordered{Cfg: forced, USC: true}, numVerts),
+		MutableTarget("mutable/adjlist", graph.NewAdjacencyStore(numVerts)),
+		MutableTarget("mutable/dah", graph.NewDAHStore(numVerts)),
+		HybridTarget("mutable/hybrid", numVerts, 3),
+		PipelineTarget("pipeline/abr+usc",
+			pipeline.Config{Policy: pipeline.ABRUSC, Workers: workers}, numVerts),
+		PipelineTarget("pipeline/perfect-abr",
+			pipeline.Config{
+				Policy:  pipeline.PerfectABR,
+				Workers: workers,
+				Oracle:  func(b *graph.Batch) bool { return b.ID%2 == 0 },
+			}, numVerts),
+	}
+}
+
+// Names returns the target names, for logging.
+func Names(ts []*Target) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}

@@ -1,29 +1,49 @@
 #!/bin/sh
-# Pre-PR gate: formatting, vet, build, and the full test suite with
-# the race detector. Run from the repository root:
+# Pre-PR gate: formatting, vet, staticcheck (when installed), build,
+# and the full test suite with the race detector. Run from the
+# repository root:
 #
 #   ./scripts/check.sh
 #
-# Exits non-zero on the first failure.
+# Exits non-zero on the first failure. CI (.github/workflows/ci.yml)
+# runs the same gates plus fuzz and bench smoke jobs.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== gofmt =="
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
+# Capture to a file, not $(...): a gofmt crash (parse error, bad
+# permissions) must fail the gate instead of yielding an empty list
+# that reads as "all formatted".
+fmtout=$(mktemp)
+trap 'rm -f "$fmtout"' EXIT
+if ! gofmt -l . >"$fmtout" 2>&1; then
+    echo "gofmt: failed:" >&2
+    cat "$fmtout" >&2
+    exit 1
+fi
+if [ -s "$fmtout" ]; then
     echo "gofmt: needs formatting:" >&2
-    echo "$unformatted" >&2
+    cat "$fmtout" >&2
     exit 1
 fi
 
 echo "== go vet =="
 go vet ./...
 
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck =="
+    staticcheck ./...
+else
+    echo "== staticcheck == (skipped: not installed; CI runs it pinned)"
+fi
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
-go test -race ./...
+# -count=1 defeats the test cache: a gate that replays cached results
+# verifies nothing about the current build environment.
+go test -race -count=1 ./...
 
 echo "check.sh: all gates passed"
