@@ -135,7 +135,14 @@ func main() {
 // throughput on the fixed smoke workload, write the report, and (when
 // a baseline is given) gate against it. Returns the process exit code.
 func runCISmoke(out, baselinePath string, tolerance float64, writeBaseline bool, workers int) int {
-	res := bench.RunCISmoke(workers)
+	res, err := bench.RunCISmoke(workers)
+	if err != nil {
+		// A partial run must not produce a report: a truncated
+		// BENCH_ci.json would gate clean against the baseline (or worse,
+		// be promoted to a too-easy baseline with -ci-write-baseline).
+		fmt.Fprintln(os.Stderr, "sgbench: partial CI run, refusing to write", out+":", err)
+		return 1
+	}
 	if writeBaseline {
 		// Baselines are deliberately understated: CI runners are slower
 		// and noisier than dev machines, and the gate exists to catch

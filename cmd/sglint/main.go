@@ -1,0 +1,106 @@
+// Command sglint runs the project-specific static-analysis suite over
+// the module: lock discipline on the sharded stores, snapshot
+// immutability, atomic-field consistency, goroutine hygiene, hot-path
+// allocation policing, and observability discipline. See internal/lint
+// for the analyzer catalog and the //sglint:ignore suppression syntax.
+//
+// Usage:
+//
+//	go run ./cmd/sglint [-tests] [-list] [packages]
+//
+// Package patterns are directory-prefix filters on the reported
+// diagnostics ("./...", "./internal/graph", default all). The whole
+// module is always loaded so cross-package facts stay consistent.
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"streamgraph/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("sglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	includeTests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	root := fs.String("root", ".", "module root to analyze (directory containing go.mod)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	prog, err := lint.LoadModule(*root, *includeTests)
+	if err != nil {
+		fmt.Fprintf(stderr, "sglint: %v\n", err)
+		return 2
+	}
+
+	diags := lint.Run(prog, lint.Analyzers())
+	diags = filterByPatterns(diags, fs.Args())
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "sglint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// filterByPatterns keeps diagnostics under the directories named by
+// go-style package patterns. "./..." and an empty pattern list mean
+// everything; "./internal/graph" keeps that directory only;
+// "./internal/graph/..." keeps the subtree.
+func filterByPatterns(diags []lint.Diagnostic, patterns []string) []lint.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	type filter struct {
+		dir     string
+		subtree bool
+	}
+	var filters []filter
+	for _, p := range patterns {
+		p = filepath.ToSlash(p)
+		subtree := false
+		if p == "..." || strings.HasSuffix(p, "/...") {
+			subtree = true
+			p = strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+		}
+		p = strings.TrimPrefix(p, "./")
+		if p == "" || p == "." {
+			if subtree {
+				return diags
+			}
+		}
+		filters = append(filters, filter{dir: p, subtree: subtree})
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		dir := filepath.ToSlash(filepath.Dir(d.Pos.Filename))
+		for _, f := range filters {
+			if dir == f.dir || (f.subtree && (f.dir == "" || strings.HasPrefix(dir, f.dir+"/"))) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -167,6 +167,8 @@ type degreeShard struct {
 // parallel, then scanning the map entries. This path is the expensive
 // one (the paper reports an average 0.54x slowdown on these batches);
 // ABR amortizes it over n batches.
+//
+//sglint:pool CAD measurement workers join on wg.Wait within the call; a panic while counting degrees must crash, not yield a bogus CAD value
 func CollectConcurrent(b *graph.Batch, lambda, workers int) float64 {
 	if workers < 1 {
 		workers = 1

@@ -57,7 +57,14 @@ const (
 // the adaptive pipeline on the fixed smoke workload. Each engine runs
 // ciRepeats times on freshly generated identical batches; the best
 // run is reported, damping scheduler noise the way benchmarks do.
-func RunCISmoke(workers int) CIResult {
+//
+// A non-nil error marks a PARTIAL run — an engine panicked or
+// produced a zero-edge measurement mid-matrix. The returned CIResult
+// holds whatever completed (useful for a diagnostic dump) but must
+// not be written as BENCH_ci.json: a truncated report would compare
+// clean against the baseline and could even be promoted to a
+// too-easy baseline itself.
+func RunCISmoke(workers int) (CIResult, error) {
 	p := mustProfile("wiki")
 	res := CIResult{
 		GoVersion: runtime.Version(),
@@ -79,45 +86,73 @@ func RunCISmoke(workers int) CIResult {
 		{"ro+usc", func() update.Engine { return &update.Reordered{Cfg: update.Config{Workers: workers}, USC: true} }},
 	}
 	for _, e := range engines {
-		var best CIEngineResult
-		for rep := 0; rep < ciRepeats; rep++ {
+		best, err := ciMeasure(e.name, func() (int64, error) {
 			batches := gen.Batches(p, ciBatchSize, ciBatches)
 			st := graph.NewAdjacencyStore(p.Vertices)
 			eng := e.mk()
 			var edges int64
-			start := time.Now()
 			for _, b := range batches {
 				s := eng.Apply(st, b)
 				edges += s.EdgesApplied
 			}
-			secs := time.Since(start).Seconds()
-			if r := ciRate(e.name, edges, secs); rep == 0 || r.EdgesPerSec > best.EdgesPerSec {
-				best = r
-			}
+			return edges, nil
+		})
+		if err != nil {
+			return res, err
 		}
 		res.Results = append(res.Results, best)
 	}
 
 	// The adaptive pipeline path (ABR+USC, update-only): covers the
 	// decision overhead and instrumentation alongside the engines.
-	var best CIEngineResult
-	for rep := 0; rep < ciRepeats; rep++ {
+	best, err := ciMeasure("pipeline-abr+usc", func() (int64, error) {
 		batches := gen.Batches(p, ciBatchSize, ciBatches)
 		r := pipeline.NewRunner(pipeline.Config{Policy: pipeline.ABRUSC, Workers: workers}, p.Vertices)
 		var edges int64
-		start := time.Now()
 		for _, b := range batches {
 			bm := r.ProcessBatch(b)
 			edges += bm.Stats.EdgesApplied
 		}
 		r.Finish()
-		secs := time.Since(start).Seconds()
-		if rr := ciRate("pipeline-abr+usc", edges, secs); rep == 0 || rr.EdgesPerSec > best.EdgesPerSec {
-			best = rr
-		}
+		return edges, nil
+	})
+	if err != nil {
+		return res, err
 	}
 	res.Results = append(res.Results, best)
-	return res
+	return res, nil
+}
+
+// ciMeasure runs one engine's repeats, converting a panic inside the
+// engine into an error and rejecting empty measurements, so a failure
+// mid-matrix surfaces as a partial run instead of a truncated report.
+func ciMeasure(name string, run func() (int64, error)) (best CIEngineResult, err error) {
+	for rep := 0; rep < ciRepeats; rep++ {
+		edges, secs, runErr := ciTimeOne(run)
+		if runErr != nil {
+			return best, fmt.Errorf("engine %s (repeat %d): %w", name, rep, runErr)
+		}
+		if edges == 0 {
+			return best, fmt.Errorf("engine %s (repeat %d): zero edges applied; measurement invalid", name, rep)
+		}
+		if r := ciRate(name, edges, secs); rep == 0 || r.EdgesPerSec > best.EdgesPerSec {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// ciTimeOne times a single repeat under a recover guard.
+func ciTimeOne(run func() (int64, error)) (edges int64, secs float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	start := time.Now()
+	edges, err = run()
+	secs = time.Since(start).Seconds()
+	return edges, secs, err
 }
 
 func ciRate(name string, edges int64, secs float64) CIEngineResult {

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCIMeasurePanicBecomesError verifies the partial-run guard: an
+// engine panic mid-matrix surfaces as an error instead of a truncated
+// measurement.
+func TestCIMeasurePanicBecomesError(t *testing.T) {
+	_, err := ciMeasure("boom", func() (int64, error) {
+		panic("engine exploded")
+	})
+	if err == nil {
+		t.Fatal("ciMeasure swallowed a panic")
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "engine exploded") {
+		t.Errorf("error %q does not name the engine and the panic", err)
+	}
+}
+
+// TestCIMeasureRejectsZeroEdges verifies an empty measurement is
+// treated as a partial run, not a 0 edges/s data point.
+func TestCIMeasureRejectsZeroEdges(t *testing.T) {
+	_, err := ciMeasure("empty", func() (int64, error) {
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("ciMeasure accepted a zero-edge measurement")
+	}
+	if !strings.Contains(err.Error(), "zero edges") {
+		t.Errorf("error %q does not mention zero edges", err)
+	}
+}
+
+// TestCIMeasureReportsBest verifies the happy path still reports the
+// best repeat.
+func TestCIMeasureReportsBest(t *testing.T) {
+	n := int64(0)
+	best, err := ciMeasure("ok", func() (int64, error) {
+		n += 1000
+		return n, nil
+	})
+	if err != nil {
+		t.Fatalf("ciMeasure: %v", err)
+	}
+	if best.Engine != "ok" || best.Edges == 0 || best.EdgesPerSec <= 0 {
+		t.Errorf("unexpected best result: %+v", best)
+	}
+}

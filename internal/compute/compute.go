@@ -20,14 +20,18 @@ import (
 )
 
 // Metrics describes one computation round.
+//
+// EdgesTraversed is updated with sync/atomic by the parallel kernels,
+// so it leads the struct: a 64-bit atomic behind the int Iterations
+// field would sit at a 4-byte offset on 32-bit targets and fault.
 type Metrics struct {
-	// Iterations is the number of frontier/sweep iterations executed.
-	Iterations int
+	// EdgesTraversed counts adjacency entries read.
+	EdgesTraversed int64
 	// VerticesProcessed counts vertex activations (with multiplicity
 	// across iterations).
 	VerticesProcessed int64
-	// EdgesTraversed counts adjacency entries read.
-	EdgesTraversed int64
+	// Iterations is the number of frontier/sweep iterations executed.
+	Iterations int
 	// Time is the wall-clock duration of the round.
 	Time time.Duration
 }
@@ -35,6 +39,7 @@ type Metrics struct {
 func (m *Metrics) add(o Metrics) {
 	m.Iterations += o.Iterations
 	m.VerticesProcessed += o.VerticesProcessed
+	//sglint:ignore atomicfield add merges rounds after their workers have joined; no concurrent writers exist here
 	m.EdgesTraversed += o.EdgesTraversed
 	m.Time += o.Time
 }
@@ -64,6 +69,8 @@ func workers(w int) int {
 
 // parallelVerts applies fn over the vertex list in dynamically
 // scheduled chunks.
+//
+//sglint:pool compute workers join on wg.Wait before the round returns; a panic in an algorithm kernel must crash, not silently drop a partition
 func parallelVerts(vs []graph.VertexID, nWorkers int, fn func(v graph.VertexID, w int)) {
 	const chunk = 512
 	if len(vs) == 0 {

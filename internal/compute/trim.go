@@ -2,6 +2,7 @@ package compute
 
 import (
 	"math"
+	"sync/atomic"
 
 	"streamgraph/internal/graph"
 )
@@ -37,6 +38,10 @@ func (s *SSSP) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
 		}
 	}
 
+	// The repair worklist is sequential; edges are counted locally and
+	// flushed with one atomic add, the same discipline the parallel
+	// kernels use for EdgesTraversed.
+	var edges int64
 	for len(queue) > 0 {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -50,7 +55,7 @@ func (s *SSSP) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
 		m.VerticesProcessed++
 		supported := false
 		g.ForEachIn(v, func(nb graph.Neighbor) {
-			m.EdgesTraversed++
+			edges++
 			if !supported && !unsafe[nb.ID] && s.get(nb.ID)+float64(nb.Weight) == dv {
 				supported = true
 			}
@@ -62,13 +67,14 @@ func (s *SSSP) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
 		// Dependents: out-neighbors whose value may have come
 		// through v — they must re-establish their own support.
 		g.ForEachOut(v, func(nb graph.Neighbor) {
-			m.EdgesTraversed++
+			edges++
 			if !unsafe[nb.ID] && s.get(nb.ID) == dv+float64(nb.Weight) {
 				queue = append(queue, nb.ID)
 			}
 		})
 	}
 	if len(unsafe) == 0 {
+		atomic.AddInt64(&m.EdgesTraversed, edges)
 		return
 	}
 
@@ -81,7 +87,7 @@ func (s *SSSP) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
 	for v := range unsafe {
 		best := math.Inf(1)
 		g.ForEachIn(v, func(nb graph.Neighbor) {
-			m.EdgesTraversed++
+			edges++
 			if !unsafe[nb.ID] {
 				if c := s.get(nb.ID) + float64(nb.Weight); c < best {
 					best = c
@@ -93,6 +99,7 @@ func (s *SSSP) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
 			frontier = append(frontier, v)
 		}
 	}
+	atomic.AddInt64(&m.EdgesTraversed, edges)
 	s.propagate(g, frontier, m)
 }
 
@@ -110,6 +117,7 @@ func (b *BFS) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
 		}
 	}
 
+	var edges int64
 	for len(queue) > 0 {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -123,7 +131,7 @@ func (b *BFS) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
 		m.VerticesProcessed++
 		supported := false
 		g.ForEachIn(v, func(nb graph.Neighbor) {
-			m.EdgesTraversed++
+			edges++
 			if !supported && !unsafe[nb.ID] {
 				if u := b.level[nb.ID].Load(); u != unreached && u+1 == lv {
 					supported = true
@@ -135,13 +143,14 @@ func (b *BFS) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
 		}
 		unsafe[v] = true
 		g.ForEachOut(v, func(nb graph.Neighbor) {
-			m.EdgesTraversed++
+			edges++
 			if !unsafe[nb.ID] && b.level[nb.ID].Load() == lv+1 {
 				queue = append(queue, nb.ID)
 			}
 		})
 	}
 	if len(unsafe) == 0 {
+		atomic.AddInt64(&m.EdgesTraversed, edges)
 		return
 	}
 
@@ -152,7 +161,7 @@ func (b *BFS) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
 	for v := range unsafe {
 		best := unreached
 		g.ForEachIn(v, func(nb graph.Neighbor) {
-			m.EdgesTraversed++
+			edges++
 			if !unsafe[nb.ID] {
 				if u := b.level[nb.ID].Load(); u != unreached && (best == unreached || u+1 < best) {
 					best = u + 1
@@ -164,5 +173,6 @@ func (b *BFS) trimAndRepair(g graph.Store, deleted []graph.Edge, m *Metrics) {
 			frontier = append(frontier, v)
 		}
 	}
+	atomic.AddInt64(&m.EdgesTraversed, edges)
 	b.propagate(g, frontier, m)
 }

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity on struct fields:
+//
+//  1. A field passed to sync/atomic (atomic.AddInt64(&s.n, 1), or
+//     atomic.LoadInt32(&v.latestBID)) must be accessed through
+//     sync/atomic at every other use — one plain read beside an atomic
+//     write is a data race the race detector only sees when both sides
+//     run concurrently in a test.
+//  2. 64-bit plain atomics (Int64/Uint64 fields used with the
+//     free-function API) must sit at an 8-byte-aligned offset so they
+//     do not fault on 32-bit targets; use the atomic.Int64 type or
+//     reorder the struct.
+//
+// Composite literals are exempt: construction happens before the
+// value is shared. Fields of type atomic.Int64 / atomic.Pointer etc.
+// are safe by construction and not tracked.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must be atomic everywhere, with 64-bit alignment safety",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(prog *Program, report Reporter) {
+	atomicFields := collectAtomicFields(prog)
+	if len(atomicFields) == 0 {
+		return
+	}
+	checkAlignment(atomicFields, report)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			checkPlainAccess(pkg, file, atomicFields, report)
+		}
+	}
+}
+
+// atomicUse records where a field was first seen used atomically.
+type atomicUse struct {
+	field *types.Var
+	pos   ast.Node
+}
+
+// collectAtomicFields finds every struct field whose address is passed
+// to a sync/atomic free function anywhere in the module.
+func collectAtomicFields(prog *Program) map[*types.Var]*atomicUse {
+	out := make(map[*types.Var]*atomicUse)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pkg.Info, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if f := selectedField(pkg.Info, sel); f != nil {
+						if out[f] == nil {
+							out[f] = &atomicUse{field: f, pos: sel}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkPlainAccess reports non-atomic uses of tracked fields: any
+// selector naming the field used as a direct read or write target.
+// Address-of uses (&s.f) are exempt — whether fed to sync/atomic here
+// or passed to a helper, the actual memory accesses happen at the
+// pointer's use sites, which are checked in their own right. Composite
+// literals are construction-time and exempt.
+func checkPlainAccess(pkg *Package, file *ast.File, atomicFields map[*types.Var]*atomicUse, report Reporter) {
+	walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f := selectedField(pkg.Info, sel)
+		if f == nil || atomicFields[f] == nil {
+			return true
+		}
+		if isAddressOperand(sel, stack) || inCompositeLit(stack) {
+			return true
+		}
+		report(sel.Pos(), "plain access to field %s.%s, which is accessed atomically elsewhere: use sync/atomic here too",
+			ownerName(f), f.Name())
+		return true
+	})
+}
+
+// ownerName names the struct that declares field f, best-effort.
+func ownerName(f *types.Var) string {
+	// The field's parent scope does not name the struct; walk the
+	// package scope for a type whose struct contains f.
+	if f.Pkg() == nil {
+		return "?"
+	}
+	scope := f.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := types.Unalias(tn.Type()).(*types.Named)
+		if !ok {
+			continue
+		}
+		strct, ok := st.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < strct.NumFields(); i++ {
+			if strct.Field(i) == f {
+				return tn.Name()
+			}
+		}
+	}
+	return "?"
+}
+
+// isAddressOperand reports whether sel appears as &sel.
+func isAddressOperand(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	un, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	return ok && un.Op == token.AND && ast.Unparen(un.X) == sel
+}
+
+// inCompositeLit reports whether the node sits inside a composite
+// literal (construction-time initialization, pre-publication).
+func inCompositeLit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// checkAlignment flags 64-bit atomic fields that a 32-bit build would
+// place at a non-8-byte-aligned offset. types.SizesFor with GOARCH=386
+// reproduces the worst-case layout.
+func checkAlignment(atomicFields map[*types.Var]*atomicUse, report Reporter) {
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		return
+	}
+	checked := make(map[*types.Var]bool)
+	for f, use := range atomicFields {
+		if checked[f] {
+			continue
+		}
+		checked[f] = true
+		basic, ok := types.Unalias(f.Type()).(*types.Basic)
+		if !ok {
+			continue
+		}
+		switch basic.Kind() {
+		case types.Int64, types.Uint64:
+		default:
+			continue
+		}
+		strct, idx := owningStruct(f)
+		if strct == nil {
+			continue
+		}
+		fields := make([]*types.Var, strct.NumFields())
+		for i := range fields {
+			fields[i] = strct.Field(i)
+		}
+		offsets := sizes.Offsetsof(fields)
+		if offsets[idx]%8 != 0 {
+			report(use.pos.Pos(),
+				"64-bit atomic field %s is at offset %d on 32-bit targets (not 8-byte aligned): move it first in the struct or use atomic.%s",
+				f.Name(), offsets[idx], atomicTypeName(basic.Kind()))
+		}
+	}
+}
+
+// owningStruct finds the struct type declaring f and f's index in it.
+func owningStruct(f *types.Var) (*types.Struct, int) {
+	if f.Pkg() == nil {
+		return nil, -1
+	}
+	scope := f.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		strct, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < strct.NumFields(); i++ {
+			if strct.Field(i) == f {
+				return strct, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// atomicTypeName maps a basic kind to its sync/atomic wrapper type.
+func atomicTypeName(k types.BasicKind) string {
+	if k == types.Uint64 {
+		return "Uint64"
+	}
+	return "Int64"
+}

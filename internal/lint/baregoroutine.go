@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BareGoroutine requires every `go` statement outside an approved
+// worker-pool file to be joined and protected:
+//
+//   - joined: the goroutine body signals completion — `defer wg.Done()`
+//     on a sync.WaitGroup, or `defer close(ch)` / a channel send the
+//     spawner waits on — so it cannot silently outlive the batch it
+//     was started for;
+//   - protected: the body recovers from panics or reports failures
+//     through an error-typed channel send, so one bad edge cannot kill
+//     the process with no trace attribution.
+//
+// Files that implement a deliberate worker pool opt out wholesale with
+// a file-level marker comment:
+//
+//	//sglint:pool <one-line reason>
+//
+// A `go someFunc()` whose body is not a function literal cannot be
+// verified and is always reported outside pool files.
+var BareGoroutine = &Analyzer{
+	Name: "baregoroutine",
+	Doc:  "go statements need a WaitGroup/channel join and a recover-or-error path, except in marked pool files",
+	Run:  runBareGoroutine,
+}
+
+// poolMarker is the file-level opt-out comment prefix.
+const poolMarker = "//sglint:pool"
+
+func runBareGoroutine(prog *Program, report Reporter) {
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			if marker, reason := filePoolMarker(file); marker {
+				if reason == "" {
+					report(file.Package, "bare //sglint:pool marker: add a one-line reason why this file's goroutines are exempt")
+				}
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pkg, gs, report)
+				return true
+			})
+		}
+	}
+}
+
+// filePoolMarker scans a file's comments for //sglint:pool.
+func filePoolMarker(file *ast.File) (found bool, reason string) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if after, ok := strings.CutPrefix(c.Text, poolMarker); ok {
+				return true, strings.TrimSpace(after)
+			}
+		}
+	}
+	return false, ""
+}
+
+// checkGoStmt verifies one go statement has both a join and a
+// protection path.
+func checkGoStmt(pkg *Package, gs *ast.GoStmt, report Reporter) {
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		report(gs.Pos(), "goroutine spawns a named function: wrap it in a func literal with a join (wg.Done/close) and a recover-or-error path, or move it to a //sglint:pool file")
+		return
+	}
+	var joined, protected bool
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested goroutine/callback body does not join or protect
+			// THIS goroutine. Deferred closures are handled below.
+			return false
+		case *ast.DeferStmt:
+			j, p := analyzeDeferred(pkg, n.Call)
+			joined = joined || j
+			protected = protected || p
+		case *ast.CallExpr:
+			if callsRecover(pkg, n) {
+				protected = true
+			}
+		case *ast.SendStmt:
+			// A send the spawner receives from is a join; if the sent
+			// value carries an error, it is also the failure path.
+			joined = true
+			if t := pkg.Info.Types[n.Value].Type; t != nil && implementsError(t) {
+				protected = true
+			}
+		}
+		return true
+	})
+	switch {
+	case !joined && !protected:
+		report(gs.Pos(), "bare goroutine: no join (wg.Done/close/channel send) and no recover-or-error path")
+	case !joined:
+		report(gs.Pos(), "unjoined goroutine: add a defer wg.Done(), defer close(done), or completion send the spawner waits on")
+	case !protected:
+		report(gs.Pos(), "unprotected goroutine: add a defer recover() or send errors to the spawner; a panic here kills the whole process")
+	}
+}
+
+// analyzeDeferred classifies one deferred call: a direct wg.Done() /
+// close(ch) / recover(), or a deferred closure whose body contains
+// them (`defer func() { if r := recover(); ... }()` is the standard
+// idiom).
+func analyzeDeferred(pkg *Package, call *ast.CallExpr) (joined, protected bool) {
+	if isJoinCall(pkg, call) {
+		joined = true
+	}
+	if callsRecover(pkg, call) {
+		protected = true
+	}
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return joined, protected
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok {
+			if isJoinCall(pkg, c) {
+				joined = true
+			}
+			if callsRecover(pkg, c) {
+				protected = true
+			}
+		}
+		return true
+	})
+	return joined, protected
+}
+
+// isJoinCall recognizes wg.Done(), close(ch), and cond.Signal-style
+// completion calls made under defer.
+func isJoinCall(pkg *Package, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "close" && len(call.Args) == 1 {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Done" {
+			return false
+		}
+		if t := pkg.Info.Types[fun.X].Type; t != nil && isTypeNamed(t, "sync", "WaitGroup") {
+			return true
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether the call is the recover builtin.
+func callsRecover(pkg *Package, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	return false
+}
+
+// implementsError reports whether t is error or implements it.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}

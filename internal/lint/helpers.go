@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// constInt64 extracts an exact integer from a constant value.
+func constInt64(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// calleeFunc resolves the static callee of a call expression, or nil
+// for calls through function values, builtins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isTypeNamed reports whether t (possibly behind a pointer) is the
+// named type pkgPath.name.
+func isTypeNamed(t types.Type, pkgPath, name string) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isSyncLocker reports whether t is sync.Mutex or sync.RWMutex
+// (possibly behind a pointer).
+func isSyncLocker(t types.Type) bool {
+	return isTypeNamed(t, "sync", "Mutex") || isTypeNamed(t, "sync", "RWMutex")
+}
+
+// selectedField resolves a selector expression to the struct field it
+// denotes, or nil when it names a method or package member.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		v, _ := s.Obj().(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit in stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// enclosingFuncName names the function a node sits in, for messages.
+// Anonymous functions report as the nearest named ancestor + "/func".
+func enclosingFuncName(stack []ast.Node) string {
+	name := ""
+	for _, n := range stack {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			name = fn.Name.Name
+		case *ast.FuncLit:
+			if name == "" {
+				name = "func"
+			} else {
+				name += "/func"
+			}
+		}
+	}
+	if name == "" {
+		return "package scope"
+	}
+	return name
+}
+
+// lastPathElement returns the final slash-separated element of an
+// import path ("streamgraph/internal/update" -> "update").
+func lastPathElement(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// docMentionsImmutable reports whether a doc comment declares the type
+// immutable, either prose containing the word "immutable" or an
+// explicit //sglint:immutable marker.
+func docMentionsImmutable(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.ToLower(c.Text)
+		if strings.Contains(text, "sglint:immutable") || strings.Contains(text, "immutable") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileOf returns the *ast.File in pkg containing pos, along with its
+// filename.
+func fileOf(pkg *Package, pos token.Pos) (*ast.File, string) {
+	for i, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f, pkg.Filenames[i]
+		}
+	}
+	return nil, ""
+}

@@ -1,0 +1,305 @@
+// Package lint implements sglint, the project-specific static-analysis
+// suite for the streaming graph pipeline. Generic linters (go vet,
+// staticcheck) check language-level mistakes; sglint proves the
+// invariants the paper's adaptive pipeline actually depends on — lock
+// discipline on the sharded stores, immutability of CSR snapshots,
+// atomic-only access to instrumentation counters, joined-and-protected
+// goroutines, allocation-free per-edge loops, and register-once
+// observability — on every build instead of whenever a test happens to
+// hit the bad interleaving.
+//
+// The suite is dependency-free: it loads and type-checks the whole
+// module with go/parser, go/types and go/importer only.
+//
+// # Suppressions
+//
+// A diagnostic can be silenced with a justified suppression on the
+// flagged line or on the line directly above it:
+//
+//	//sglint:ignore <analyzer> <one-line justification>
+//
+// Bare suppressions (missing analyzer name or justification) and
+// suppressions that no longer match any diagnostic are themselves
+// reported, so the tree never accumulates unexplained or stale
+// exemptions.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, positioned at the offending
+// syntax node.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical
+// "file:line:col: [analyzer] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	// Path is the import path ("streamgraph/internal/graph").
+	Path string
+	// Dir is the absolute directory holding the package sources.
+	Dir string
+	// Files are the parsed sources, parallel to Filenames.
+	Files     []*ast.File
+	Filenames []string
+	// Pkg and Info are the go/types results for the package.
+	Pkg  *types.Package
+	Info *types.Info
+}
+
+// Program is the fully loaded module: every package, type-checked, in
+// dependency order. Analyzers run over the whole program so that
+// cross-package facts (which fields are atomic, which functions may
+// lock) are globally consistent.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Root       string
+	Packages   []*Package
+
+	byPath    map[string]*Package
+	funcDecls map[*types.Func]*funcNode
+}
+
+// funcNode ties a declared function to its body and owning package.
+type funcNode struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// packageOf returns the module package with the given import path.
+func (p *Program) packageOf(path string) *Package { return p.byPath[path] }
+
+// FuncDecl returns the declaration of a module function, or nil for
+// functions outside the module (stdlib, interface methods).
+func (p *Program) FuncDecl(f *types.Func) *ast.FuncDecl {
+	if n := p.funcDecls[f]; n != nil {
+		return n.decl
+	}
+	return nil
+}
+
+// buildFuncIndex maps every declared *types.Func to its FuncDecl.
+func (p *Program) buildFuncIndex() {
+	p.funcDecls = make(map[*types.Func]*funcNode)
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if f, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.funcDecls[f] = &funcNode{decl: fd, pkg: pkg}
+				}
+			}
+		}
+	}
+}
+
+// Reporter records one finding at pos.
+type Reporter func(pos token.Pos, format string, args ...any)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, report Reporter)
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LockOrder,
+		SnapshotImmutable,
+		AtomicField,
+		BareGoroutine,
+		HotPathAlloc,
+		ObsDiscipline,
+	}
+}
+
+// AnalyzerNames returns the names of every registered analyzer.
+func AnalyzerNames() []string {
+	var out []string
+	for _, a := range Analyzers() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "//sglint:ignore"
+
+// suppression is one parsed //sglint:ignore comment.
+type suppression struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// Run executes the analyzers over the program and returns the
+// surviving diagnostics sorted by position: analyzer findings minus
+// justified suppressions, plus findings about the suppressions
+// themselves (bare, unknown-analyzer, or stale ones).
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		name := a.Name
+		a.Run(prog, func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:      prog.position(pos),
+				Analyzer: name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		})
+	}
+
+	sups, supDiags := prog.collectSuppressions(known)
+	running := make(map[string]bool)
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, d := range diags {
+		if s := matchSuppression(sups, d); s != nil {
+			s.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, supDiags...)
+	for _, s := range sups {
+		// A suppression is stale only if its analyzer actually ran and
+		// still produced nothing for it to silence.
+		if !s.used && running[s.analyzer] {
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "sglint",
+				Message: fmt.Sprintf("stale suppression: %s reports nothing here; remove the //sglint:ignore",
+					s.analyzer),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// position converts pos to a Position with the filename relative to
+// the module root, for stable, copy-pasteable output.
+func (p *Program) position(pos token.Pos) token.Position {
+	position := p.Fset.Position(pos)
+	if rel, err := filepath.Rel(p.Root, position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		position.Filename = rel
+	}
+	return position
+}
+
+// collectSuppressions parses every //sglint:ignore comment in the
+// program. Malformed suppressions become diagnostics immediately.
+func (p *Program) collectSuppressions(known map[string]bool) ([]*suppression, []Diagnostic) {
+	var sups []*suppression
+	var diags []Diagnostic
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := p.position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "sglint",
+							Message: "bare suppression: use //sglint:ignore <analyzer> <justification>"})
+					case !known[fields[0]]:
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "sglint",
+							Message: fmt.Sprintf("suppression names unknown analyzer %q (known: %s)",
+								fields[0], strings.Join(AnalyzerNames(), ", "))})
+					case len(fields) < 2:
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "sglint",
+							Message: fmt.Sprintf("unjustified suppression of %s: add a one-line reason after the analyzer name", fields[0])})
+					default:
+						sups = append(sups, &suppression{
+							pos:      pos,
+							analyzer: fields[0],
+							reason:   strings.Join(fields[1:], " "),
+						})
+					}
+				}
+			}
+		}
+	}
+	return sups, diags
+}
+
+// matchSuppression finds a suppression covering d: same analyzer, same
+// file, on the flagged line or the line directly above it.
+func matchSuppression(sups []*suppression, d Diagnostic) *suppression {
+	for _, s := range sups {
+		if s.analyzer != d.Analyzer || s.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if s.pos.Line == d.Pos.Line || s.pos.Line == d.Pos.Line-1 {
+			return s
+		}
+	}
+	return nil
+}
+
+// walkStack traverses root in source order, calling fn with each node
+// and the stack of its ancestors (outermost first, not including n).
+// Returning false skips the node's children.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Children are skipped; Inspect will not deliver the nil
+			// pop for this node, so do not push it.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/fixture.golden from current analyzer output")
+
+const fixtureRoot = "testdata/src/fixture"
+const goldenPath = "testdata/fixture.golden"
+
+// loadFixture loads the fixture module once per test that needs it.
+func loadFixture(t *testing.T) *Program {
+	t.Helper()
+	prog, err := LoadModule(fixtureRoot, false)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	return prog
+}
+
+// TestSuiteShape guards the tentpole contract: at least six analyzers,
+// each named and documented.
+func TestSuiteShape(t *testing.T) {
+	as := Analyzers()
+	if len(as) < 6 {
+		t.Fatalf("suite has %d analyzers, want >= 6", len(as))
+	}
+	seen := make(map[string]bool)
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestFixtureGolden runs the whole suite over the fixture module and
+// compares every diagnostic — file, line, column, analyzer, message —
+// against testdata/fixture.golden. Any drift in positions or wording
+// fails; regenerate deliberately with -update after verifying the new
+// output by hand.
+func TestFixtureGolden(t *testing.T) {
+	prog := loadFixture(t)
+	var got []string
+	for _, d := range Run(prog, Analyzers()) {
+		got = append(got, d.String())
+	}
+	rendered := strings.Join(got, "\n") + "\n"
+
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(rendered), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	want := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Errorf("diagnostic count: got %d, want %d", len(got), len(want))
+	}
+	max := len(got)
+	if len(want) > max {
+		max = len(want)
+	}
+	for i := 0; i < max; i++ {
+		var g, w string
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Errorf("diagnostic %d:\n  got:  %s\n  want: %s", i, g, w)
+		}
+	}
+}
+
+// TestFixturePositivesAndNegatives asserts the golden contract
+// structurally: every positive fixture package produces at least one
+// finding for its analyzer, and negative fixture packages produce
+// none at all.
+func TestFixturePositivesAndNegatives(t *testing.T) {
+	prog := loadFixture(t)
+	diags := Run(prog, Analyzers())
+
+	wantPos := map[string]string{
+		"lockorder":         "pos/graph/",
+		"snapshotimmutable": "pos/snap/",
+		"atomicfield":       "pos/atomicf/",
+		"baregoroutine":     "pos/goro/",
+		"hotpathalloc":      "pos/update/",
+		"obsdiscipline":     "pos/metrics/",
+	}
+	counts := make(map[string]int)
+	for _, d := range diags {
+		dir := filepath.ToSlash(d.Pos.Filename)
+		if strings.HasPrefix(dir, "neg/") {
+			t.Errorf("negative fixture produced a finding: %s", d)
+		}
+		if prefix := wantPos[d.Analyzer]; prefix != "" && strings.HasPrefix(dir, prefix) {
+			counts[d.Analyzer]++
+		}
+	}
+	for analyzer, prefix := range wantPos {
+		if counts[analyzer] == 0 {
+			t.Errorf("analyzer %s reported nothing under its positive fixture %s", analyzer, prefix)
+		}
+	}
+}
+
+// TestSuppressionEngine asserts the suppression contract on the sup
+// fixture: malformed and stale suppressions are reported, and the
+// justified matching one silences its finding.
+func TestSuppressionEngine(t *testing.T) {
+	prog := loadFixture(t)
+	diags := Run(prog, Analyzers())
+
+	var supDiags []Diagnostic
+	for _, d := range diags {
+		if strings.HasPrefix(filepath.ToSlash(d.Pos.Filename), "sup/") {
+			supDiags = append(supDiags, d)
+		}
+	}
+	for _, d := range supDiags {
+		if d.Analyzer != "sglint" {
+			t.Errorf("suppressed finding leaked through: %s", d)
+		}
+	}
+	wantSubstrings := []string{
+		"bare suppression",
+		"unknown analyzer",
+		"unjustified suppression",
+		"stale suppression",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range supDiags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no sglint diagnostic containing %q in sup fixture", want)
+		}
+	}
+}
+
+// TestSelfClean is the dogfood gate: the suite must run clean over the
+// real module. Any finding here means a fix or a justified
+// //sglint:ignore is missing.
+func TestSelfClean(t *testing.T) {
+	prog, err := LoadModule("../..", false)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := Run(prog, Analyzers())
+	for _, d := range diags {
+		t.Errorf("module not sglint-clean: %s", d)
+	}
+}
+
+// TestLoadModuleShape sanity-checks the loader itself.
+func TestLoadModuleShape(t *testing.T) {
+	prog := loadFixture(t)
+	if prog.ModulePath != "fixture" {
+		t.Fatalf("module path: got %q, want %q", prog.ModulePath, "fixture")
+	}
+	if len(prog.Packages) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Pkg == nil || pkg.Info == nil {
+			t.Errorf("package %s missing type information", pkg.Path)
+		}
+		if len(pkg.Files) != len(pkg.Filenames) {
+			t.Errorf("package %s: %d files vs %d filenames", pkg.Path, len(pkg.Files), len(pkg.Filenames))
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadModule parses and type-checks every package under root, which
+// must contain a go.mod. Test files (_test.go) are included only when
+// includeTests is set; external test packages (package foo_test) are
+// never loaded because they cannot change the invariants of the
+// package under test. testdata, vendor, and hidden directories are
+// skipped so lint fixtures are not linted as product code.
+func LoadModule(root string, includeTests bool) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := parseTree(fset, root, modPath, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := topoSort(pkgs, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{
+		Fset:       fset,
+		ModulePath: modPath,
+		Root:       root,
+		byPath:     make(map[string]*Package),
+	}
+	imp := &moduleImporter{prog: prog, fset: fset, gc: importer.Default()}
+	for _, pkg := range ordered {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", pkg.Path, err)
+		}
+		pkg.Pkg = tpkg
+		pkg.Info = info
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[pkg.Path] = pkg
+	}
+	prog.buildFuncIndex()
+	return prog, nil
+}
+
+// modulePath extracts the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if after, ok := strings.CutPrefix(line, "module "); ok {
+			p := strings.TrimSpace(after)
+			if unq, err := strconv.Unquote(p); err == nil {
+				p = unq
+			}
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// parseTree walks root and parses every Go package directory into a
+// *Package (without type information yet).
+func parseTree(fset *token.FileSet, root, modPath string, includeTests bool) (map[string]*Package, error) {
+	pkgs := make(map[string]*Package)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasPrefix(d.Name(), "_") || strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		if !includeTests && strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		// External test packages would need the internal package's
+		// exported API re-resolved; they add nothing to invariant
+		// checking, so drop them even under -tests.
+		if strings.HasSuffix(file.Name.Name, "_test") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		importPath := modPath
+		if rel, _ := filepath.Rel(root, dir); rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg := pkgs[importPath]
+		if pkg == nil {
+			pkg = &Package{Path: importPath, Dir: dir}
+			pkgs[importPath] = pkg
+		}
+		pkg.Files = append(pkg.Files, file)
+		pkg.Filenames = append(pkg.Filenames, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+// topoSort orders packages so every intra-module import precedes its
+// importer, letting the type-checker resolve module imports from
+// already-checked packages.
+func topoSort(pkgs map[string]*Package, modPath string) ([]*Package, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int)
+	var ordered []*Package
+	var visit func(path string, chain []string) error
+	visit = func(path string, chain []string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle: %s", strings.Join(append(chain, path), " -> "))
+		}
+		state[path] = visiting
+		pkg := pkgs[path]
+		var deps []string
+		for _, file := range pkg.Files {
+			for _, spec := range file.Imports {
+				ip, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					if _, ok := pkgs[ip]; ok {
+						deps = append(deps, ip)
+					}
+				}
+			}
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if err := visit(dep, append(chain, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		ordered = append(ordered, pkg)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path, nil); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// moduleImporter resolves intra-module imports from the packages the
+// loader has already type-checked (available because packages are
+// checked in topological order) and everything else — the standard
+// library — through the gc importer, falling back to the source
+// importer for toolchains with no export data installed.
+type moduleImporter struct {
+	prog   *Program
+	fset   *token.FileSet
+	gc     types.Importer
+	source types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg := m.prog.packageOf(path); pkg != nil {
+		if pkg.Pkg == nil {
+			return nil, fmt.Errorf("module package %s not yet checked (import cycle?)", path)
+		}
+		return pkg.Pkg, nil
+	}
+	tpkg, err := m.gc.Import(path)
+	if err == nil {
+		return tpkg, nil
+	}
+	if m.source == nil {
+		m.source = importer.ForCompiler(m.fset, "source", nil)
+	}
+	tpkg, serr := m.source.Import(path)
+	if serr != nil {
+		return nil, fmt.Errorf("import %q: %v (source importer: %v)", path, err, serr)
+	}
+	return tpkg, nil
+}

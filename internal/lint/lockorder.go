@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockOrder enforces the store locking discipline of internal/graph:
+//
+//  1. Per-shard / per-vertex locks must be taken in ascending index
+//     order when nested (Lock(a); Lock(b) requires a <= b provable, or
+//     at least not provably descending for constant indices).
+//  2. A lock must not be held across a call into a function that can
+//     acquire a lock of the same class — the re-lock deadlock a test
+//     only catches on the racing interleaving.
+//
+// Two locks are in the same class when they are the same mutex
+// field/variable object (every vertexAdj.mu is one class; growMu is
+// another). Cross-class nesting is allowed: the store hierarchy
+// (vertex lock over table-growth lock) is a deliberate design.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "shard locks acquired in ascending order and never held across a call that can re-lock the store",
+	Run:  runLockOrder,
+}
+
+// lockClass identifies a family of interchangeable locks: the mutex
+// field or variable object, or for index-style store locks
+// (s.Lock(v)) the Lock method's receiver type.
+type lockClass struct {
+	obj types.Object
+}
+
+func (c lockClass) String() string {
+	if c.obj == nil {
+		return "<unknown>"
+	}
+	return c.obj.Name()
+}
+
+// heldLock is one currently held acquisition.
+type heldLock struct {
+	class lockClass
+	// key distinguishes instances within a class: the printed receiver
+	// expression plus index arguments ("s.shards[i].mu", "s#v").
+	key string
+	// index is the constant lock index when statically known, else -1.
+	index int64
+}
+
+// lockOp describes a recognized lock/unlock call site.
+type lockOp struct {
+	class   lockClass
+	key     string
+	index   int64 // constant index or -1
+	acquire bool
+}
+
+func runLockOrder(prog *Program, report Reporter) {
+	lo := &lockOrderPass{prog: prog, report: report}
+	lo.buildMayLock()
+	for _, pkg := range prog.Packages {
+		if lastPathElement(pkg.Path) != "graph" && !strings.Contains(pkg.Path, "/graph/") {
+			// The discipline is specific to the sharded stores; other
+			// packages use single coarse mutexes checked by vet/race.
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lo.checkFunc(pkg, fd)
+			}
+		}
+	}
+}
+
+type lockOrderPass struct {
+	prog   *Program
+	report Reporter
+	// mayLock maps every module function to the set of lock classes it
+	// can acquire, directly or transitively.
+	mayLock map[*types.Func]map[types.Object]bool
+}
+
+// classifyLockCall recognizes mutex method calls (mu.Lock, mu.Unlock,
+// RLock/RUnlock) and store index-lock methods (s.Lock(v)/s.Unlock(v)
+// where the method is declared in the module and wraps a mutex).
+func (lo *lockOrderPass) classifyLockCall(pkg *Package, call *ast.CallExpr) *lockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	name := sel.Sel.Name
+	var acquire bool
+	switch name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil
+	}
+	recvType := pkg.Info.Types[sel.X].Type
+	if recvType == nil {
+		return nil
+	}
+	if isSyncLocker(recvType) {
+		// Direct mutex access: the class is the field/variable object
+		// holding the mutex.
+		var obj types.Object
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			if f := selectedField(pkg.Info, x); f != nil {
+				obj = f
+			}
+		case *ast.Ident:
+			obj = pkg.Info.Uses[x]
+		}
+		if obj == nil {
+			// Mutex reached through indexing or a call result: key the
+			// class on the mutex's own type object as a conservative
+			// bucket.
+			if named := namedOf(recvType); named != nil {
+				obj = named.Obj()
+			}
+		}
+		return &lockOp{
+			class:   lockClass{obj: obj},
+			key:     types.ExprString(sel.X),
+			index:   constIndexOf(pkg, sel.X),
+			acquire: acquire,
+		}
+	}
+	// Store-style index lock: a module method named Lock/Unlock taking
+	// the shard/vertex index as its first argument.
+	f, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Pkg() == nil || !strings.HasPrefix(f.Pkg().Path(), lo.prog.ModulePath) {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	named := namedOf(recvType)
+	if named == nil {
+		return nil
+	}
+	key := types.ExprString(sel.X) + "#" + types.ExprString(call.Args[0])
+	return &lockOp{
+		class:   lockClass{obj: named.Obj()},
+		key:     key,
+		index:   constValueOf(pkg, call.Args[0]),
+		acquire: acquire,
+	}
+}
+
+// constIndexOf extracts a constant index from expressions like
+// s.shards[3].mu; -1 when not statically known.
+func constIndexOf(pkg *Package, expr ast.Expr) int64 {
+	if sel, ok := ast.Unparen(expr).(*ast.SelectorExpr); ok {
+		expr = sel.X
+	}
+	if idx, ok := ast.Unparen(expr).(*ast.IndexExpr); ok {
+		return constValueOf(pkg, idx.Index)
+	}
+	return -1
+}
+
+// constValueOf returns the constant integer value of expr, or -1.
+func constValueOf(pkg *Package, expr ast.Expr) int64 {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return -1
+	}
+	if v, ok := constInt64(tv); ok {
+		return v
+	}
+	return -1
+}
+
+// buildMayLock computes, for every module function, the set of lock
+// classes it may acquire — a transitive closure over the intra-module
+// call graph, iterated to fixpoint.
+func (lo *lockOrderPass) buildMayLock() {
+	lo.mayLock = make(map[*types.Func]map[types.Object]bool)
+	// calls maps caller -> statically resolved module callees.
+	calls := make(map[*types.Func][]*types.Func)
+
+	for f, node := range lo.prog.funcDecls {
+		direct := make(map[types.Object]bool)
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op := lo.classifyLockCall(node.pkg, call); op != nil {
+				if op.acquire && op.class.obj != nil {
+					direct[op.class.obj] = true
+				}
+				return true
+			}
+			if callee := calleeFunc(node.pkg.Info, call); callee != nil {
+				if _, inModule := lo.prog.funcDecls[callee]; inModule {
+					calls[f] = append(calls[f], callee)
+				}
+			}
+			return true
+		})
+		lo.mayLock[f] = direct
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for f, callees := range calls {
+			set := lo.mayLock[f]
+			for _, callee := range callees {
+				for obj := range lo.mayLock[callee] {
+					if !set[obj] {
+						set[obj] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkFunc walks one function body in source order tracking held
+// locks. FuncLits start with a fresh held set: their bodies execute
+// later (goroutines, callbacks), not under the current locks.
+func (lo *lockOrderPass) checkFunc(pkg *Package, fd *ast.FuncDecl) {
+	lo.checkBody(pkg, fd.Body, nil)
+}
+
+func (lo *lockOrderPass) checkBody(pkg *Package, body ast.Node, held []heldLock) {
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lo.checkBody(pkg, n.Body, nil)
+			return false
+		case *ast.CallExpr:
+			if op := lo.classifyLockCall(pkg, n); op != nil {
+				if op.acquire {
+					lo.checkAcquire(pkg, n, op, held)
+					held = append(held, heldLock{class: op.class, key: op.key, index: op.index})
+				} else if !inDefer(stack) {
+					// A deferred unlock releases at return, not here:
+					// the lock stays held for the rest of the walk.
+					held = releaseLock(held, op)
+				}
+				return true
+			}
+			lo.checkCallUnderLock(pkg, n, held)
+		}
+		return true
+	})
+}
+
+// inDefer reports whether the innermost statement context is a defer.
+func inDefer(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// releaseLock removes the most recent held entry matching op's key.
+func releaseLock(held []heldLock, op *lockOp) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].key == op.key {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// checkAcquire flags same-class nesting that is not provably ascending.
+func (lo *lockOrderPass) checkAcquire(pkg *Package, call *ast.CallExpr, op *lockOp, held []heldLock) {
+	for _, h := range held {
+		if h.class.obj == nil || op.class.obj == nil || h.class.obj != op.class.obj {
+			continue
+		}
+		if h.key == op.key {
+			lo.report(call.Pos(), "lock %s acquired while already held (self-deadlock)", op.key)
+			continue
+		}
+		// Same class, different instance: require ascending constant
+		// indices when both are known; with unknown indices the nesting
+		// itself is the hazard — two writers locking (a,b) and (b,a)
+		// deadlock — so report unless provably ascending.
+		if h.index >= 0 && op.index >= 0 && op.index > h.index {
+			continue
+		}
+		lo.report(call.Pos(),
+			"lock %s acquired while holding %s of the same class (%s): nested shard locks must be in ascending index order",
+			op.key, h.key, op.class)
+	}
+}
+
+// checkCallUnderLock flags calls that can transitively re-acquire a
+// held lock class.
+func (lo *lockOrderPass) checkCallUnderLock(pkg *Package, call *ast.CallExpr, held []heldLock) {
+	if len(held) == 0 {
+		return
+	}
+	callee := calleeFunc(pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	locks := lo.mayLock[callee]
+	if len(locks) == 0 {
+		return
+	}
+	for _, h := range held {
+		if h.class.obj != nil && locks[h.class.obj] {
+			lo.report(call.Pos(),
+				"call to %s while holding %s: callee can acquire a %s lock of the same class (re-lock deadlock)",
+				callee.Name(), h.key, h.class)
+			return
+		}
+	}
+}

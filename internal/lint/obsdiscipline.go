@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsDiscipline enforces the observability contract from PR 1: a
+// metric is registered exactly once at construction time and observed
+// through the handle the registration returned. Three rules; the
+// first two apply outside the package that defines the Registry
+// (internal/obs itself composes the registry and may manage handle
+// maps freely), the third applies everywhere:
+//
+//  1. Registration calls (Registry.NewCounter / NewGauge /
+//     NewHistogram) may appear only in init functions, main, or
+//     constructor-shaped functions (New*/new*). Registering from a
+//     batch-path function re-registers on every call.
+//  2. A registration's result must not be discarded: an unused handle
+//     means the metric will be looked up again later.
+//  3. Chained lookup-and-observe — someLookup("name").Observe(x) where
+//     the lookup takes a string and returns a metric handle — performs
+//     a by-name map access on the hot path; resolve the handle once
+//     and store it.
+var ObsDiscipline = &Analyzer{
+	Name: "obsdiscipline",
+	Doc:  "metrics registered once at init and observed via stored handles, never fresh lookups per batch",
+	Run:  runObsDiscipline,
+}
+
+// registryMethods are the registration entry points on the Registry.
+var registryMethods = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+}
+
+// metricTypeNames are the handle types whose methods record samples.
+var metricTypeNames = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// observeMethods are the recording methods on metric handles.
+var observeMethods = map[string]bool{
+	"Observe": true,
+	"Inc":     true,
+	"Add":     true,
+	"Set":     true,
+}
+
+func runObsDiscipline(prog *Program, report Reporter) {
+	regPkg := findRegistryPackage(prog)
+	if regPkg == nil {
+		return
+	}
+	for _, pkg := range prog.Packages {
+		// The registry package itself owns handle management (lazy
+		// per-engine registration, map internals), so rules 1 and 2 do
+		// not apply there — but rule 3 does: even inside the registry
+		// package, hot-path observation must go through a stored
+		// handle, not a per-call by-name lookup.
+		regRules := pkg.Path != regPkg.Path
+		for _, file := range pkg.Files {
+			checkObsFile(pkg, regPkg, file, regRules, report)
+		}
+	}
+}
+
+// findRegistryPackage locates the module package defining a Registry
+// type with the New{Counter,Gauge,Histogram} methods.
+func findRegistryPackage(prog *Program) *Package {
+	for _, pkg := range prog.Packages {
+		obj := pkg.Pkg.Scope().Lookup("Registry")
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := types.Unalias(tn.Type()).(*types.Named)
+		if !ok {
+			continue
+		}
+		found := 0
+		for i := 0; i < named.NumMethods(); i++ {
+			if registryMethods[named.Method(i).Name()] {
+				found++
+			}
+		}
+		if found == len(registryMethods) {
+			return pkg
+		}
+	}
+	return nil
+}
+
+func checkObsFile(pkg, regPkg *Package, file *ast.File, regRules bool, report Reporter) {
+	walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pkg.Info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != regPkg.Path {
+			return true
+		}
+		if registryMethods[callee.Name()] && isRegistryMethod(callee, regPkg) {
+			if !regRules {
+				return true
+			}
+			fn := enclosingFuncName(stack)
+			if !constructorShaped(fn, stack) {
+				report(call.Pos(), "metric registered in %s: %s must be called once at construction (init, main, or a New* constructor), not on the batch path",
+					fn, callee.Name())
+			}
+			if isDiscarded(stack) {
+				report(call.Pos(), "result of %s discarded: store the handle and observe through it, or the metric will need a by-name lookup later",
+					callee.Name())
+			}
+			return true
+		}
+		// Rule 3: lookup("name").Observe(...) chains.
+		checkChainedLookup(pkg, call, report)
+		return true
+	})
+}
+
+// isRegistryMethod confirms the callee is a method on the Registry
+// type (not a free function that happens to share a name).
+func isRegistryMethod(f *types.Func, regPkg *Package) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isTypeNamed(sig.Recv().Type(), regPkg.Path, "Registry")
+}
+
+// constructorShaped reports whether fn names a construction context:
+// init, main, or New*/new*-prefixed functions (including methods).
+func constructorShaped(fn string, stack []ast.Node) bool {
+	// Package-level var initializers are construction time.
+	if enclosingFunc(stack) == nil {
+		return true
+	}
+	base := fn
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return base == "init" || base == "main" ||
+		strings.HasPrefix(base, "New") || strings.HasPrefix(base, "new") ||
+		strings.HasPrefix(base, "Make") || strings.HasPrefix(base, "make")
+}
+
+// isDiscarded reports whether the call's result is thrown away: the
+// call is itself an expression statement.
+func isDiscarded(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	_, ok := stack[len(stack)-1].(*ast.ExprStmt)
+	return ok
+}
+
+// checkChainedLookup flags handle(name-string).ObserveMethod(...) —
+// a per-call by-name resolution of a metric.
+func checkChainedLookup(pkg *Package, call *ast.CallExpr, report Reporter) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !observeMethods[sel.Sel.Name] {
+		return
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	if !ok || len(inner.Args) == 0 {
+		return
+	}
+	// The inner call must take a string (the metric name) and return a
+	// metric handle type.
+	argType := pkg.Info.Types[inner.Args[0]].Type
+	if argType == nil {
+		return
+	}
+	basic, ok := types.Unalias(argType).Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.String && basic.Kind() != types.UntypedString {
+		return
+	}
+	ret := namedOf(pkg.Info.Types[inner].Type)
+	if ret == nil || !metricTypeNames[ret.Obj().Name()] {
+		return
+	}
+	report(call.Pos(), "%s on a freshly looked-up %s: resolve the handle once at construction and store it; by-name lookup on the batch path costs a map access per call",
+		sel.Sel.Name, ret.Obj().Name())
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// SnapshotImmutable enforces that types documented as immutable —
+// CSRSnapshot and anything whose doc comment says "immutable" or
+// carries an //sglint:immutable marker — are only written in the file
+// that declares them. Outside the declaring file, any assignment,
+// append-into, copy-into, increment, or element write through such a
+// type's fields is reported: consumers share snapshots across
+// goroutines without locks precisely because nothing mutates them.
+var SnapshotImmutable = &Analyzer{
+	Name: "snapshotimmutable",
+	Doc:  "no writes to fields of documented-immutable types outside their declaring file",
+	Run:  runSnapshotImmutable,
+}
+
+// immutableType records where an immutable type was declared.
+type immutableType struct {
+	named *types.Named
+	file  string // base filename of the declaring file
+}
+
+func runSnapshotImmutable(prog *Program, report Reporter) {
+	immutables := collectImmutableTypes(prog)
+	if len(immutables) == 0 {
+		return
+	}
+	for _, pkg := range prog.Packages {
+		for i, file := range pkg.Files {
+			filename := filepath.Base(pkg.Filenames[i])
+			checkImmutableWrites(pkg, file, filename, immutables, report)
+		}
+	}
+}
+
+// collectImmutableTypes finds every named struct type whose doc
+// comment declares it immutable.
+func collectImmutableTypes(prog *Program) map[*types.TypeName]*immutableType {
+	out := make(map[*types.TypeName]*immutableType)
+	for _, pkg := range prog.Packages {
+		for i, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					if !docMentionsImmutable(doc) {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := types.Unalias(obj.Type()).(*types.Named)
+					if !ok {
+						continue
+					}
+					out[obj] = &immutableType{
+						named: named,
+						file:  filepath.Base(pkg.Filenames[i]),
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkImmutableWrites reports writes through immutable-type fields in
+// one file, unless it is the type's declaring file (constructors live
+// there and legitimately populate the struct).
+func checkImmutableWrites(pkg *Package, file *ast.File, filename string, immutables map[*types.TypeName]*immutableType, report Reporter) {
+	// allowed holds the type names whose declaring file this is.
+	allowed := make(map[*types.TypeName]bool)
+	for tn, it := range immutables {
+		if it.file == filename {
+			allowed[tn] = true
+		}
+	}
+	flag := func(expr ast.Expr, verb string) {
+		if tn := immutableOwner(pkg, expr, immutables); tn != nil && !allowed[tn] {
+			report(expr.Pos(), "%s %s of immutable type %s outside its declaring file (%s)",
+				verb, types.ExprString(expr), tn.Name(), immutables[tn].file)
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flag(lhs, "write to")
+			}
+		case *ast.IncDecStmt:
+			flag(n.X, "write to")
+		case *ast.UnaryExpr:
+			// Taking the address of a field hands out a mutable alias;
+			// treat it as a write unless it is the common read-only
+			// &s.Field[i] pattern, which still aliases — report it.
+			if n.Op == token.AND {
+				flag(n.X, "address taken of")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+				switch id.Name {
+				case "copy":
+					flag(n.Args[0], "copy into")
+				case "append":
+					// append(s.Field, ...) only mutates when the result
+					// is stored back, which the AssignStmt case already
+					// catches; appending the slice header itself is a
+					// read. Nothing to do.
+				}
+			}
+		}
+		return true
+	})
+}
+
+// immutableOwner walks down a write target (s.Rows[i], (*snap).Offsets)
+// to find a field selection whose receiver is an immutable type.
+func immutableOwner(pkg *Package, expr ast.Expr, immutables map[*types.TypeName]*immutableType) *types.TypeName {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			if f := selectedField(pkg.Info, e); f != nil {
+				if named := namedOf(pkg.Info.Types[e.X].Type); named != nil {
+					if tn := named.Obj(); immutables[tn] != nil {
+						return tn
+					}
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package atomicf exercises the patterns atomicfield must accept:
+// all-atomic access, aligned layout, construction-time literals, and
+// address-of handed to an atomic helper.
+package atomicf
+
+import "sync/atomic"
+
+// Stats keeps its 64-bit atomic first, so every target aligns it.
+type Stats struct {
+	n   int64
+	pad int32
+}
+
+// NewStats seeds the counter in a composite literal (pre-publication).
+func NewStats() *Stats {
+	return &Stats{n: 5}
+}
+
+// Inc updates n atomically.
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.n, 1)
+}
+
+// Read loads n atomically.
+func (s *Stats) Read() int64 {
+	return atomic.LoadInt64(&s.n)
+}
+
+// Flush hands the field's address to a helper that adds atomically —
+// the access happens at the helper's own (checked) site.
+func (s *Stats) Flush(delta int64) {
+	addTo(&s.n, delta)
+}
+
+func addTo(dst *int64, delta int64) {
+	atomic.AddInt64(dst, delta)
+}

@@ -1,0 +1,19 @@
+// Worker-pool file: bare goroutines here are exempted wholesale.
+//
+//sglint:pool fixture worker pool; the spawner joins via wg.Wait and panics must crash
+package goro
+
+import "sync"
+
+// PoolRun fans work out across bare pool workers.
+func PoolRun(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = work()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,45 @@
+// Package goro exercises the goroutine shapes baregoroutine must
+// accept: joined-and-recovered workers and error-channel reporting.
+package goro
+
+import "sync"
+
+func work() error { return nil }
+
+// SpawnSafe joins on the WaitGroup and recovers in a deferred closure.
+func SpawnSafe() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		_ = work()
+	}()
+	wg.Wait()
+}
+
+// SpawnChecked reports completion and failure on an error channel.
+func SpawnChecked() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	return <-errc
+}
+
+// SpawnClosed signals completion by closing a channel and recovers.
+func SpawnClosed() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			_ = recover()
+		}()
+		_ = work()
+	}()
+	return done
+}

@@ -1,0 +1,58 @@
+// Package graph exercises the locking patterns lockorder must accept:
+// sequential acquisition, ascending constant order, cross-class
+// hierarchy, and deferred unlocks.
+package graph
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Store mimics a sharded adjacency store.
+type Store struct {
+	shards [8]shard
+	growMu sync.Mutex
+}
+
+// Sequential locks one shard at a time, never nesting.
+func (s *Store) Sequential(i, j int) {
+	s.shards[i].mu.Lock()
+	s.shards[i].n++
+	s.shards[i].mu.Unlock()
+	s.shards[j].mu.Lock()
+	s.shards[j].n++
+	s.shards[j].mu.Unlock()
+}
+
+// AscendingPair nests same-class locks in provably ascending order.
+func (s *Store) AscendingPair() {
+	s.shards[1].mu.Lock()
+	s.shards[2].mu.Lock()
+	s.shards[2].n++
+	s.shards[2].mu.Unlock()
+	s.shards[1].mu.Unlock()
+}
+
+// grow acquires the table-growth lock, a different class.
+func (s *Store) grow() {
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+}
+
+// CrossClass holds a shard lock while taking the growth lock: the
+// hierarchy (shard over growth) is deliberate and allowed.
+func (s *Store) CrossClass(i int) {
+	s.shards[i].mu.Lock()
+	defer s.shards[i].mu.Unlock()
+	s.grow()
+	s.shards[i].n++
+}
+
+// Deferred uses the lock/defer-unlock idiom.
+func (s *Store) Deferred(i int) int {
+	s.shards[i].mu.Lock()
+	defer s.shards[i].mu.Unlock()
+	return s.shards[i].n
+}

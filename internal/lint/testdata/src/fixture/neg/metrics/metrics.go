@@ -1,0 +1,28 @@
+// Package metrics exercises the discipline obsdiscipline must accept:
+// handles registered once in a constructor and observed directly.
+package metrics
+
+import "fixture/reg"
+
+// Service stores its metric handles at construction.
+type Service struct {
+	batches *reg.Counter
+	size    *reg.Gauge
+	latency *reg.Histogram
+}
+
+// New registers every metric once.
+func New(r *reg.Registry) *Service {
+	return &Service{
+		batches: r.NewCounter("batches", "Batches seen."),
+		size:    r.NewGauge("size", "Last batch size."),
+		latency: r.NewHistogram("latency", "Batch latency."),
+	}
+}
+
+// HandleBatch observes through the stored handles only.
+func (s *Service) HandleBatch(edges int, seconds float64) {
+	s.batches.Inc()
+	s.size.Set(float64(edges))
+	s.latency.Observe(seconds)
+}

@@ -1,0 +1,23 @@
+// Package snap exercises the patterns snapshotimmutable must accept:
+// reads of immutable fields anywhere, and writes to ordinary mutable
+// types in any file.
+package snap
+
+// View is an immutable flat view.
+type View struct {
+	Offsets []int32
+}
+
+// Builder is an ordinary mutable accumulator (no immutability doc).
+type Builder struct {
+	Rows []int32
+}
+
+// NewView builds a view; declaring-file writes are allowed.
+func NewView(n int) *View {
+	v := &View{Offsets: make([]int32, n)}
+	for i := range v.Offsets {
+		v.Offsets[i] = int32(i)
+	}
+	return v
+}

@@ -1,0 +1,18 @@
+package snap
+
+// Sum only reads the immutable view: allowed anywhere.
+func Sum(v *View) int32 {
+	var total int32
+	for _, o := range v.Offsets {
+		total += o
+	}
+	return total
+}
+
+// Accumulate freely mutates the ordinary Builder type.
+func Accumulate(b *Builder, rows []int32) {
+	b.Rows = append(b.Rows, rows...)
+	if len(b.Rows) > 0 {
+		b.Rows[0] = 0
+	}
+}

@@ -1,0 +1,34 @@
+// Package update exercises the shapes hotpathalloc must accept:
+// allocations hoisted out of the per-edge loop, and unconstrained
+// loops over non-edge element types.
+package update
+
+import (
+	"fmt"
+	"time"
+)
+
+// Edge is the per-edge element type the analyzer keys on.
+type Edge struct {
+	Src, Dst uint32
+}
+
+// Apply hoists every allocation out of the per-edge loop.
+func Apply(edges []Edge) string {
+	start := time.Now()
+	seen := make(map[uint32]bool, len(edges))
+	for _, e := range edges {
+		seen[e.Src] = true
+		seen[e.Dst] = true
+	}
+	return fmt.Sprintf("%d distinct endpoints in %v", len(seen), time.Since(start))
+}
+
+// Summarize ranges over plain ints, not edges: formatting is allowed.
+func Summarize(sizes []int) []string {
+	var out []string
+	for _, n := range sizes {
+		out = append(out, fmt.Sprintf("batch of %d", n))
+	}
+	return out
+}

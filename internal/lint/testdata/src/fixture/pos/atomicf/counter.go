@@ -1,0 +1,28 @@
+// Package atomicf seeds atomicfield violations: a field updated via
+// sync/atomic in one place and plainly in another, and a 64-bit
+// atomic that 32-bit targets cannot align.
+package atomicf
+
+import "sync/atomic"
+
+// Stats mixes atomic and plain access to n; the leading int32 also
+// forces n to a 4-byte offset on 32-bit targets.
+type Stats struct {
+	pad int32
+	n   int64
+}
+
+// Inc updates n atomically (and anchors the alignment diagnostic).
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.n, 1)
+}
+
+// Read accesses n without sync/atomic: a data race against Inc.
+func (s *Stats) Read() int64 {
+	return s.n
+}
+
+// Bump writes n without sync/atomic.
+func (s *Stats) Bump() {
+	s.n += 2
+}

@@ -1,0 +1,41 @@
+// Package goro seeds baregoroutine violations: unverifiable named
+// spawns, fully bare goroutines, and ones missing a join or a
+// protection path.
+package goro
+
+import "sync"
+
+func work() {}
+
+// SpawnNamed starts a named function: the body cannot be verified.
+func SpawnNamed() {
+	go work()
+}
+
+// SpawnBare has neither a join nor a recover/error path.
+func SpawnBare() {
+	go func() {
+		work()
+	}()
+}
+
+// SpawnUnprotected joins on the WaitGroup but swallows no panics.
+func SpawnUnprotected() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// SpawnUnjoined recovers but nothing ever waits for it.
+func SpawnUnjoined() {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		work()
+	}()
+}

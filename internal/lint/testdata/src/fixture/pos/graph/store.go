@@ -1,0 +1,57 @@
+// Package graph seeds lockorder violations: descending same-class
+// nesting, self-deadlock, and a call that can re-acquire a held class.
+package graph
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Store mimics a sharded adjacency store.
+type Store struct {
+	shards [8]shard
+	growMu sync.Mutex
+}
+
+// DescendingPair nests two same-class locks with provably descending
+// constant indices.
+func (s *Store) DescendingPair() {
+	s.shards[2].mu.Lock()
+	s.shards[1].mu.Lock()
+	s.shards[1].n++
+	s.shards[1].mu.Unlock()
+	s.shards[2].mu.Unlock()
+}
+
+// SelfDeadlock re-acquires the lock it already holds.
+func (s *Store) SelfDeadlock(i int) {
+	s.shards[i].mu.Lock()
+	s.shards[i].mu.Lock()
+	s.shards[i].mu.Unlock()
+	s.shards[i].mu.Unlock()
+}
+
+// UnknownPair nests two same-class locks whose order is not provable.
+func (s *Store) UnknownPair(i, j int) {
+	s.shards[i].mu.Lock()
+	s.shards[j].mu.Lock()
+	s.shards[j].mu.Unlock()
+	s.shards[i].mu.Unlock()
+}
+
+// addLocked acquires a shard lock internally.
+func (s *Store) addLocked(i int) {
+	s.shards[i].mu.Lock()
+	s.shards[i].n++
+	s.shards[i].mu.Unlock()
+}
+
+// CallUnderLock holds a shard lock across a call that can re-acquire
+// the same lock class.
+func (s *Store) CallUnderLock(i int) {
+	s.shards[i].mu.Lock()
+	s.addLocked(i)
+	s.shards[i].mu.Unlock()
+}

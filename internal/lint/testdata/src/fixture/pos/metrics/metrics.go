@@ -1,0 +1,19 @@
+// Package metrics seeds obsdiscipline violations: registration on the
+// batch path, a discarded handle, and a chained by-name lookup.
+package metrics
+
+import "fixture/reg"
+
+// Service processes batches against a registry.
+type Service struct {
+	r *reg.Registry
+}
+
+// HandleBatch runs once per batch, which makes every registration
+// below a violation.
+func (s *Service) HandleBatch() {
+	c := s.r.NewCounter("batches", "Batches seen.")
+	c.Inc()
+	s.r.NewGauge("last", "Last batch size.")
+	s.r.Lookup("latency").Observe(1.5)
+}

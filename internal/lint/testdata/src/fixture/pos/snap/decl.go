@@ -1,0 +1,20 @@
+// Package snap seeds snapshotimmutable violations: writes to an
+// immutable type's fields outside its declaring file.
+package snap
+
+// Snapshot is an immutable flat view; consumers share it across
+// goroutines without locks.
+type Snapshot struct {
+	Offsets []int32
+	Targets []uint32
+}
+
+// New builds a snapshot. Writes here are allowed: this is the
+// declaring file.
+func New(n int) *Snapshot {
+	s := &Snapshot{Offsets: make([]int32, n+1)}
+	for i := range s.Offsets {
+		s.Offsets[i] = int32(i)
+	}
+	return s
+}

@@ -1,0 +1,11 @@
+package snap
+
+// Patch mutates a snapshot outside its declaring file: every write
+// below is a violation.
+func Patch(s *Snapshot, v uint32) {
+	s.Offsets[0] = 7
+	s.Targets = append(s.Targets, v)
+	copy(s.Offsets, []int32{1, 2})
+	p := &s.Targets
+	*p = nil
+}

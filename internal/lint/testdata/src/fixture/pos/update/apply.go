@@ -1,0 +1,29 @@
+// Package update seeds hotpathalloc violations inside a per-edge loop.
+package update
+
+import (
+	"fmt"
+	"time"
+)
+
+// Edge is the per-edge element type the analyzer keys on.
+type Edge struct {
+	Src, Dst uint32
+}
+
+// Apply commits one batch; everything inside the range is per-edge.
+func Apply(edges []Edge) []string {
+	var out []string
+	for _, e := range edges {
+		out = append(out, fmt.Sprintf("%d->%d", e.Src, e.Dst))
+		start := time.Now()
+		_ = start
+		seen := make(map[uint32]bool)
+		seen[e.Src] = true
+		pick := func() uint32 { return e.Dst }
+		_ = pick
+		flags := map[string]bool{"del": e.Src == e.Dst}
+		_ = flags
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package reg is a miniature metrics registry mirroring the shape
+// obsdiscipline detects: a Registry type with New{Counter,Gauge,
+// Histogram} registration methods and handle types with observation
+// methods.
+package reg
+
+// Counter is a monotonically increasing metric handle.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.v += delta }
+
+// Gauge is a set-to-current-value metric handle.
+type Gauge struct{ v float64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Histogram is a sample-distribution metric handle.
+type Histogram struct{ sum float64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.sum += v }
+
+// Registry allocates metric handles by name.
+type Registry struct{}
+
+// NewCounter registers a counter.
+func (r *Registry) NewCounter(name, help string) *Counter { return &Counter{} }
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge { return &Gauge{} }
+
+// NewHistogram registers a histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram { return &Histogram{} }
+
+// Lookup resolves a histogram handle by name.
+func (r *Registry) Lookup(name string) *Histogram { return &Histogram{} }

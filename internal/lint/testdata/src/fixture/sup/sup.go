@@ -1,0 +1,27 @@
+// Package sup exercises the suppression engine: one justified and
+// matching //sglint:ignore (silent), plus the malformed and stale
+// variants that must themselves be reported.
+package sup
+
+func work() {}
+
+// Spawn carries a justified suppression that matches a real
+// baregoroutine finding: no diagnostic results from it.
+func Spawn() {
+	//sglint:ignore baregoroutine fixture demonstrates a justified suppression on a fire-and-forget probe
+	go func() {
+		work()
+	}()
+}
+
+// Malformed suppressions below: each is reported by sglint itself.
+func Malformed() {
+	//sglint:ignore
+	work()
+	//sglint:ignore nosuchanalyzer this analyzer does not exist
+	work()
+	//sglint:ignore lockorder
+	work()
+	//sglint:ignore atomicfield nothing here touches an atomic, so this is stale
+	work()
+}

@@ -60,9 +60,14 @@ type Observer struct {
 
 	// engineSeconds holds one apply-latency histogram per update
 	// engine, keyed by Engine.Name(). The three software engines are
-	// pre-registered; unknown names are added under the mutex.
+	// pre-registered; unknown names are added under the mutex. The
+	// baselineSec/roSec/roUSCSec fields cache the pre-registered
+	// handles so the per-apply path skips the lock + map lookup.
 	engineMu      sync.Mutex
 	engineSeconds map[string]*Histogram
+	baselineSec   *Histogram
+	roSec         *Histogram
+	roUSCSec      *Histogram
 }
 
 // New builds an Observer with the full streamgraph metric set
@@ -138,6 +143,9 @@ func New(o Options) *Observer {
 			"Per-engine update apply latency in seconds.",
 			DurationBuckets())
 	}
+	obs.baselineSec = obs.engineSeconds["baseline"]
+	obs.roSec = obs.engineSeconds["ro"]
+	obs.roUSCSec = obs.engineSeconds["ro+usc"]
 	return obs
 }
 
@@ -177,6 +185,21 @@ func (o *Observer) EngineHistogram(name string) *Histogram {
 	return h
 }
 
+// engineFast returns the cached histogram handle for the three
+// built-in engines, nil otherwise. Keeps the per-apply path free of
+// the engineMu lock and map lookup.
+func (o *Observer) engineFast(engine string) *Histogram {
+	switch engine {
+	case "baseline":
+		return o.baselineSec
+	case "ro":
+		return o.roSec
+	case "ro+usc":
+		return o.roUSCSec
+	}
+	return nil
+}
+
 // ObserveEngineApply records one engine Apply call: latency plus the
 // engine's synchronization and search work counters. Called by the
 // update engines themselves (internal/update). Nil-safe.
@@ -184,7 +207,11 @@ func (o *Observer) ObserveEngineApply(engine string, seconds float64, edges, loc
 	if o == nil {
 		return
 	}
-	o.EngineHistogram(engine).Observe(seconds)
+	h := o.engineFast(engine)
+	if h == nil {
+		h = o.EngineHistogram(engine)
+	}
+	h.Observe(seconds)
 	o.EdgesAppliedTotal.Add(edges)
 	o.LocksTotal.Add(locks)
 	o.ComparisonsTotal.Add(comparisons)

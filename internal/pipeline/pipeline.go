@@ -388,6 +388,7 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 			snap := r.store.SnapshotCSR()
 			slot := r.appendMetrics(bm)
 			r.computeCh = make(chan struct{})
+			//sglint:ignore baregoroutine joined via close(done)/waitCompute; a panic in a compute engine must crash the process, not be recovered into silently stale results
 			go func(done chan struct{}) {
 				defer close(done)
 				cs := time.Now()

@@ -52,6 +52,8 @@ func Reorder(b *graph.Batch, workers int) *Reordered {
 // sorts per-worker chunks concurrently and then merges pairwise,
 // always preferring the left chunk on equal keys to preserve input
 // order.
+//
+//sglint:pool sort/merge workers join on wg.Wait within the call; a panic in a comparator must crash rather than yield a half-sorted batch
 func parallelStableSort(edges []graph.Edge, workers int, key func(graph.Edge) graph.VertexID) []graph.Edge {
 	out := make([]graph.Edge, len(edges))
 	copy(out, edges)

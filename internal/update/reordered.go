@@ -123,6 +123,7 @@ func (e *Reordered) applyRunCoalesced(s *graph.AdjacencyStore, edges []graph.Edg
 		key := runKey(edge, out)
 		if edge.Delete {
 			if del == nil {
+				//sglint:ignore hotpathalloc lazy one-time allocation: runs at most once per run and only when the batch deletes; hoisting would charge every insert-only run
 				del = make(map[graph.VertexID]struct{})
 			}
 			del[key] = struct{}{}

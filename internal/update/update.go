@@ -149,6 +149,8 @@ const chunk = 256
 // parallelChunks runs fn over [0,n) in dynamically scheduled chunks
 // using the configured worker count, giving each worker a private
 // workerStats that is merged into st afterwards.
+//
+//sglint:pool update worker pools join on wg.Wait before the batch returns; a panic in an apply kernel must crash, not be swallowed mid-batch
 func parallelChunks(n, workers int, st *Stats, fn func(lo, hi int, w *workerStats)) {
 	if n == 0 {
 		return

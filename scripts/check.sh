@@ -1,15 +1,39 @@
 #!/bin/sh
-# Pre-PR gate: formatting, vet, staticcheck (when installed), build,
-# and the full test suite with the race detector. Run from the
+# Pre-PR gate: formatting, vet, staticcheck (when installed), sglint,
+# build, and the full test suite with the race detector. Run from the
 # repository root:
 #
 #   ./scripts/check.sh
 #
-# Exits non-zero on the first failure. CI (.github/workflows/ci.yml)
-# runs the same gates plus fuzz and bench smoke jobs.
-set -eu
+# Every stage runs even after a failure, then a per-stage pass/fail
+# summary is printed and the script exits with the FIRST failing
+# stage's code, so CI logs attribute the failure to the right gate:
+#
+#   10 gofmt   11 go vet   12 staticcheck   13 sglint
+#   14 go build   15 go test -race
+#
+# CI (.github/workflows/ci.yml) runs the same gates as separate jobs
+# plus fuzz and bench smoke.
+set -u
 
 cd "$(dirname "$0")/.."
+
+# summary accumulates "name:status:code" lines; exit_code keeps the
+# first failure's code.
+summary=""
+exit_code=0
+
+record() {
+    # record <name> <stage-exit> <assigned-code>
+    if [ "$2" -eq 0 ]; then
+        summary="${summary}${1}:pass:0\n"
+    else
+        summary="${summary}${1}:FAIL:${3}\n"
+        if [ "$exit_code" -eq 0 ]; then
+            exit_code=$3
+        fi
+    fi
+}
 
 echo "== gofmt =="
 # Capture to a file, not $(...): a gofmt crash (parse error, bad
@@ -17,33 +41,58 @@ echo "== gofmt =="
 # that reads as "all formatted".
 fmtout=$(mktemp)
 trap 'rm -f "$fmtout"' EXIT
+fmt_rc=0
 if ! gofmt -l . >"$fmtout" 2>&1; then
     echo "gofmt: failed:" >&2
     cat "$fmtout" >&2
-    exit 1
-fi
-if [ -s "$fmtout" ]; then
+    fmt_rc=1
+elif [ -s "$fmtout" ]; then
     echo "gofmt: needs formatting:" >&2
     cat "$fmtout" >&2
-    exit 1
+    fmt_rc=1
 fi
+record gofmt "$fmt_rc" 10
 
 echo "== go vet =="
 go vet ./...
+record "go vet" $? 11
 
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck =="
     staticcheck ./...
+    record staticcheck $? 12
 else
     echo "== staticcheck == (skipped: not installed; CI runs it pinned)"
+    summary="${summary}staticcheck:skip:0\n"
 fi
+
+echo "== sglint =="
+go run ./cmd/sglint ./...
+record sglint $? 13
 
 echo "== go build =="
 go build ./...
+record "go build" $? 14
 
 echo "== go test -race =="
 # -count=1 defeats the test cache: a gate that replays cached results
 # verifies nothing about the current build environment.
 go test -race -count=1 ./...
+record "go test -race" $? 15
 
-echo "check.sh: all gates passed"
+echo
+echo "== summary =="
+printf "%b" "$summary" | while IFS=: read -r name status code; do
+    if [ "$status" = "FAIL" ]; then
+        printf "  %-14s %s (exit %s)\n" "$name" "$status" "$code"
+    else
+        printf "  %-14s %s\n" "$name" "$status"
+    fi
+done
+
+if [ "$exit_code" -eq 0 ]; then
+    echo "check.sh: all gates passed"
+else
+    echo "check.sh: failing with exit $exit_code (first failed gate)" >&2
+fi
+exit "$exit_code"
