@@ -17,6 +17,11 @@
 //	sgbench -ci ci/bench-baseline.json -ci-write-baseline
 //	                                                   # refresh the baseline (halved)
 //
+// Fault-injected soak mode (no -exp):
+//
+//	sgbench -soak 5m -soak-clients 8 -soak-fault mixed # long-running concurrency
+//	                                                   # soak, oracle-verified
+//
 // Each experiment prints one or more text tables with the paper's
 // reported values alongside the measured ones. Progress goes to
 // stderr with -v. With -timing, every experiment runs under a fresh
@@ -53,11 +58,19 @@ func main() {
 		ciBaseline = flag.String("ci-baseline", "", "with -ci: fail if update throughput regresses vs this baseline file")
 		ciTol      = flag.Float64("ci-tolerance", 0.20, "with -ci-baseline: allowed fractional regression")
 		ciWrite    = flag.Bool("ci-write-baseline", false, "with -ci: halve the measured throughput and write it as a baseline")
+
+		soak        = flag.Duration("soak", 0, "soak mode: run the fault-injected concurrency soak for this long (e.g. 5m)")
+		soakClients = flag.Int("soak-clients", 8, "with -soak: concurrent clients")
+		soakFault   = flag.String("soak-fault", "mixed", "with -soak: fault profile (off|latency|stall|panic|mixed)")
+		soakSeed    = flag.Int64("soak-seed", 42, "with -soak: stream and fault-jitter seed")
 	)
 	flag.Parse()
 
 	if *ciOut != "" {
 		os.Exit(runCISmoke(*ciOut, *ciBaseline, *ciTol, *ciWrite, *workers))
+	}
+	if *soak > 0 {
+		os.Exit(runSoak(*soak, *soakClients, *soakFault, *soakSeed))
 	}
 
 	if *list {

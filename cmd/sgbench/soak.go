@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"streamgraph"
+	"streamgraph/internal/fault"
+	"streamgraph/internal/gen"
+	"streamgraph/internal/stress"
+)
+
+// runSoak is the long-running counterpart of internal/stress's
+// TestSoak tier: the same harness (concurrent adversarial clients, a
+// fault-injected hardened server, sequential-oracle verification at
+// the end) driven for a wall-clock duration instead of a fixed batch
+// count. Returns the process exit code.
+func runSoak(d time.Duration, clients int, profile string, seed int64) int {
+	spec, ok := streamgraph.FaultProfile(profile, seed)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sgbench: unknown fault profile %q (have %v)\n",
+			profile, fault.ProfileNames())
+		return 2
+	}
+	fmt.Printf("soak: %d clients for %s, fault profile %q (%v)\n", clients, d, profile, spec)
+	rep, err := stress.Run(stress.Config{
+		Clients:           clients,
+		Batches:           100,
+		BatchSize:         60,
+		VerticesPerClient: 512,
+		Seed:              seed,
+		Kind:              gen.AdvMixed,
+		Fault:             spec,
+		Analytics:         streamgraph.AnalyticsPageRank,
+		Shed:              streamgraph.ShedConfig{SkipComputeAt: 0.25, ForceBaselineAt: 0.6},
+		QueueDepth:        8,
+		SlowClients:       clients / 4,
+		BrokenClients:     1,
+		Duration:          d,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench: soak FAILED:", err)
+		return 1
+	}
+	fmt.Println(rep)
+	fmt.Println("soak passed: final graph matches the sequential oracle replay")
+	return 0
+}

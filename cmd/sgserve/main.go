@@ -24,13 +24,20 @@
 // under /debug/.
 //
 // The system processes batches sequentially (the paper's execution
-// model); concurrent POSTs serialize on an internal lock.
+// model); concurrent POSTs serialize behind a bounded admission queue.
+// Overflow is rejected with 429 + Retry-After, waits are bounded by
+// -queue-timeout (then 503, batch not applied), a batch that panics
+// the pipeline answers 503 with the server still usable, and queue
+// pressure drives a load-shed ladder (-shed-skip / -shed-force). A
+// deterministic fault schedule can be injected with -fault for
+// robustness drills.
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"time"
 
 	"streamgraph"
 	"streamgraph/internal/obs"
@@ -46,6 +53,15 @@ func main() {
 		noOCA     = flag.Bool("no-oca", false, "disable compute aggregation (latency-critical mode)")
 		traceCap  = flag.Int("trace-buffer", 256, "per-batch trace ring size (0 disables tracing)")
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof and expvar under /debug/")
+
+		queue        = flag.Int("queue", 64, "admission queue depth (excess batches get 429)")
+		queueTimeout = flag.Duration("queue-timeout", 10*time.Second, "max wait for the system before 503")
+		shedSkip     = flag.Float64("shed-skip", 0.5, "queue pressure [0,1] above which compute rounds are deferred (0 disables the ladder)")
+		shedForce    = flag.Float64("shed-force", 0.85, "queue pressure [0,1] above which updates fall back to the cheapest engine")
+		faultProfile = flag.String("fault", "off", "fault injection profile for robustness drills (off|latency|stall|panic|mixed)")
+		faultSeed    = flag.Int64("fault-seed", 1, "fault jitter seed (with -fault)")
+		maxEdges     = flag.Int("max-batch-edges", 1<<20, "reject larger batches with 400")
+		maxVertex    = flag.Uint("max-vertex", 1<<26, "reject batches naming vertex IDs above this with 400")
 	)
 	flag.Parse()
 
@@ -74,16 +90,40 @@ func main() {
 	}
 	o := streamgraph.NewObserver(ringCap)
 
+	spec, ok := streamgraph.FaultProfile(*faultProfile, *faultSeed)
+	if !ok {
+		log.Fatalf("sgserve: unknown fault profile %q", *faultProfile)
+	}
+	var inj *streamgraph.FaultInjector
+	if spec.Enabled() {
+		inj = streamgraph.NewFaultInjector(spec)
+		log.Printf("sgserve: fault injection ON: %v", spec)
+	}
+	var shed streamgraph.ShedConfig
+	if *shedSkip > 0 {
+		shed = streamgraph.ShedConfig{SkipComputeAt: *shedSkip, ForceBaselineAt: *shedForce}
+	}
+
 	sys := streamgraph.New(streamgraph.Config{
 		Vertices:   *vertices,
 		Analytics:  a,
 		Source:     streamgraph.VertexID(*source),
 		DisableOCA: *noOCA,
 		Observer:   o,
+		Fault:      inj,
+		Shed:       shed,
+		// A serving process recovers pipeline panics into 503s (with
+		// the batch not counted) instead of dying mid-stream.
+		Recover: true,
 	})
 
 	mux := http.NewServeMux()
-	mux.Handle("/", server.New(sys))
+	mux.Handle("/", server.NewWithOptions(sys, server.Options{
+		QueueDepth:    *queue,
+		QueueTimeout:  *queueTimeout,
+		MaxBatchEdges: *maxEdges,
+		MaxVertex:     uint32(*maxVertex),
+	}))
 	if *pprofOn {
 		obs.RegisterProfiling(mux)
 		log.Printf("sgserve: pprof+expvar on /debug/")

@@ -1,0 +1,277 @@
+// Package fault is the deterministic fault-injection layer of the
+// streaming graph system. It models the partial failures a serving
+// deployment actually sees — store-latency spikes, engine panics,
+// compute stalls — as injection points at the pipeline's stage
+// boundaries, so the backpressure, panic-isolation and load-shed
+// machinery in internal/server and internal/pipeline can be driven
+// and tested instead of merely existing.
+//
+// Determinism is the design constraint: a fault schedule is a pure
+// function of its Spec plus a per-point arming counter, never of the
+// wall clock or a shared RNG. Replaying the same Spec over the same
+// sequential batch stream reproduces the same faults at the same
+// points, which is what lets internal/oracle assert that a faulted
+// pipeline converges to the exact state of an unfaulted one (faults
+// may delay, never corrupt), and lets a failing soak print a replay
+// line.
+//
+// Retry semantics fall out of counter-based arming: a caller that
+// retries a panicked batch re-arms the point, advancing the counter,
+// so the retry passes unless it lands on the next firing. Every = 1
+// therefore faults every arming — a retrying caller never gets past
+// it — which is intentional for targeted regression tests and
+// pathological for soak schedules.
+//
+// A nil *Injector (fault.Disabled) disables everything; every method
+// is nil-receiver safe so instrumented code pays one predictable
+// branch per stage boundary, not per edge. BenchmarkFaultOverhead in
+// internal/pipeline gates the disabled-path cost the way
+// BenchmarkObsOverhead gates observability's.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Point identifies one injection site at a pipeline stage boundary.
+type Point int
+
+const (
+	// StoreLatency sleeps before the update phase applies, modeling a
+	// slow storage tier or a page-cache miss storm.
+	StoreLatency Point = iota
+	// UpdatePanic panics at the update boundary, before any store
+	// mutation, modeling an engine crash on a poisoned batch. Because
+	// it fires pre-mutation, a recovered batch leaves the store
+	// exactly as it was.
+	UpdatePanic
+	// ComputeStall sleeps before a computation round, modeling an
+	// analytics engine stuck on a hot region.
+	ComputeStall
+	// ComputePanic panics at the compute boundary, after the batch's
+	// updates are durable in the store: the serving layer must report
+	// failure without corrupting graph state, and a retry of the same
+	// batch must be idempotent.
+	ComputePanic
+
+	numPoints
+)
+
+// String returns the point's replay name.
+func (p Point) String() string {
+	switch p {
+	case StoreLatency:
+		return "store-latency"
+	case UpdatePanic:
+		return "update-panic"
+	case ComputeStall:
+		return "compute-stall"
+	case ComputePanic:
+		return "compute-panic"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec fully determines one fault schedule: same spec, same faults,
+// always. Each *Every field fires its point on every Nth arming
+// (0 disables the point); the Seed perturbs only sleep durations,
+// deterministically, never whether a point fires.
+type Spec struct {
+	Seed int64
+
+	// LatencyEvery/Latency configure StoreLatency sleeps.
+	LatencyEvery int
+	Latency      time.Duration
+
+	// UpdatePanicEvery configures UpdatePanic firings.
+	UpdatePanicEvery int
+
+	// StallEvery/Stall configure ComputeStall sleeps.
+	StallEvery int
+	Stall      time.Duration
+
+	// ComputePanicEvery configures ComputePanic firings.
+	ComputePanicEvery int
+}
+
+// Enabled reports whether any point can ever fire.
+func (s Spec) Enabled() bool {
+	return s.LatencyEvery > 0 || s.UpdatePanicEvery > 0 ||
+		s.StallEvery > 0 || s.ComputePanicEvery > 0
+}
+
+// String renders the spec as a replayable Go literal.
+func (s Spec) String() string {
+	return fmt.Sprintf("fault.Spec{Seed: %d, LatencyEvery: %d, Latency: %d, UpdatePanicEvery: %d, StallEvery: %d, Stall: %d, ComputePanicEvery: %d}",
+		s.Seed, s.LatencyEvery, int64(s.Latency), s.UpdatePanicEvery,
+		s.StallEvery, int64(s.Stall), s.ComputePanicEvery)
+}
+
+// Injected is the panic value (and error) carried by injected panics,
+// so recovery paths and tests can tell an injected fault from a real
+// bug.
+type Injected struct {
+	// Point is the site that fired; N its 1-based arming index.
+	Point Point
+	N     uint64
+}
+
+// Error implements error.
+func (e Injected) Error() string {
+	return fmt.Sprintf("fault: injected %s panic (arming %d)", e.Point, e.N)
+}
+
+// Injector fires the schedule. Arming counters are atomic so
+// concurrent pipelines (the stress harness drives several) stay
+// race-free; under concurrency the set of firings over N armings is
+// still exact even though their interleaving is not.
+type Injector struct {
+	spec Spec
+	arm  [numPoints]atomic.Uint64
+	hit  [numPoints]atomic.Uint64
+}
+
+// Disabled is the nil injector: every method is a no-op. Using the
+// named nil rather than a literal makes call sites read as a policy
+// choice.
+var Disabled *Injector
+
+// New builds an injector for spec.
+func New(spec Spec) *Injector {
+	return &Injector{spec: spec}
+}
+
+// Spec returns the schedule (zero value for the nil injector).
+func (f *Injector) Spec() Spec {
+	if f == nil {
+		return Spec{}
+	}
+	return f.spec
+}
+
+// Fired returns how many times point p has fired so far.
+func (f *Injector) Fired(p Point) uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.hit[p].Load()
+}
+
+// FiredTotal returns the total firings across all points.
+func (f *Injector) FiredTotal() uint64 {
+	if f == nil {
+		return 0
+	}
+	var n uint64
+	for p := Point(0); p < numPoints; p++ {
+		n += f.hit[p].Load()
+	}
+	return n
+}
+
+// arms advances point p's arming counter and reports whether this
+// arming fires (every Nth, 1-based).
+func (f *Injector) arms(p Point, every int) (uint64, bool) {
+	if every <= 0 {
+		return 0, false
+	}
+	n := f.arm[p].Add(1)
+	if n%uint64(every) != 0 {
+		return n, false
+	}
+	f.hit[p].Add(1)
+	return n, true
+}
+
+// mix is splitmix64: a cheap, stateless hash spreading (seed, point,
+// arming) into a duration perturbation.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sleepFor derives the deterministic sleep for one firing: within
+// [d/2, 3d/2), jittered by the seed so schedules with different seeds
+// exercise different interleavings while remaining replayable.
+func (f *Injector) sleepFor(p Point, n uint64, d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	h := mix(uint64(f.spec.Seed) ^ uint64(p)<<32 ^ n)
+	return d/2 + time.Duration(h%uint64(d))
+}
+
+// BeforeUpdate is the update-boundary injection site: a possible
+// store-latency spike, then a possible pre-mutation panic. The
+// pipeline calls it once per batch before the update engine runs.
+func (f *Injector) BeforeUpdate() {
+	if f == nil {
+		return
+	}
+	if n, fire := f.arms(StoreLatency, f.spec.LatencyEvery); fire {
+		time.Sleep(f.sleepFor(StoreLatency, n, f.spec.Latency))
+	}
+	if n, fire := f.arms(UpdatePanic, f.spec.UpdatePanicEvery); fire {
+		panic(Injected{Point: UpdatePanic, N: n})
+	}
+}
+
+// BeforeCompute is the compute-boundary injection site: a possible
+// stall, then a possible post-update panic. The pipeline calls it
+// once per computation round (sync or overlapped).
+func (f *Injector) BeforeCompute() {
+	if f == nil {
+		return
+	}
+	if n, fire := f.arms(ComputeStall, f.spec.StallEvery); fire {
+		time.Sleep(f.sleepFor(ComputeStall, n, f.spec.Stall))
+	}
+	if n, fire := f.arms(ComputePanic, f.spec.ComputePanicEvery); fire {
+		panic(Injected{Point: ComputePanic, N: n})
+	}
+}
+
+// Profile returns a canned schedule by name, for CLI flags (sgserve
+// -fault, sgbench -soak-fault) and the stress harness:
+//
+//	off      no faults
+//	latency  store-latency spikes every 3rd update
+//	stall    compute stalls every 5th round
+//	panic    update panics every 37th batch, compute panics every 53rd round
+//	mixed    all of the above
+//
+// Durations are sized for soak tests (hundreds of microseconds to low
+// milliseconds); scale the returned Spec for longer-running rigs.
+func Profile(name string, seed int64) (Spec, bool) {
+	switch name {
+	case "off", "":
+		return Spec{}, true
+	case "latency":
+		return Spec{Seed: seed, LatencyEvery: 3, Latency: 2 * time.Millisecond}, true
+	case "stall":
+		return Spec{Seed: seed, StallEvery: 5, Stall: 3 * time.Millisecond}, true
+	case "panic":
+		return Spec{Seed: seed, UpdatePanicEvery: 37, ComputePanicEvery: 53}, true
+	case "mixed":
+		return Spec{
+			Seed:              seed,
+			LatencyEvery:      3,
+			Latency:           2 * time.Millisecond,
+			StallEvery:        5,
+			Stall:             3 * time.Millisecond,
+			UpdatePanicEvery:  37,
+			ComputePanicEvery: 53,
+		}, true
+	}
+	return Spec{}, false
+}
+
+// ProfileNames lists the canned schedules for CLI usage strings.
+func ProfileNames() []string {
+	return []string{"off", "latency", "stall", "panic", "mixed"}
+}

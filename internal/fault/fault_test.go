@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsSafe exercises every method on the nil injector:
+// the disabled path must be a no-op, never a nil dereference.
+func TestNilInjectorIsSafe(t *testing.T) {
+	f := Disabled
+	f.BeforeUpdate()
+	f.BeforeCompute()
+	if got := f.Fired(UpdatePanic); got != 0 {
+		t.Fatalf("nil injector Fired = %d, want 0", got)
+	}
+	if got := f.FiredTotal(); got != 0 {
+		t.Fatalf("nil injector FiredTotal = %d, want 0", got)
+	}
+	if got := f.Spec(); got != (Spec{}) {
+		t.Fatalf("nil injector Spec = %+v, want zero", got)
+	}
+}
+
+// TestPanicCadence verifies the 1-based every-Nth contract: with
+// every=3, armings 3, 6, 9, ... fire and all others pass.
+func TestPanicCadence(t *testing.T) {
+	const every = 3
+	f := New(Spec{UpdatePanicEvery: every})
+	fired := make([]int, 0, 4)
+	for i := 1; i <= 12; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					inj, ok := r.(Injected)
+					if !ok {
+						t.Fatalf("arming %d: panic value %T, want Injected", i, r)
+					}
+					if inj.Point != UpdatePanic {
+						t.Fatalf("arming %d: fired point %v", i, inj.Point)
+					}
+					if int(inj.N) != i {
+						t.Fatalf("arming %d: Injected.N = %d", i, inj.N)
+					}
+					fired = append(fired, i)
+				}
+			}()
+			f.BeforeUpdate()
+		}()
+	}
+	want := []int{3, 6, 9, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if got := f.Fired(UpdatePanic); got != uint64(len(want)) {
+		t.Fatalf("Fired(UpdatePanic) = %d, want %d", got, len(want))
+	}
+}
+
+// TestRetryEventuallyPasses models the server's retry loop: after a
+// fired panic, re-invoking the same point advances the arming counter
+// so the retry passes (unless every == 1).
+func TestRetryEventuallyPasses(t *testing.T) {
+	f := New(Spec{UpdatePanicEvery: 2})
+	attempts := 0
+	for {
+		attempts++
+		if attempts > 4 {
+			t.Fatal("retry never passed")
+		}
+		ok := func() (ok bool) {
+			defer func() {
+				if recover() != nil {
+					ok = false
+				}
+			}()
+			f.BeforeUpdate()
+			return true
+		}()
+		if ok {
+			break
+		}
+	}
+	// Arming 1 passes; with every=2 arming 2 would fire first. Either
+	// way the loop must terminate within every+1 attempts.
+	if attempts > 3 {
+		t.Fatalf("took %d attempts, want <= 3", attempts)
+	}
+}
+
+// TestInjectedIsError checks the panic value usefully converts to an
+// error for recovery paths that wrap it.
+func TestInjectedIsError(t *testing.T) {
+	var err error = Injected{Point: ComputePanic, N: 7}
+	var inj Injected
+	if !errors.As(err, &inj) {
+		t.Fatal("errors.As failed on Injected")
+	}
+	if inj.Point != ComputePanic || inj.N != 7 {
+		t.Fatalf("round-trip lost fields: %+v", inj)
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+// TestSleepDeterminism: same (seed, point, arming, base) yields the
+// same duration, bounded to [d/2, 3d/2); a different seed is allowed
+// (and for this tuple, known) to differ.
+func TestSleepDeterminism(t *testing.T) {
+	const d = 10 * time.Millisecond
+	a := New(Spec{Seed: 1, Latency: d})
+	b := New(Spec{Seed: 1, Latency: d})
+	c := New(Spec{Seed: 2, Latency: d})
+	for n := uint64(1); n <= 64; n++ {
+		da := a.sleepFor(StoreLatency, n, d)
+		db := b.sleepFor(StoreLatency, n, d)
+		if da != db {
+			t.Fatalf("arming %d: same seed gave %v vs %v", n, da, db)
+		}
+		if da < d/2 || da >= d/2+d {
+			t.Fatalf("arming %d: duration %v outside [d/2, 3d/2)", n, da)
+		}
+	}
+	if a.sleepFor(StoreLatency, 1, d) == c.sleepFor(StoreLatency, 1, d) &&
+		a.sleepFor(StoreLatency, 2, d) == c.sleepFor(StoreLatency, 2, d) {
+		t.Fatal("different seeds produced identical jitter for armings 1 and 2")
+	}
+}
+
+// TestConcurrentArmingExact: under concurrency the firing count over N
+// armings must stay exactly N/every even though interleaving varies.
+func TestConcurrentArmingExact(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 250
+		every   = 5
+	)
+	f := New(Spec{ComputePanicEvery: every})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				func() {
+					defer func() { _ = recover() }()
+					f.BeforeCompute()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	want := uint64(workers * perW / every)
+	if got := f.Fired(ComputePanic); got != want {
+		t.Fatalf("Fired = %d, want %d", got, want)
+	}
+}
+
+// TestProfiles covers the canned schedule table and the sentinel
+// behaviors CLI flags rely on.
+func TestProfiles(t *testing.T) {
+	for _, name := range ProfileNames() {
+		s, ok := Profile(name, 42)
+		if !ok {
+			t.Fatalf("Profile(%q) not found", name)
+		}
+		if name == "off" {
+			if s.Enabled() {
+				t.Fatal("off profile is enabled")
+			}
+		} else if !s.Enabled() {
+			t.Fatalf("profile %q is disabled", name)
+		}
+		if name != "off" && s.Seed != 42 {
+			t.Fatalf("profile %q dropped seed: %+v", name, s)
+		}
+	}
+	if _, ok := Profile("no-such-profile", 0); ok {
+		t.Fatal("unknown profile resolved")
+	}
+	if s, ok := Profile("", 0); !ok || s.Enabled() {
+		t.Fatal("empty profile should resolve to off")
+	}
+}
+
+// TestSpecString: the replay line must round-trip the schedule fields.
+func TestSpecString(t *testing.T) {
+	s := Spec{Seed: 9, LatencyEvery: 3, Latency: time.Millisecond, UpdatePanicEvery: 37}
+	got := s.String()
+	want := "fault.Spec{Seed: 9, LatencyEvery: 3, Latency: 1000000, UpdatePanicEvery: 37, StallEvery: 0, Stall: 0, ComputePanicEvery: 0}"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

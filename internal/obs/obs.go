@@ -32,6 +32,13 @@ type Observer struct {
 	ReorderedTotal *Counter
 	HAUTotal       *Counter
 
+	// Robustness instrumentation: recovered per-batch panics and
+	// load-shed ladder activity (fed by internal/pipeline).
+	PanicsTotal            *Counter
+	ShedTransitionsTotal   *Counter
+	ShedSkipComputeTotal   *Counter
+	ShedForceBaselineTotal *Counter
+
 	// ABR decision instrumentation (fed by internal/abr).
 	ABRActiveTotal *Counter
 	ABRFlipsTotal  *Counter
@@ -88,6 +95,15 @@ func New(o Options) *Observer {
 		"Batches executed in the reordered (RO / RO+USC) mode.")
 	obs.HAUTotal = reg.NewCounter("streamgraph_pipeline_hau_batches_total",
 		"Batches executed on the (simulated) hardware update engine.")
+
+	obs.PanicsTotal = reg.NewCounter("streamgraph_pipeline_panics_total",
+		"Per-batch panics recovered by the pipeline's isolation boundary.")
+	obs.ShedTransitionsTotal = reg.NewCounter("streamgraph_shed_transitions_total",
+		"Load-shed ladder level changes (any direction).")
+	obs.ShedSkipComputeTotal = reg.NewCounter("streamgraph_shed_skip_compute_total",
+		"Batches processed at the skip-compute shed level or above.")
+	obs.ShedForceBaselineTotal = reg.NewCounter("streamgraph_shed_force_baseline_total",
+		"Batches processed at the force-baseline shed level.")
 
 	obs.ABRActiveTotal = reg.NewCounter("streamgraph_abr_active_batches_total",
 		"ABR-active (instrumented) batches.")
@@ -260,6 +276,27 @@ func (o *Observer) ObserveRound(batches int, deferred bool) {
 			o.AggregatedRoundsTotal.Inc()
 		}
 	}
+}
+
+// ObservePanic records a batch whose processing panicked and was
+// recovered at the pipeline's isolation boundary: the panic counter is
+// incremented and a minimal trace marked Panicked lands in the ring so
+// /trace shows the failure next to the decisions around it. The batch
+// did NOT complete, so BatchesTotal is deliberately not incremented.
+// Nil-safe.
+func (o *Observer) ObservePanic(batchID, edges int, policy string, v any) {
+	if o == nil {
+		return
+	}
+	o.PanicsTotal.Inc()
+	o.Traces.Add(BatchTrace{
+		BatchID:    batchID,
+		Start:      time.Now(),
+		Policy:     policy,
+		Edges:      edges,
+		Panicked:   true,
+		PanicValue: fmt.Sprint(v),
+	})
 }
 
 // EmitBatch finalizes a batch trace: pipeline-level counters and stage

@@ -49,6 +49,15 @@ type BatchTrace struct {
 	// SimCycles is the simulated update cost (Sim policies only).
 	SimCycles float64 `json:"simCycles,omitempty"`
 
+	// Shed names the load-shed ladder level in effect for this batch
+	// ("skip-compute", "force-baseline"); empty when unshed. Panicked
+	// marks a batch whose processing panicked and was recovered at the
+	// pipeline's isolation boundary, with the panic value preserved for
+	// replay.
+	Shed       string `json:"shed,omitempty"`
+	Panicked   bool   `json:"panicked,omitempty"`
+	PanicValue string `json:"panicValue,omitempty"`
+
 	Spans []Span `json:"spans"`
 }
 

@@ -120,6 +120,16 @@ func (a *Aggregator) Next(b *graph.Batch) []*graph.Batch {
 	return out
 }
 
+// Defer unconditionally parks batch b's compute for a later round,
+// regardless of locality — the load-shed ladder's skip-compute rung.
+// Unlike Next, any number of batches may pile up; a later Next or
+// Flush drains them all in one aggregated round, so shed compute is
+// delayed, never lost.
+func (a *Aggregator) Defer(b *graph.Batch) {
+	a.pending = append(a.pending, b)
+	a.obs.ObserveRound(0, true)
+}
+
 // Flush returns any still-deferred batch at end of stream, so no
 // batch's modifications go unanalyzed.
 func (a *Aggregator) Flush() []*graph.Batch {

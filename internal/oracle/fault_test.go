@@ -1,0 +1,58 @@
+package oracle
+
+import (
+	"testing"
+	"time"
+
+	"streamgraph/internal/fault"
+	"streamgraph/internal/gen"
+	"streamgraph/internal/pipeline"
+)
+
+// TestFaultSchedulesNeverCorrupt is the satellite oracle extension:
+// the same adversarial stream goes through an unfaulted pipeline and
+// through pipelines driven by seed-replayable fault schedules (with
+// server-style retries) plus a cycling shed ladder — and every target
+// must land on the identical final graph state. Faults and shedding
+// may delay work; they may never corrupt it.
+func TestFaultSchedulesNeverCorrupt(t *testing.T) {
+	const verts = 256
+	spec := gen.AdvSpec{Kind: gen.AdvMixed, Seed: 11, Vertices: verts, BatchSize: 200, Batches: 10}
+
+	// A scripted pressure wave: climbs through both rungs and back
+	// each 6 calls, so shed levels cycle deterministically.
+	calls := 0
+	pressure := func() float64 {
+		wave := []float64{0, 0.3, 0.7, 0.7, 0.3, 0}
+		p := wave[calls%len(wave)]
+		calls++
+		return p
+	}
+
+	schedules := map[string]fault.Spec{
+		"latency": {Seed: 3, LatencyEvery: 3, Latency: 100 * time.Microsecond},
+		"panic+stall": {Seed: 3, UpdatePanicEvery: 4, StallEvery: 3,
+			Stall: 100 * time.Microsecond, ComputePanicEvery: 5},
+		"mixed": {Seed: 9, LatencyEvery: 2, Latency: 50 * time.Microsecond,
+			UpdatePanicEvery: 3, StallEvery: 4, Stall: 50 * time.Microsecond,
+			ComputePanicEvery: 7},
+	}
+
+	targets := []*Target{
+		PipelineTarget("pipeline/clean",
+			pipeline.Config{Policy: pipeline.ABRUSC, Workers: 3}, verts),
+	}
+	for name, fs := range schedules {
+		targets = append(targets, FaultedPipelineTarget("pipeline/faulted/"+name,
+			pipeline.Config{
+				Policy:  pipeline.ABRUSC,
+				Workers: 3,
+				Fault:   fault.New(fs),
+				Shed:    pipeline.ShedConfig{SkipComputeAt: 0.25, ForceBaselineAt: 0.6},
+			}, verts, pressure))
+	}
+
+	if err := RunStream(spec.Generate(), targets, Options{Context: spec.String()}); err != nil {
+		t.Fatal(err)
+	}
+}

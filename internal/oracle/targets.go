@@ -80,6 +80,46 @@ func PipelineTarget(name string, cfg pipeline.Config, numVerts int) *Target {
 	}
 }
 
+// FaultedPipelineTarget runs batches through a pipeline Runner behind
+// its panic isolation boundary, retrying each batch until it passes —
+// exactly a serving client's loop. cfg should carry a fault.Injector
+// (and optionally a Shed config with pressure as its source) whose
+// schedule leaves retries passable (every > 1). Retries are bounded so
+// a schedule that can never pass fails the differential run loudly
+// instead of spinning.
+func FaultedPipelineTarget(name string, cfg pipeline.Config, numVerts int, pressure func() float64) *Target {
+	r := pipeline.NewRunner(cfg, numVerts)
+	if pressure != nil {
+		r.SetPressure(pressure)
+	}
+	apply := func(b *graph.Batch) {
+		for attempt := 0; ; attempt++ {
+			_, err := r.ProcessBatchIsolated(b)
+			if err == nil {
+				return
+			}
+			if attempt >= 64 {
+				panic("oracle: faulted target " + name + " cannot pass batch: " + err.Error())
+			}
+		}
+	}
+	return &Target{
+		Name:  name,
+		Apply: apply,
+		Store: func() graph.Store { return r.Store() },
+		Adj:   func() *graph.AdjacencyStore { return r.Store() },
+		Finish: func() {
+			for attempt := 0; ; attempt++ {
+				if err := r.FinishIsolated(); err == nil {
+					return
+				} else if attempt >= 64 {
+					panic("oracle: faulted target " + name + " cannot finish: " + err.Error())
+				}
+			}
+		},
+	}
+}
+
 // Matrix returns fresh targets covering every engine × store
 // combination plus the adaptive pipeline paths:
 //

@@ -1,0 +1,310 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"streamgraph/internal/compute"
+	"streamgraph/internal/fault"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/obs"
+	"streamgraph/internal/oca"
+)
+
+// retryIsolated drives one batch through ProcessBatchIsolated the way
+// the serving layer does: retry on panic-errors, bounded so a
+// misconfigured every=1 schedule fails the test instead of hanging.
+func retryIsolated(t *testing.T, r *Runner, b *graph.Batch) {
+	t.Helper()
+	for attempt := 0; attempt < 8; attempt++ {
+		if _, err := r.ProcessBatchIsolated(b); err == nil {
+			return
+		}
+	}
+	t.Fatalf("batch %d: still failing after 8 attempts", b.ID)
+}
+
+// TestFaultedPipelineSameFinalGraph is the delay-never-corrupt
+// contract at the pipeline level: a stream pushed through injected
+// latency, stalls, and panics (with server-style retries) must
+// converge to the exact graph state of an unfaulted run.
+func TestFaultedPipelineSameFinalGraph(t *testing.T) {
+	batches, verts := batchesFor("fb", 2000, 6)
+
+	clean := NewRunner(Config{
+		Policy:  ABRUSC,
+		Workers: 2,
+		Compute: &compute.PageRank{Incremental: true, Workers: 2},
+	}, verts)
+	for _, b := range batches {
+		clean.ProcessBatch(b)
+	}
+	clean.Finish()
+
+	faulted := NewRunner(Config{
+		Policy:  ABRUSC,
+		Workers: 2,
+		Compute: &compute.PageRank{Incremental: true, Workers: 2},
+		Fault: fault.New(fault.Spec{
+			Seed:              7,
+			LatencyEvery:      3,
+			Latency:           200 * time.Microsecond,
+			UpdatePanicEvery:  5,
+			StallEvery:        4,
+			Stall:             200 * time.Microsecond,
+			ComputePanicEvery: 7,
+		}),
+	}, verts)
+	for _, b := range batches {
+		retryIsolated(t, faulted, b)
+	}
+	for attempt := 0; ; attempt++ {
+		if err := faulted.FinishIsolated(); err == nil {
+			break
+		}
+		if attempt >= 8 {
+			t.Fatal("Finish still failing after 8 attempts")
+		}
+	}
+
+	if edgeDump(faulted.Store()) != edgeDump(clean.Store()) {
+		t.Fatal("faulted pipeline diverged from unfaulted final graph state")
+	}
+}
+
+// TestPanicIsolationLeavesRunnerUsable: a recovered update panic must
+// return a typed error, leave the store untouched (the injection point
+// is pre-mutation), land in the obs panic counter and trace ring, and
+// leave the Runner processing subsequent batches normally.
+func TestPanicIsolationLeavesRunnerUsable(t *testing.T) {
+	batches, verts := batchesFor("fb", 1000, 2)
+	o := obs.New(obs.Options{})
+	r := NewRunner(Config{
+		Policy:  Baseline,
+		Workers: 2,
+		OCA:     oca.Config{Disabled: true},
+		Obs:     o,
+		Fault:   fault.New(fault.Spec{UpdatePanicEvery: 2}),
+	}, verts)
+
+	// Arming 1 passes.
+	if _, err := r.ProcessBatchIsolated(batches[0]); err != nil {
+		t.Fatalf("batch 0: unexpected error %v", err)
+	}
+	before := r.Store().NumEdges()
+
+	// Arming 2 fires pre-mutation.
+	_, err := r.ProcessBatchIsolated(batches[1])
+	if err == nil {
+		t.Fatal("batch 1: expected an injected panic error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.BatchID != batches[1].ID {
+		t.Fatalf("error %v is not a PanicError for batch %d", err, batches[1].ID)
+	}
+	var inj fault.Injected
+	if !errors.As(err, &inj) || inj.Point != fault.UpdatePanic {
+		t.Fatalf("error %v does not unwrap to fault.Injected{UpdatePanic}", err)
+	}
+	if got := r.Store().NumEdges(); got != before {
+		t.Fatalf("store mutated across a pre-update panic: %d -> %d edges", before, got)
+	}
+	if got := o.PanicsTotal.Value(); got != 1 {
+		t.Fatalf("PanicsTotal = %d, want 1", got)
+	}
+	trs := o.Traces.Last(1)
+	if len(trs) != 1 || !trs[0].Panicked || trs[0].PanicValue == "" {
+		t.Fatalf("trace ring missing the panic record: %+v", trs)
+	}
+
+	// Arming 3 passes: the Runner is not wedged.
+	if _, err := r.ProcessBatchIsolated(batches[1]); err != nil {
+		t.Fatalf("batch 1 retry: unexpected error %v", err)
+	}
+	if got := len(r.MetricsSnapshot().Batches); got != 2 {
+		t.Fatalf("metrics recorded %d batches, want 2 (failed attempt excluded)", got)
+	}
+}
+
+// TestConcurrentComputeRecover: with Config.Recover, a panic on the
+// overlapped compute goroutine is recovered and recorded instead of
+// crashing the process, and the update path is unaffected.
+func TestConcurrentComputeRecover(t *testing.T) {
+	batches, verts := batchesFor("fb", 1000, 6)
+	o := obs.New(obs.Options{})
+	r := NewRunner(Config{
+		Policy:            Baseline,
+		Workers:           2,
+		Compute:           &compute.PageRank{Incremental: true, Workers: 2},
+		ConcurrentCompute: true,
+		OCA:               oca.Config{Disabled: true},
+		Obs:               o,
+		Recover:           true,
+		Fault:             fault.New(fault.Spec{ComputePanicEvery: 2}),
+	}, verts)
+
+	clean := NewRunner(Config{Policy: Baseline, Workers: 2}, verts)
+	for _, b := range batches {
+		if _, err := r.ProcessBatchIsolated(b); err != nil {
+			t.Fatalf("batch %d: %v", b.ID, err)
+		}
+		clean.ProcessBatch(b)
+	}
+	if err := r.FinishIsolated(); err != nil {
+		// Finish's flush round may draw a firing arming; one retry
+		// must succeed (every=2).
+		if err := r.FinishIsolated(); err != nil {
+			t.Fatalf("Finish retry: %v", err)
+		}
+	}
+	clean.Finish()
+
+	if o.PanicsTotal.Value() == 0 {
+		t.Fatal("no compute panics recovered")
+	}
+	if edgeDump(r.Store()) != edgeDump(clean.Store()) {
+		t.Fatal("compute panics corrupted graph state")
+	}
+}
+
+// TestShedLadder drives the ladder through all rungs with a scripted
+// pressure source and checks the engine choice, compute parking,
+// transition counters, and trace stamps at each rung — then that
+// parked compute drains once pressure drops.
+func TestShedLadder(t *testing.T) {
+	batches, verts := batchesFor("fb", 1000, 9)
+	o := obs.New(obs.Options{})
+	pressure := 0.0
+	r := NewRunner(Config{
+		Policy:  AlwaysROUSC,
+		Workers: 2,
+		Compute: &compute.PageRank{Incremental: true, Workers: 2},
+		OCA:     oca.Config{Disabled: true},
+		Obs:     o,
+		Shed:    ShedConfig{SkipComputeAt: 0.25, ForceBaselineAt: 0.6},
+	}, verts)
+	r.SetPressure(func() float64 { return pressure })
+
+	// Three batches per rung: none -> skip-compute -> force-baseline,
+	// then pressure drops for the final three.
+	script := []float64{0, 0, 0, 0.4, 0.4, 0.9, 0.9, 0.1, 0.1}
+	for i, b := range batches {
+		pressure = script[i]
+		r.ProcessBatch(b)
+	}
+	r.Finish()
+
+	trs := o.Traces.Last(0)
+	if len(trs) != len(batches) {
+		t.Fatalf("%d traces, want %d", len(trs), len(batches))
+	}
+	wantShed := []string{"", "", "", "skip-compute", "skip-compute",
+		"force-baseline", "force-baseline", "", ""}
+	for i, tr := range trs {
+		if tr.Shed != wantShed[i] {
+			t.Fatalf("batch %d: shed %q, want %q", i, tr.Shed, wantShed[i])
+		}
+		wantEngine := "ro+usc"
+		if wantShed[i] == "force-baseline" {
+			wantEngine = "baseline"
+		}
+		if tr.Engine != wantEngine {
+			t.Fatalf("batch %d: engine %q, want %q", i, tr.Engine, wantEngine)
+		}
+		if wantShed[i] != "" && !tr.ComputeDeferred {
+			t.Fatalf("batch %d: shed but compute not deferred", i)
+		}
+	}
+
+	// Transitions: none->skip, skip->force, force->none.
+	if got := o.ShedTransitionsTotal.Value(); got != 3 {
+		t.Fatalf("ShedTransitionsTotal = %d, want 3", got)
+	}
+	if got := o.ShedSkipComputeTotal.Value(); got != 4 {
+		t.Fatalf("ShedSkipComputeTotal = %d, want 4", got)
+	}
+	if got := o.ShedForceBaselineTotal.Value(); got != 2 {
+		t.Fatalf("ShedForceBaselineTotal = %d, want 2", got)
+	}
+
+	// Delayed, never lost: every batch's compute ran somewhere.
+	total := 0
+	for _, bm := range r.MetricsSnapshot().Batches {
+		total += bm.AggregatedBatches
+	}
+	if total != len(batches) {
+		t.Fatalf("%d batches computed, want %d", total, len(batches))
+	}
+}
+
+// TestShedIgnoredForSimPolicies: sim-timed policies must never shed —
+// their cost model is simulated cycles, and degrading the strategy
+// would silently change the experiment under measurement.
+func TestShedIgnoredForSimPolicies(t *testing.T) {
+	batches, verts := batchesFor("fb", 500, 3)
+	o := obs.New(obs.Options{})
+	r := NewRunner(Config{
+		Policy:  SimBaseline,
+		Workers: 2,
+		Obs:     o,
+		Shed:    ShedConfig{SkipComputeAt: 0.1, ForceBaselineAt: 0.2},
+	}, verts)
+	r.SetPressure(func() float64 { return 1.0 })
+	for _, b := range batches {
+		r.ProcessBatch(b)
+	}
+	r.Finish()
+	if got := o.ShedSkipComputeTotal.Value() + o.ShedForceBaselineTotal.Value(); got != 0 {
+		t.Fatalf("sim policy shed %d batches, want 0", got)
+	}
+	for _, tr := range o.Traces.Last(0) {
+		if tr.Shed != "" {
+			t.Fatalf("sim policy trace carries shed %q", tr.Shed)
+		}
+	}
+}
+
+// BenchmarkFaultOverhead gates the disabled-path cost of fault
+// injection the way BenchmarkObsOverhead gates observability: it
+// alternates runs with fault.Disabled (nil injector) and an enabled
+// injector whose schedule never fires within the run, and reports the
+// relative slowdown as overhead-%. The acceptance bar is <2%.
+func BenchmarkFaultOverhead(b *testing.B) {
+	batches, verts := batchesFor("wiki", 100000, 3)
+	run := func(f *fault.Injector) time.Duration {
+		r := NewRunner(Config{
+			Policy:  ABRUSC,
+			Workers: 2,
+			OCA:     oca.Config{Disabled: true},
+			Fault:   f,
+		}, verts)
+		start := time.Now()
+		for _, bt := range batches {
+			r.ProcessBatch(bt)
+		}
+		r.Finish()
+		return time.Since(start)
+	}
+	// An armed schedule whose cadence exceeds the run's armings: the
+	// hook path executes (atomic adds and all) but nothing ever fires.
+	never := fault.Spec{
+		LatencyEvery: 1 << 30, Latency: time.Millisecond,
+		StallEvery: 1 << 30, Stall: time.Millisecond,
+		UpdatePanicEvery: 1 << 30, ComputePanicEvery: 1 << 30,
+	}
+	run(fault.Disabled)
+	run(fault.New(never))
+
+	var off, on time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off += run(fault.Disabled)
+		on += run(fault.New(never))
+	}
+	b.StopTimer()
+	if off > 0 {
+		overhead := (on.Seconds() - off.Seconds()) / off.Seconds() * 100
+		b.ReportMetric(overhead, "overhead-%")
+	}
+}

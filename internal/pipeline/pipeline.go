@@ -19,6 +19,7 @@ import (
 
 	"streamgraph/internal/abr"
 	"streamgraph/internal/compute"
+	"streamgraph/internal/fault"
 	"streamgraph/internal/graph"
 	"streamgraph/internal/hau"
 	"streamgraph/internal/obs"
@@ -151,6 +152,20 @@ type Config struct {
 	// instrumentation is cheap enough to leave on; nil disables it
 	// entirely.
 	Obs *obs.Observer
+	// Fault, when non-nil, injects deterministic faults at the
+	// update and compute stage boundaries (see internal/fault).
+	// fault.Disabled (nil) is zero-cost: one predictable branch per
+	// boundary, gated by BenchmarkFaultOverhead.
+	Fault *fault.Injector
+	// Shed configures the load-shed ladder; the zero value disables
+	// shedding. Requires a pressure source (SetPressure).
+	Shed ShedConfig
+	// Recover makes the overlapped-compute goroutine recover panics
+	// instead of crashing the process, recording them in Obs. Serving
+	// deployments (internal/server) set it; batch experiments keep
+	// the default crash-fast behavior so a panic is never silently
+	// converted into stale analytics.
+	Recover bool
 }
 
 // BatchMetrics records one processed batch.
@@ -245,6 +260,12 @@ type Runner struct {
 	// computeCh signals completion of the in-flight async round
 	// (ConcurrentCompute); at most one round is outstanding.
 	computeCh chan struct{}
+
+	// pressure supplies the load-shed ladder's input (see SetPressure);
+	// shedLast is the level in effect for the previous batch, read and
+	// written only by ProcessBatch.
+	pressure func() float64
+	shedLast ShedLevel
 
 	// mu guards metrics: the ConcurrentCompute goroutine fills a
 	// batch's Compute/AggregatedBatches fields after ProcessBatch has
@@ -346,14 +367,21 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 
 	o := r.cfg.Obs
 	tr := o.StartBatch(b.ID, len(b.Edges), r.cfg.Policy.String())
+	shed := r.shedStep(tr)
 
 	var bm BatchMetrics
 	bm.BatchID = b.ID
 
+	// Injected store-latency spikes and update panics fire here,
+	// before any store mutation: a recovered update panic leaves the
+	// graph exactly as it was, which is what makes server-side batch
+	// retries idempotent.
+	r.cfg.Fault.BeforeUpdate()
+
 	if r.cfg.Policy.simulated() {
 		r.processSim(b, &bm, tr)
 	} else {
-		r.processSoftware(b, &bm, tr)
+		r.processSoftware(b, &bm, tr, shed)
 	}
 
 	// OCA: feed locality from this batch's counters when instrumented
@@ -365,10 +393,16 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 	bm.Locality = r.agg.Locality()
 
 	// Compute phase, possibly aggregated, possibly overlapped with
-	// the next batch's update.
+	// the next batch's update. Under shed pressure the batch's round
+	// is parked unconditionally (the ladder's first rung): compute is
+	// delayed until pressure drops or Finish, never lost.
 	var toCompute []*graph.Batch
 	if r.cfg.Compute != nil {
-		toCompute = r.agg.Next(b)
+		if shed >= ShedSkipCompute {
+			r.agg.Defer(b)
+		} else {
+			toCompute = r.agg.Next(b)
+		}
 	}
 	endOCA()
 	if tr != nil {
@@ -380,7 +414,8 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 		tr.SimCycles = bm.SimCycles
 		tr.Locality = bm.Locality
 		tr.LocalityThreshold = r.cfg.OCA.EffectiveThreshold()
-		tr.ComputeDeferred = r.cfg.Compute != nil && len(toCompute) == 0 && !r.cfg.OCA.Disabled
+		tr.ComputeDeferred = r.cfg.Compute != nil && len(toCompute) == 0 &&
+			(!r.cfg.OCA.Disabled || shed >= ShedSkipCompute)
 	}
 
 	if r.cfg.Compute != nil {
@@ -388,9 +423,26 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 			snap := r.store.SnapshotCSR()
 			slot := r.appendMetrics(bm)
 			r.computeCh = make(chan struct{})
-			//sglint:ignore baregoroutine joined via close(done)/waitCompute; a panic in a compute engine must crash the process, not be recovered into silently stale results
 			go func(done chan struct{}) {
 				defer close(done)
+				// Without Recover a compute-engine panic crashes the
+				// process rather than being converted into silently
+				// stale results; serving deployments opt into recovery
+				// and surface the failure through obs instead.
+				defer func() {
+					if !r.cfg.Recover {
+						return
+					}
+					if v := recover(); v != nil && o != nil {
+						o.PanicsTotal.Inc()
+						if tr != nil {
+							tr.Panicked = true
+							tr.PanicValue = fmt.Sprint(v)
+							o.EmitBatch(tr)
+						}
+					}
+				}()
+				r.cfg.Fault.BeforeCompute()
 				cs := time.Now()
 				r.cfg.Compute.Update(snap, toCompute...)
 				d := time.Since(cs)
@@ -407,6 +459,7 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 			return bm
 		}
 		if len(toCompute) > 0 {
+			r.cfg.Fault.BeforeCompute()
 			cs := time.Now()
 			r.cfg.Compute.Update(r.store, toCompute...)
 			bm.Compute = time.Since(cs)
@@ -439,6 +492,7 @@ func (r *Runner) Finish() {
 		return
 	}
 	if rest := r.agg.Flush(); len(rest) > 0 {
+		r.cfg.Fault.BeforeCompute()
 		cs := time.Now()
 		r.cfg.Compute.Update(r.store, rest...)
 		d := time.Since(cs)
@@ -474,11 +528,18 @@ func (r *Runner) decide(b *graph.Batch) (active, reorderNow bool) {
 	}
 }
 
-// processSoftware runs one batch in the real software engines.
-func (r *Runner) processSoftware(b *graph.Batch, bm *BatchMetrics, tr *obs.BatchTrace) {
-	endDecide := tr.Span("abr_decide")
-	active, reorderNow := r.decide(b)
-	endDecide()
+// processSoftware runs one batch in the real software engines. At the
+// force-baseline shed rung the ABR decision (and its instrumentation
+// and tuning) is skipped entirely and the batch runs on the locked
+// baseline engine — the cheapest update path with no reorder cost —
+// without advancing the controller's sampling cadence.
+func (r *Runner) processSoftware(b *graph.Batch, bm *BatchMetrics, tr *obs.BatchTrace, shed ShedLevel) {
+	var active, reorderNow bool
+	if shed < ShedForceBaseline {
+		endDecide := tr.Span("abr_decide")
+		active, reorderNow = r.decide(b)
+		endDecide()
+	}
 	bm.ABRActive = active
 	bm.Reordered = reorderNow
 

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamgraph"
+)
+
+// postWithRetry sends one batch, retrying 429/503 (both mean the
+// batch was not counted as ingested; retry is idempotent even if the
+// update landed before a failure). Returns false if it never got 200.
+func postWithRetry(t *testing.T, ts *httptest.Server, body string) bool {
+	t.Helper()
+	for attempt := 0; attempt < 200; attempt++ {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return true
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			time.Sleep(time.Duration(1+attempt%5) * time.Millisecond)
+		default:
+			t.Errorf("POST /batch: status %d", resp.StatusCode)
+			return false
+		}
+	}
+	t.Error("batch never accepted after 200 attempts")
+	return false
+}
+
+// TestConcurrentIngest is the satellite concurrency table: parallel
+// POST /batch, /flush, vertex queries, and a /stats sampler under the
+// race detector, across analytics and client counts. Asserts no lost
+// or double-counted batches (every accepted batch counted exactly
+// once), a monotone batch counter, and the exact final edge count.
+func TestConcurrentIngest(t *testing.T) {
+	cases := []struct {
+		name      string
+		analytics streamgraph.Analytics
+		clients   int
+		batches   int
+		queue     int
+	}{
+		{"none-4clients", streamgraph.AnalyticsNone, 4, 20, 2},
+		{"pagerank-4clients", streamgraph.AnalyticsPageRank, 4, 15, 2},
+		{"pagerank-8clients-tiny-queue", streamgraph.AnalyticsPageRank, 8, 10, 1},
+		{"cc-8clients", streamgraph.AnalyticsCC, 8, 10, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const edgesPerBatch = 5
+			sys := streamgraph.New(streamgraph.Config{
+				Vertices:  tc.clients * 1000,
+				Workers:   2,
+				Analytics: tc.analytics,
+				Recover:   true,
+			})
+			// Tiny queue provokes 429s; the long default timeout keeps
+			// 503s (which would still be safe, just slower) rare.
+			ts := httptest.NewServer(NewWithOptions(sys, Options{QueueDepth: tc.queue}))
+			t.Cleanup(ts.Close)
+
+			stop := make(chan struct{})
+			var samplerDone sync.WaitGroup
+			var maxSeen atomic.Int64
+			samplerDone.Add(1)
+			go func() {
+				defer samplerDone.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := http.Get(ts.URL + "/stats")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var stats map[string]any
+					dec := json.NewDecoder(resp.Body)
+					if resp.StatusCode == http.StatusOK {
+						if err := dec.Decode(&stats); err != nil {
+							t.Error(err)
+							resp.Body.Close()
+							return
+						}
+						now := int64(stats["batches"].(float64))
+						prev := maxSeen.Load()
+						if now < prev {
+							t.Errorf("batch count went backwards: %d after %d", now, prev)
+						}
+						for prev < now && !maxSeen.CompareAndSwap(prev, now) {
+							prev = maxSeen.Load()
+						}
+					}
+					resp.Body.Close()
+					time.Sleep(time.Millisecond)
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for c := 0; c < tc.clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					base := c * 1000 // disjoint vertex ranges per client
+					for i := 0; i < tc.batches; i++ {
+						edges := make([]EdgeJSON, edgesPerBatch)
+						for j := range edges {
+							edges[j] = EdgeJSON{
+								Src: uint32(base + i*edgesPerBatch + j),
+								Dst: uint32(base + i*edgesPerBatch + j + 1),
+							}
+						}
+						body, _ := json.Marshal(edges)
+						if !postWithRetry(t, ts, string(body)) {
+							return
+						}
+						// Interleave the other verbs.
+						if i%5 == 0 {
+							resp, err := http.Post(ts.URL+"/flush", "application/json", nil)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							resp.Body.Close()
+						}
+						if i%3 == 0 {
+							resp, err := http.Get(fmt.Sprintf("%s/rank?v=%d", ts.URL, base))
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							resp.Body.Close()
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(stop)
+			samplerDone.Wait()
+			if t.Failed() {
+				return
+			}
+
+			resp, err := http.Post(ts.URL+"/flush", "application/json", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+
+			wantBatches := tc.clients * tc.batches
+			wantEdges := wantBatches * edgesPerBatch
+			stats := getJSON(t, ts, "/stats")
+			if got := int(stats["batches"].(float64)); got != wantBatches {
+				t.Fatalf("batches = %d, want %d (lost or double-counted)", got, wantBatches)
+			}
+			if got := int(stats["edges"].(float64)); got != wantEdges {
+				t.Fatalf("edges = %d, want %d", got, wantEdges)
+			}
+			if got := maxSeen.Load(); got > int64(wantBatches) {
+				t.Fatalf("sampler saw %d batches, more than the %d sent", got, wantBatches)
+			}
+		})
+	}
+}

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamgraph"
+	"streamgraph/internal/fault"
+)
+
+// newHardenedServer builds a test server with explicit fault and
+// queue configuration.
+func newHardenedServer(t *testing.T, cfg streamgraph.Config, opts Options) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewWithOptions(streamgraph.New(cfg), opts))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestComputePanicReturns503 is the regression test for the partial-
+// response bug: a compute panic mid-request used to surface as 200
+// with a partially-populated body (or kill the server outright). Now
+// it must be 503, the store must hold the batch's updates (the panic
+// is post-update; re-application is idempotent so retrying is safe),
+// the success counter must not move, and the server must keep
+// answering.
+func TestComputePanicReturns503(t *testing.T) {
+	ts := newHardenedServer(t, streamgraph.Config{
+		Vertices:   100,
+		Workers:    2,
+		Analytics:  streamgraph.AnalyticsPageRank,
+		DisableOCA: true,
+		Recover:    true,
+		Fault:      streamgraph.NewFaultInjector(fault.Spec{ComputePanicEvery: 1}),
+	}, Options{})
+
+	resp := post(t, ts, `[{"src":1,"dst":2},{"src":2,"dst":3}]`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("compute panic: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+
+	// Store state is consistent (updates landed; graph not corrupted)
+	// and the server is not wedged.
+	stats := getJSON(t, ts, "/stats")
+	if stats["edges"].(float64) != 2 {
+		t.Fatalf("edges = %v, want 2 (updates are pre-panic)", stats["edges"])
+	}
+	if stats["batches"].(float64) != 0 {
+		t.Fatalf("batches = %v, want 0 (no successful batch)", stats["batches"])
+	}
+
+	// A second POST fails the same deterministic way — still 503,
+	// still not wedged.
+	resp2 := post(t, ts, `[{"src":3,"dst":4}]`)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second batch: status %d, want 503", resp2.StatusCode)
+	}
+	mj := getJSON(t, ts, "/metrics.json")
+	if mj["panicBatches"].(float64) != 2 {
+		t.Fatalf("panicBatches = %v, want 2", mj["panicBatches"])
+	}
+}
+
+// TestComputePanicRetrySucceeds: with a non-pathological schedule the
+// client-visible contract holds end to end — a 503'd batch retried
+// against the same server succeeds, exactly-once counting is preserved,
+// and the final graph is what a fault-free ingest would produce.
+func TestComputePanicRetrySucceeds(t *testing.T) {
+	ts := newHardenedServer(t, streamgraph.Config{
+		Vertices:   100,
+		Workers:    2,
+		Analytics:  streamgraph.AnalyticsPageRank,
+		DisableOCA: true,
+		Recover:    true,
+		Fault:      streamgraph.NewFaultInjector(fault.Spec{ComputePanicEvery: 3}),
+	}, Options{})
+
+	bodies := []string{
+		`[{"src":1,"dst":2}]`,
+		`[{"src":2,"dst":3}]`,
+		`[{"src":3,"dst":4}]`, // compute arming 3 fires here
+	}
+	got503 := 0
+	for _, body := range bodies {
+		for attempt := 0; ; attempt++ {
+			resp := post(t, ts, body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("batch %q: status %d", body, resp.StatusCode)
+			}
+			got503++
+			if attempt > 4 {
+				t.Fatalf("batch %q: never succeeded", body)
+			}
+		}
+	}
+	if got503 == 0 {
+		t.Fatal("fault schedule never fired")
+	}
+	stats := getJSON(t, ts, "/stats")
+	if stats["batches"].(float64) != 3 || stats["edges"].(float64) != 3 {
+		t.Fatalf("stats after retries = %v, want 3 batches / 3 edges", stats)
+	}
+	if rank := getJSON(t, ts, "/rank?v=2"); rank["rank"].(float64) <= 0 {
+		t.Fatalf("rank = %v", rank)
+	}
+}
+
+// TestAdmissionQueue429: with a single admission slot held by a
+// slowed-down batch, a second batch must bounce immediately with 429 +
+// Retry-After and be visible in the rejected counter — and must not
+// have been applied.
+func TestAdmissionQueue429(t *testing.T) {
+	ts := newHardenedServer(t, streamgraph.Config{
+		Vertices: 100,
+		Workers:  2,
+		// Every update sleeps 100–300ms: the first batch reliably
+		// occupies the queue while the second arrives.
+		Fault: streamgraph.NewFaultInjector(fault.Spec{
+			LatencyEvery: 1, Latency: 200 * time.Millisecond,
+		}),
+	}, Options{QueueDepth: 1})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp := post(t, ts, `[{"src":1,"dst":2}]`)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("slow batch: status %d", resp.StatusCode)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow batch take the slot
+
+	resp := post(t, ts, `[{"src":7,"dst":8}]`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow batch: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	wg.Wait()
+
+	stats := getJSON(t, ts, "/stats")
+	if stats["batches"].(float64) != 1 || stats["edges"].(float64) != 1 {
+		t.Fatalf("stats = %v: rejected batch must not be applied", stats)
+	}
+	mj := getJSON(t, ts, "/metrics.json")
+	if mj["rejected"].(float64) < 1 {
+		t.Fatalf("rejected = %v, want >= 1", mj["rejected"])
+	}
+}
+
+// TestQueueTimeout503: a batch admitted behind a slow one must give up
+// after QueueTimeout with 503 and NOT be applied (the processing token
+// never transferred), so the client can retry without double-apply
+// anxiety.
+func TestQueueTimeout503(t *testing.T) {
+	ts := newHardenedServer(t, streamgraph.Config{
+		Vertices: 100,
+		Workers:  2,
+		Fault: streamgraph.NewFaultInjector(fault.Spec{
+			LatencyEvery: 1, Latency: 400 * time.Millisecond,
+		}),
+	}, Options{QueueDepth: 4, QueueTimeout: 30 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp := post(t, ts, `[{"src":1,"dst":2}]`)
+		resp.Body.Close()
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	resp := post(t, ts, `[{"src":7,"dst":8}]`)
+	body := make([]byte, 256)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queued batch: status %d (%s), want 503", resp.StatusCode, body[:n])
+	}
+	wg.Wait()
+
+	stats := getJSON(t, ts, "/stats")
+	if stats["edges"].(float64) != 1 {
+		t.Fatalf("edges = %v: timed-out batch must not be applied", stats["edges"])
+	}
+	mj := getJSON(t, ts, "/metrics.json")
+	if mj["queueTimeouts"].(float64) < 1 {
+		t.Fatalf("queueTimeouts = %v, want >= 1", mj["queueTimeouts"])
+	}
+}
+
+// TestParseBatchLimits exercises the decoder's validation surface
+// directly (the same function the fuzz target drives).
+func TestParseBatchLimits(t *testing.T) {
+	opts := Options{}.withDefaults()
+	opts.MaxBatchEdges = 2
+	opts.MaxVertex = 100
+	cases := []struct {
+		name, body string
+		wantErr    bool
+	}{
+		{"ok", `[{"src":1,"dst":2,"weight":1.5}]`, false},
+		{"zero weight defaults", `[{"src":1,"dst":2}]`, false},
+		{"not json", `lol`, true},
+		{"empty", `[]`, true},
+		{"trailing", `[{"src":1,"dst":2}] garbage`, true},
+		{"too many edges", `[{"src":1,"dst":2},{"src":2,"dst":3},{"src":3,"dst":4}]`, true},
+		{"vertex over limit", `[{"src":101,"dst":2}]`, true},
+		{"vertex overflows uint32", `[{"src":4294967296,"dst":2}]`, true},
+		{"weight overflows float32", `[{"src":1,"dst":2,"weight":1e999}]`, true},
+		{"wrong shape", `{"src":1}`, true},
+	}
+	for _, c := range cases {
+		edges, err := ParseBatch(strings.NewReader(c.body), opts)
+		if (err != nil) != c.wantErr {
+			t.Fatalf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
+		}
+		if !c.wantErr && edges[0].Weight == 0 {
+			t.Fatalf("%s: zero weight survived", c.name)
+		}
+	}
+}
+
+// TestShedLadderVisibleThroughServer: with a tiny queue, slowed-down
+// updates, and concurrent clients, the pressure signal must reach the
+// pipeline and shed transitions must show up in the observer registry
+// via /metrics.json — the end-to-end path the soak test asserts at
+// larger scale.
+func TestShedLadderVisibleThroughServer(t *testing.T) {
+	obs := streamgraph.NewObserver(0)
+	sys := streamgraph.New(streamgraph.Config{
+		Vertices:  200,
+		Workers:   2,
+		Analytics: streamgraph.AnalyticsPageRank,
+		Observer:  obs,
+		Recover:   true,
+		Shed:      streamgraph.ShedConfig{SkipComputeAt: 0.2, ForceBaselineAt: 0.6},
+		Fault: streamgraph.NewFaultInjector(fault.Spec{
+			LatencyEvery: 2, Latency: 30 * time.Millisecond,
+		}),
+	})
+	ts := httptest.NewServer(NewWithOptions(sys, Options{QueueDepth: 4}))
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				body, _ := json.Marshal([]EdgeJSON{
+					{Src: uint32(c*10 + i), Dst: uint32(c*10 + i + 1)},
+				})
+				for attempt := 0; attempt < 20; attempt++ {
+					resp, err := http.Post(ts.URL+"/batch", "application/json",
+						strings.NewReader(string(body)))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						break
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	mj := getJSON(t, ts, "/metrics.json")
+	var transitions float64
+	for _, m := range mj["metrics"].([]any) {
+		entry := m.(map[string]any)
+		if entry["name"] == "streamgraph_shed_transitions_total" {
+			// value is omitempty: absent means the counter is zero.
+			transitions, _ = entry["value"].(float64)
+		}
+	}
+	if transitions < 1 {
+		t.Fatalf("shed transitions = %v, want >= 1 (pressure never reached the pipeline)", transitions)
+	}
+}

@@ -1,18 +1,68 @@
 // Package server implements the HTTP API of cmd/sgserve: streaming
 // edge ingestion, analytics queries, and snapshotting over a
 // streamgraph.System.
+//
+// The ingestion path is hardened for concurrent clients: a bounded
+// admission queue rejects overflow with 429 + Retry-After instead of
+// queueing unboundedly, every request that needs the (sequential)
+// system honors a deadline and fails with 503 instead of wedging, and
+// each batch runs behind the pipeline's panic isolation boundary so a
+// poisoned batch returns 503 with the store consistent and the server
+// fully usable. Queue occupancy feeds the pipeline's load-shed ladder
+// as its pressure signal.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"streamgraph"
 )
+
+// Options bound the ingestion path. The zero value of each field
+// selects the default, so Options{} is a fully hardened server.
+type Options struct {
+	// QueueDepth is the admission queue capacity: the maximum number
+	// of batch requests in house (one processing + the rest waiting).
+	// Further batches get 429. Default 64.
+	QueueDepth int
+	// QueueTimeout bounds how long any request waits for the system
+	// before failing with 503. Default 10s.
+	QueueTimeout time.Duration
+	// MaxBatchEdges rejects larger batches with 400. Default 1<<20.
+	MaxBatchEdges int
+	// MaxVertex rejects batches naming vertex IDs above it with 400,
+	// bounding on-demand store growth. Default 1<<26.
+	MaxVertex uint32
+	// MaxBodyBytes caps the request body. Default 8<<20.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.QueueTimeout == 0 {
+		o.QueueTimeout = 10 * time.Second
+	}
+	if o.MaxBatchEdges == 0 {
+		o.MaxBatchEdges = 1 << 20
+	}
+	if o.MaxVertex == 0 {
+		o.MaxVertex = 1 << 26
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	return o
+}
 
 // EdgeJSON is the wire form of one edge.
 type EdgeJSON struct {
@@ -34,23 +84,58 @@ type BatchResponse struct {
 	ComputedBatches int     `json:"computedBatches"`
 }
 
-// Server serves the streaming graph API. Batches serialize on an
-// internal lock (the system's execution model is sequential).
+// Server serves the streaming graph API. The system's execution model
+// is sequential, so requests that touch it serialize on a processing
+// token; the bounded admission queue in front of the token is what
+// turns overload into fast 429s instead of unbounded goroutine pileup.
 type Server struct {
-	mu        sync.Mutex
-	sys       *streamgraph.System
-	obs       *streamgraph.Observer
+	sys  *streamgraph.System
+	obs  *streamgraph.Observer
+	opts Options
+	mux  *http.ServeMux
+
+	// admit is the bounded admission queue: a batch request holds one
+	// slot from acceptance to response. proc is the processing token
+	// serializing all system access; capacity 1 so it can be acquired
+	// in a select with a deadline.
+	admit chan struct{}
+	proc  chan struct{}
+
+	// statsMu guards the ingestion counters below (server-level, not
+	// registered in the observer's registry so restarting a server on
+	// a shared observer cannot collide on metric names).
+	statsMu   sync.Mutex
 	batches   int
 	reordered int
 	rounds    int
-	mux       *http.ServeMux
+	rejected  int
+	timeouts  int
+	panics    int
 }
 
-// New wraps sys in an HTTP handler. When the system carries an
-// observer (Config.Observer), /metrics additionally exposes its full
-// registry and /trace serves its per-batch decision traces.
+// New wraps sys in an HTTP handler with default hardening (see
+// Options). When the system carries an observer (Config.Observer),
+// /metrics additionally exposes its full registry and /trace serves
+// its per-batch decision traces.
 func New(sys *streamgraph.System) *Server {
-	s := &Server{sys: sys, obs: sys.Observer(), mux: http.NewServeMux()}
+	return NewWithOptions(sys, Options{})
+}
+
+// NewWithOptions wraps sys with explicit ingestion bounds, and
+// attaches the server's queue occupancy to the system as its load-shed
+// pressure source. The server assumes sole ownership of the system:
+// all access must go through its handlers.
+func NewWithOptions(sys *streamgraph.System, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		sys:   sys,
+		obs:   sys.Observer(),
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		admit: make(chan struct{}, opts.QueueDepth),
+		proc:  make(chan struct{}, 1),
+	}
+	sys.SetPressureSource(s.Pressure)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /flush", s.handleFlush)
 	s.mux.HandleFunc("GET /rank", s.vertexQuery(func(v streamgraph.VertexID) (string, float64) {
@@ -78,18 +163,63 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+// Pressure reports admission-queue occupancy in [0, 1] as the
+// load-shed ladder's input. The request currently holding the
+// processing token also holds an admission slot, so one slot is
+// subtracted: pressure measures who is *waiting*, and an otherwise
+// idle server processing one batch reports 0.
+func (s *Server) Pressure() float64 {
+	n := len(s.admit) - 1
+	if n < 0 {
+		n = 0
+	}
+	return float64(n) / float64(cap(s.admit))
+}
+
+// acquire takes the processing token, honoring the request deadline
+// and the queue timeout. ok=false means the token never transferred
+// (the system was never touched); the caller must 503.
+func (s *Server) acquire(r *http.Request) (release func(), ok bool) {
+	timer := time.NewTimer(s.opts.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.proc <- struct{}{}:
+		return func() { <-s.proc }, true
+	case <-r.Context().Done():
+		return nil, false
+	case <-timer.C:
+		return nil, false
+	}
+}
+
+// ParseBatch decodes and validates one batch body under opts' limits:
+// well-formed JSON with no trailing data, 1..MaxBatchEdges edges,
+// vertex IDs within MaxVertex, finite weights (zero weight means 1, as
+// before). Exported for the FuzzBatchRequest corpus to hit directly.
+func ParseBatch(r io.Reader, opts Options) ([]streamgraph.Edge, error) {
+	dec := json.NewDecoder(r)
 	var in []EdgeJSON
-	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
-		http.Error(w, "bad batch JSON: "+err.Error(), http.StatusBadRequest)
-		return
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("bad batch JSON: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errors.New("bad batch JSON: trailing data after batch array")
 	}
 	if len(in) == 0 {
-		http.Error(w, "empty batch", http.StatusBadRequest)
-		return
+		return nil, errors.New("empty batch")
+	}
+	if len(in) > opts.MaxBatchEdges {
+		return nil, fmt.Errorf("batch of %d edges exceeds limit %d", len(in), opts.MaxBatchEdges)
 	}
 	edges := make([]streamgraph.Edge, len(in))
 	for i, e := range in {
+		if e.Src > opts.MaxVertex || e.Dst > opts.MaxVertex {
+			return nil, fmt.Errorf("edge %d: vertex ID exceeds limit %d", i, opts.MaxVertex)
+		}
+		w64 := float64(e.Weight)
+		if math.IsNaN(w64) || math.IsInf(w64, 0) {
+			return nil, fmt.Errorf("edge %d: non-finite weight", i)
+		}
 		weight := streamgraph.Weight(e.Weight)
 		if weight == 0 {
 			weight = 1
@@ -101,23 +231,67 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Delete: e.Delete,
 		}
 	}
+	return edges, nil
+}
 
-	s.mu.Lock()
-	res, err := s.sys.ApplyBatch(edges)
-	if err == nil {
-		s.batches++
-		if res.Reordered {
-			s.reordered++
-		}
-		if res.ComputedBatches > 0 {
-			s.rounds++
-		}
-	}
-	s.mu.Unlock()
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	edges, err := ParseBatch(r.Body, s.opts)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+
+	// Admission: non-blocking. A full queue answers 429 immediately —
+	// overload is the client's signal to back off, not the server's
+	// cue to accumulate goroutines.
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.statsMu.Lock()
+		s.rejected++
+		s.statsMu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "admission queue full", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.admit }()
+
+	release, ok := s.acquire(r)
+	if !ok {
+		// The token never transferred: the batch was NOT applied, so
+		// the client may safely retry.
+		s.statsMu.Lock()
+		s.timeouts++
+		s.statsMu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue timeout: batch not applied", http.StatusServiceUnavailable)
+		return
+	}
+	res, aerr := s.sys.ApplyBatchIsolated(edges)
+	release()
+
+	if aerr != nil {
+		// The pipeline recovered a panic: the store is consistent
+		// (injection and isolation are pre-mutation, and batch
+		// re-application is idempotent), the runner is usable, and the
+		// client may retry the same batch.
+		s.statsMu.Lock()
+		s.panics++
+		s.statsMu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "batch failed: "+aerr.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.statsMu.Lock()
+	s.batches++
+	if res.Reordered {
+		s.reordered++
+	}
+	if res.ComputedBatches > 0 {
+		s.rounds++
+	}
+	s.statsMu.Unlock()
 	writeJSON(w, BatchResponse{
 		BatchID:         res.BatchID,
 		Reordered:       res.Reordered,
@@ -130,10 +304,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	s.sys.Flush()
-	s.mu.Unlock()
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.acquire(r)
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue timeout", http.StatusServiceUnavailable)
+		return
+	}
+	err := s.sys.FlushIsolated()
+	release()
+	if err != nil {
+		s.statsMu.Lock()
+		s.panics++
+		s.statsMu.Unlock()
+		http.Error(w, "flush failed: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	writeJSON(w, map[string]string{"status": "flushed"})
 }
 
@@ -146,9 +332,14 @@ func (s *Server) vertexQuery(get func(streamgraph.VertexID) (string, float64)) h
 			http.Error(w, "bad or missing vertex parameter v", http.StatusBadRequest)
 			return
 		}
-		s.mu.Lock()
+		release, ok := s.acquire(r)
+		if !ok {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "queue timeout", http.StatusServiceUnavailable)
+			return
+		}
 		name, val := get(streamgraph.VertexID(v))
-		s.mu.Unlock()
+		release()
 		out := map[string]any{"vertex": v}
 		if math.IsInf(val, 1) {
 			out[name] = "unreachable"
@@ -159,33 +350,49 @@ func (s *Server) vertexQuery(get func(streamgraph.VertexID) (string, float64)) h
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// MetricsSnapshot is the concurrency-safe accessor: it copies the
 	// run metrics under the runner's lock, so an in-flight
 	// ConcurrentCompute round can never race this read.
 	m := s.sys.MetricsSnapshot()
-	s.mu.Lock()
-	out := map[string]any{
-		"vertices":       s.sys.NumVertices(),
-		"edges":          s.sys.NumEdges(),
-		"batches":        s.batches,
+	release, ok := s.acquire(r)
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue timeout", http.StatusServiceUnavailable)
+		return
+	}
+	vertices, edges := s.sys.NumVertices(), s.sys.NumEdges()
+	release()
+	s.statsMu.Lock()
+	batches := s.batches
+	s.statsMu.Unlock()
+	writeJSON(w, map[string]any{
+		"vertices":       vertices,
+		"edges":          edges,
+		"batches":        batches,
 		"updateSeconds":  m.UpdateSeconds(),
 		"computeSeconds": m.ComputeSeconds(),
-	}
-	s.mu.Unlock()
-	writeJSON(w, out)
+	})
 }
 
 // handleMetrics exposes the full metric set in the Prometheus text
-// format: the server's own ingestion counters and graph gauges, plus
-// — when the system carries an observer — every registry metric
-// (pipeline stage latencies, ABR/OCA decision series, update-engine
-// work counters).
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	batches, reordered, rounds := s.batches, s.reordered, s.rounds
+// format: the server's own ingestion and robustness counters and graph
+// gauges, plus — when the system carries an observer — every registry
+// metric (pipeline stage latencies, ABR/OCA decision series, panic and
+// shed counters, update-engine work counters).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.acquire(r)
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue timeout", http.StatusServiceUnavailable)
+		return
+	}
 	edges, vertices := s.sys.NumEdges(), s.sys.NumVertices()
-	s.mu.Unlock()
+	release()
+	s.statsMu.Lock()
+	batches, reordered, rounds := s.batches, s.reordered, s.rounds
+	rejected, timeouts, panics := s.rejected, s.timeouts, s.panics
+	s.statsMu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "# HELP streamgraph_batches_total Batches ingested.\n")
 	fmt.Fprintf(w, "# TYPE streamgraph_batches_total counter\n")
@@ -196,6 +403,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP streamgraph_compute_rounds_total Computation rounds scheduled (OCA may cover two batches per round).\n")
 	fmt.Fprintf(w, "# TYPE streamgraph_compute_rounds_total counter\n")
 	fmt.Fprintf(w, "streamgraph_compute_rounds_total %d\n", rounds)
+	fmt.Fprintf(w, "# HELP streamgraph_server_rejected_total Batches rejected with 429 (admission queue full).\n")
+	fmt.Fprintf(w, "# TYPE streamgraph_server_rejected_total counter\n")
+	fmt.Fprintf(w, "streamgraph_server_rejected_total %d\n", rejected)
+	fmt.Fprintf(w, "# HELP streamgraph_server_queue_timeouts_total Requests failed with 503 waiting for the system.\n")
+	fmt.Fprintf(w, "# TYPE streamgraph_server_queue_timeouts_total counter\n")
+	fmt.Fprintf(w, "streamgraph_server_queue_timeouts_total %d\n", timeouts)
+	fmt.Fprintf(w, "# HELP streamgraph_server_panic_batches_total Batches failed with 503 after a recovered pipeline panic.\n")
+	fmt.Fprintf(w, "# TYPE streamgraph_server_panic_batches_total counter\n")
+	fmt.Fprintf(w, "streamgraph_server_panic_batches_total %d\n", panics)
+	fmt.Fprintf(w, "# HELP streamgraph_server_queue_depth Admission queue slots currently held.\n")
+	fmt.Fprintf(w, "# TYPE streamgraph_server_queue_depth gauge\n")
+	fmt.Fprintf(w, "streamgraph_server_queue_depth %d\n", len(s.admit))
 	fmt.Fprintf(w, "# HELP streamgraph_edges Current directed edge count.\n")
 	fmt.Fprintf(w, "# TYPE streamgraph_edges gauge\n")
 	fmt.Fprintf(w, "streamgraph_edges %d\n", edges)
@@ -208,18 +427,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetricsJSON serves the pre-observability ad-hoc JSON payload
-// (the server counters), extended with a summary snapshot of every
-// registry metric when an observer is attached.
-func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+// (the server counters, now including the robustness set), extended
+// with a summary snapshot of every registry metric when an observer is
+// attached.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.acquire(r)
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue timeout", http.StatusServiceUnavailable)
+		return
+	}
+	edges, vertices := s.sys.NumEdges(), s.sys.NumVertices()
+	release()
+	s.statsMu.Lock()
 	out := map[string]any{
 		"batches":       s.batches,
 		"reordered":     s.reordered,
 		"computeRounds": s.rounds,
-		"edges":         s.sys.NumEdges(),
-		"vertices":      s.sys.NumVertices(),
+		"rejected":      s.rejected,
+		"queueTimeouts": s.timeouts,
+		"panicBatches":  s.panics,
+		"edges":         edges,
+		"vertices":      vertices,
 	}
-	s.mu.Unlock()
+	s.statsMu.Unlock()
 	if s.obs != nil {
 		out["metrics"] = s.obs.Registry.Snapshot()
 	}
@@ -227,8 +458,9 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleTrace serves the most recent per-batch pipeline traces (ABR
-// and OCA decisions with the values they compared, per-stage spans).
-// ?n= bounds the count; default and maximum are the ring capacity.
+// and OCA decisions with the values they compared, shed levels,
+// recovered panics, per-stage spans). ?n= bounds the count; default
+// and maximum are the ring capacity.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if s.obs == nil || s.obs.Traces == nil {
 		http.Error(w, "tracing disabled: server started without an observer",
@@ -251,12 +483,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, traces)
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.acquire(r)
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue timeout", http.StatusServiceUnavailable)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", `attachment; filename="graph.sgsnap"`)
-	s.mu.Lock()
 	err := s.sys.WriteSnapshot(w)
-	s.mu.Unlock()
+	release()
 	if err != nil {
 		// Headers are out; all we can do is log-style report.
 		fmt.Fprintf(w, "\nsnapshot error: %v\n", err)

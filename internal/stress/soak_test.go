@@ -1,0 +1,144 @@
+package stress
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"streamgraph"
+	"streamgraph/internal/fault"
+	"streamgraph/internal/gen"
+)
+
+// soakSchedules are the fault schedules TestSoak cycles through: pure
+// latency pressure, deterministic panics on both pipeline stages, and
+// everything at once. Panic cadences are prime and > 1 so retries
+// re-arm and eventually pass.
+func soakSchedules() []struct {
+	name string
+	spec fault.Spec
+} {
+	return []struct {
+		name string
+		spec fault.Spec
+	}{
+		{"latency", fault.Spec{
+			Seed: 101, LatencyEvery: 2, Latency: 2 * time.Millisecond,
+		}},
+		{"panics", fault.Spec{
+			Seed: 102, UpdatePanicEvery: 17, ComputePanicEvery: 23,
+		}},
+		{"mixed", fault.Spec{
+			Seed: 103, LatencyEvery: 3, Latency: time.Millisecond,
+			StallEvery: 5, Stall: time.Millisecond,
+			UpdatePanicEvery: 29, ComputePanicEvery: 31,
+		}},
+	}
+}
+
+// TestSoak is the short soak tier: 8 concurrent clients (2 of them
+// slow, plus a broken one) × adversarial mixed streams × each fault
+// schedule, under the race detector in CI. Every run must converge to
+// the sequential oracle's state; across the three schedules the
+// backpressure machinery itself must demonstrably engage (≥1 rejected
+// batch, ≥1 shed transition) — a soak that never pushed back tested
+// nothing.
+func TestSoak(t *testing.T) {
+	// The plain test tier runs a quick 40-batch soak; the dedicated
+	// stress-smoke gate (scripts/check.sh, CI) sets STRESS_SOAK_FULL
+	// for the full 200-batch acceptance run.
+	clients, batches := 8, 40
+	if os.Getenv("STRESS_SOAK_FULL") != "" && !testing.Short() {
+		batches = 200
+	}
+	total429, totalShed, totalPanics := 0, 0, 0
+	for _, s := range soakSchedules() {
+		t.Run(s.name, func(t *testing.T) {
+			rep, err := Run(Config{
+				Clients:           clients,
+				Batches:           batches,
+				BatchSize:         40,
+				VerticesPerClient: 256,
+				Seed:              42,
+				Kind:              gen.AdvMixed,
+				Fault:             s.spec,
+				Analytics:         streamgraph.AnalyticsPageRank,
+				Shed:              streamgraph.ShedConfig{SkipComputeAt: 0.2, ForceBaselineAt: 0.6},
+				QueueDepth:        4,
+				QueueTimeout:      2 * time.Second,
+				SlowClients:       2,
+				BrokenClients:     1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(rep)
+			if rep.Accepted != clients*batches {
+				t.Fatalf("accepted %d batches, want %d", rep.Accepted, clients*batches)
+			}
+			if rep.BrokenRejected == 0 {
+				t.Fatal("broken client sent nothing")
+			}
+			total429 += rep.Rejected429
+			totalShed += rep.ShedTransitions
+			totalPanics += rep.PanicBatches
+		})
+	}
+	if total429 < 1 {
+		t.Errorf("no batch was ever 429'd across %d soak schedules: admission queue never engaged", len(soakSchedules()))
+	}
+	if totalShed < 1 {
+		t.Errorf("no shed transition across %d soak schedules: pressure never reached the ladder", len(soakSchedules()))
+	}
+	if totalPanics < 1 {
+		t.Errorf("no recovered panic across %d soak schedules: panic schedules never fired", len(soakSchedules()))
+	}
+}
+
+// TestSoakCleanNoFaults: the harness itself must not need faults to
+// pass — a fault-free concurrent run also converges, with zero panic
+// recoveries.
+func TestSoakCleanNoFaults(t *testing.T) {
+	rep, err := Run(Config{
+		Clients:   4,
+		Batches:   30,
+		BatchSize: 25,
+		Seed:      7,
+		Kind:      gen.AdvDeleteHeavy,
+		Analytics: streamgraph.AnalyticsCC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.PanicBatches != 0 {
+		t.Fatalf("panicBatches = %d without a fault schedule", rep.PanicBatches)
+	}
+}
+
+// TestSoakDuration exercises lap mode briefly: clients regenerate
+// fresh streams until the deadline, and the oracle replay still holds
+// across lap boundaries.
+func TestSoakDuration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lap mode covered by the full run")
+	}
+	rep, err := Run(Config{
+		Clients:   3,
+		Batches:   10,
+		BatchSize: 20,
+		Seed:      9,
+		Kind:      gen.AdvOverlap,
+		Duration:  300 * time.Millisecond,
+		Fault: fault.Spec{
+			Seed: 104, LatencyEvery: 4, Latency: time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Accepted < 3*10 {
+		t.Fatalf("accepted %d batches, want at least one full lap (30)", rep.Accepted)
+	}
+}

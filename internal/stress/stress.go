@@ -1,0 +1,438 @@
+// Package stress is the concurrency soak harness: N concurrent
+// clients stream adversarial batches (internal/gen) into a hardened
+// HTTP server (internal/server) while a deterministic fault schedule
+// (internal/fault) injects store-latency spikes, engine panics, and
+// compute stalls underneath. Clients honor the server's backpressure
+// contract — 429/503 mean "not counted, retry" — and the run ends by
+// downloading a snapshot and replaying every accepted batch through
+// the sequential oracle model: whatever faults, shedding, rejections,
+// and retries happened along the way, the final graph must be exactly
+// what a clean sequential ingest of the accepted batches produces.
+//
+// The short configuration runs as TestSoak in the tier-1 suite (and
+// as the stress-smoke CI job); cmd/sgbench -soak drives the same
+// harness for minutes at a time.
+package stress
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamgraph"
+	"streamgraph/internal/fault"
+	"streamgraph/internal/gen"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/oracle"
+	"streamgraph/internal/server"
+	"streamgraph/internal/trace"
+)
+
+// Config sizes one soak run. The zero value of every field selects a
+// default, so Config{} is a small but complete run.
+type Config struct {
+	// Clients is the number of concurrent well-behaved writers
+	// (default 4). Each owns a disjoint vertex range, so the final
+	// graph is independent of how their batches interleave.
+	Clients int
+	// Batches is how many batches each client sends per lap (default
+	// 50); BatchSize is edges per batch (default 40).
+	Batches   int
+	BatchSize int
+	// VerticesPerClient is each client's private vertex-range width
+	// (default 256).
+	VerticesPerClient int
+	// Seed derives every client's stream and the fault jitter; same
+	// seed, same run (up to goroutine interleaving, which the final
+	// verification is immune to by construction).
+	Seed int64
+	// Kind selects the adversarial stream family (default AdvMixed).
+	Kind gen.AdvKind
+	// Fault is the schedule injected into the pipeline. Panic cadences
+	// must be 0 or > 1 so retries can pass (see fault.Injector).
+	Fault fault.Spec
+	// Analytics runs under the ingest (default AnalyticsNone).
+	Analytics streamgraph.Analytics
+	// Shed configures the load-shed ladder thresholds.
+	Shed streamgraph.ShedConfig
+	// QueueDepth / QueueTimeout bound the server's admission queue
+	// (defaults: server's own).
+	QueueDepth   int
+	QueueTimeout time.Duration
+	// SlowClients marks that many of the clients as slow: they sleep
+	// a few milliseconds between batches, holding admission slots
+	// longer and dragging out the tail of the run.
+	SlowClients int
+	// BrokenClients adds that many extra clients that send only
+	// malformed bodies. Every such request must bounce with 400 and
+	// leave no trace in the graph.
+	BrokenClients int
+	// Duration, when positive, makes each client lap its stream (with
+	// a fresh seed per lap) until the deadline; otherwise every client
+	// sends exactly Batches batches once.
+	Duration time.Duration
+	// MaxAttempts bounds per-batch retries (default 1000); a batch
+	// that never gets 200 fails the run.
+	MaxAttempts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Batches == 0 {
+		c.Batches = 50
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 40
+	}
+	if c.VerticesPerClient == 0 {
+		c.VerticesPerClient = 256
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 1000
+	}
+	return c
+}
+
+// Report summarizes one soak run. Accepted counts batches that got
+// 200 (each exactly once, however many attempts it took); the
+// backpressure counters say how hard the server pushed back.
+type Report struct {
+	Clients        int
+	Accepted       int
+	EdgesSent      int
+	Rejected429    int
+	Retried503     int
+	BrokenRejected int
+	Elapsed        time.Duration
+
+	// Server-side counters read from /metrics.json after the run.
+	ServerBatches   int
+	PanicBatches    int
+	QueueTimeouts   int
+	ShedTransitions int
+	FinalEdges      int
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"soak: %d clients, %d batches accepted (%d edges) in %s; 429s=%d retried-503s=%d broken-rejected=%d panics=%d queue-timeouts=%d shed-transitions=%d final-edges=%d",
+		r.Clients, r.Accepted, r.EdgesSent, r.Elapsed.Round(time.Millisecond),
+		r.Rejected429, r.Retried503, r.BrokenRejected,
+		r.PanicBatches, r.QueueTimeouts, r.ShedTransitions, r.FinalEdges)
+}
+
+// clientStream generates one client's batches for one lap, with every
+// vertex ID offset into the client's private range.
+func clientStream(cfg Config, client, lap int) []*graph.Batch {
+	spec := gen.AdvSpec{
+		Kind:      cfg.Kind,
+		Seed:      cfg.Seed + int64(client)*1009 + int64(lap)*31,
+		Vertices:  cfg.VerticesPerClient,
+		BatchSize: cfg.BatchSize,
+		Batches:   cfg.Batches,
+	}
+	base := graph.VertexID(client * cfg.VerticesPerClient)
+	batches := spec.Generate()
+	for _, b := range batches {
+		for i := range b.Edges {
+			b.Edges[i].Src += base
+			b.Edges[i].Dst += base
+		}
+	}
+	return batches
+}
+
+// counters are shared across client goroutines.
+type counters struct {
+	accepted  atomic.Int64
+	edgesSent atomic.Int64
+	rejected  atomic.Int64
+	retried   atomic.Int64
+	broken    atomic.Int64
+}
+
+// postBatch sends one batch until it is accepted, honoring the
+// backpressure contract: 429 and 503 both mean the batch was not
+// counted as ingested and a retry is safe (re-application of an
+// already-applied update set is idempotent).
+func postBatch(hc *http.Client, url string, b *graph.Batch, cfg Config, cnt *counters) error {
+	body, err := json.Marshal(edgesJSON(b))
+	if err != nil {
+		return err
+	}
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		resp, err := hc.Post(url+"/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			cnt.accepted.Add(1)
+			cnt.edgesSent.Add(int64(len(b.Edges)))
+			return nil
+		case http.StatusTooManyRequests:
+			cnt.rejected.Add(1)
+		case http.StatusServiceUnavailable:
+			cnt.retried.Add(1)
+		default:
+			return fmt.Errorf("batch %d: unexpected status %d", b.ID, resp.StatusCode)
+		}
+		time.Sleep(time.Duration(1+attempt%5) * time.Millisecond)
+	}
+	return fmt.Errorf("batch %d: not accepted after %d attempts", b.ID, cfg.MaxAttempts)
+}
+
+func edgesJSON(b *graph.Batch) []server.EdgeJSON {
+	out := make([]server.EdgeJSON, len(b.Edges))
+	for i, e := range b.Edges {
+		out[i] = server.EdgeJSON{
+			Src:    uint32(e.Src),
+			Dst:    uint32(e.Dst),
+			Weight: float32(e.Weight),
+			Delete: e.Delete,
+		}
+	}
+	return out
+}
+
+// brokenBodies are the malformed payloads broken clients loop over.
+var brokenBodies = []string{
+	`not json at all`,
+	`[{"src":1,"dst":2},`,
+	`[]`,
+	`[{"src":1,"dst":2}] trailing garbage`,
+	`[{"src":999999999,"dst":2}]`,
+	`[{"src":1,"dst":2,"weight":1e999}]`,
+	`{"src":1,"dst":2}`,
+}
+
+// Run executes one soak: spin up a hardened in-process server over a
+// faulted system, hammer it, then verify the final graph against a
+// sequential replay of exactly the accepted batches. A non-nil error
+// means a contract violation (divergence, lost/double-counted batch,
+// wrong status code) — not backpressure, which is the point of the
+// exercise and is reported in the Report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	var inj *streamgraph.FaultInjector
+	if cfg.Fault.Enabled() {
+		inj = streamgraph.NewFaultInjector(cfg.Fault)
+	}
+	obs := streamgraph.NewObserver(-1) // metrics only; soak needs no trace ring
+	sys := streamgraph.New(streamgraph.Config{
+		Vertices:  cfg.Clients * cfg.VerticesPerClient,
+		Workers:   2,
+		Analytics: cfg.Analytics,
+		Observer:  obs,
+		Fault:     inj,
+		Shed:      cfg.Shed,
+		Recover:   true,
+	})
+	ts := httptest.NewServer(server.NewWithOptions(sys, server.Options{
+		QueueDepth:   cfg.QueueDepth,
+		QueueTimeout: cfg.QueueTimeout,
+	}))
+	defer ts.Close()
+	hc := ts.Client()
+
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	var (
+		cnt  counters
+		wg   sync.WaitGroup
+		errs = make(chan error, cfg.Clients+cfg.BrokenClients)
+		// sentMu guards sent: per-client accepted batches, in send
+		// order, for the sequential replay.
+		sentMu sync.Mutex
+		sent   = make([][]*graph.Batch, cfg.Clients)
+	)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			slow := c < cfg.SlowClients
+			for lap := 0; ; lap++ {
+				for i, b := range clientStream(cfg, c, lap) {
+					if err := postBatch(hc, ts.URL, b, cfg, &cnt); err != nil {
+						errs <- fmt.Errorf("client %d: %w", c, err)
+						return
+					}
+					sentMu.Lock()
+					sent[c] = append(sent[c], b)
+					sentMu.Unlock()
+					if slow {
+						time.Sleep(time.Duration(1+(c+i)%4) * time.Millisecond)
+					}
+				}
+				if deadline.IsZero() || time.Now().After(deadline) {
+					return
+				}
+			}
+		}(c)
+	}
+	for c := 0; c < cfg.BrokenClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			n := cfg.Batches / 2
+			if n < len(brokenBodies) {
+				n = len(brokenBodies)
+			}
+			for i := 0; i < n; i++ {
+				body := brokenBodies[(c+i)%len(brokenBodies)]
+				resp, err := hc.Post(ts.URL+"/batch", "application/json",
+					bytes.NewReader([]byte(body)))
+				if err != nil {
+					errs <- fmt.Errorf("broken client %d: %w", c, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// Malformed bodies are rejected before admission: 400
+				// always, regardless of load.
+				if resp.StatusCode != http.StatusBadRequest {
+					errs <- fmt.Errorf("broken client %d: body %q got status %d, want 400",
+						c, body, resp.StatusCode)
+					return
+				}
+				cnt.broken.Add(1)
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+
+	// Flush deferred compute; a flush-time fault may 503, so retry
+	// under the same contract as batches.
+	for attempt := 0; ; attempt++ {
+		resp, err := hc.Post(ts.URL+"/flush", "application/json", nil)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= cfg.MaxAttempts {
+			return nil, fmt.Errorf("flush: status %d after %d attempts", resp.StatusCode, attempt+1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rep := &Report{
+		Clients:        cfg.Clients,
+		Accepted:       int(cnt.accepted.Load()),
+		EdgesSent:      int(cnt.edgesSent.Load()),
+		Rejected429:    int(cnt.rejected.Load()),
+		Retried503:     int(cnt.retried.Load()),
+		BrokenRejected: int(cnt.broken.Load()),
+	}
+	if err := readServerCounters(hc, ts.URL, rep); err != nil {
+		return nil, err
+	}
+	// Exactly-once accounting: every accepted batch counted once on
+	// the server, nothing more (rejected/timed-out/panicked attempts
+	// must not have incremented it).
+	if rep.ServerBatches != rep.Accepted {
+		return nil, fmt.Errorf("server counted %d batches, clients got 200 for %d (lost or double-counted)",
+			rep.ServerBatches, rep.Accepted)
+	}
+
+	store, err := downloadSnapshot(hc, ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	// Sequential replay of exactly the accepted batches. Client
+	// vertex ranges are disjoint, so replaying client-by-client gives
+	// the same final state as every actual interleaving.
+	model := oracle.NewModel()
+	for _, batches := range sent {
+		for _, b := range batches {
+			model.ApplyBatch(b)
+		}
+	}
+	if div := model.Verify(store); div != nil {
+		div.Context = fmt.Sprintf("stress.Config{Seed: %d, Kind: %v, Clients: %d, Batches: %d, BatchSize: %d} with %v",
+			cfg.Seed, cfg.Kind, cfg.Clients, cfg.Batches, cfg.BatchSize, cfg.Fault)
+		return rep, fmt.Errorf("faulted ingest diverged from sequential oracle: %w", div)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// readServerCounters fills the Report's server-side fields from
+// /metrics.json.
+func readServerCounters(hc *http.Client, url string, rep *Report) error {
+	resp, err := hc.Get(url + "/metrics.json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var mj map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&mj); err != nil {
+		return fmt.Errorf("metrics.json: %w", err)
+	}
+	num := func(key string) int {
+		v, _ := mj[key].(float64)
+		return int(v)
+	}
+	rep.ServerBatches = num("batches")
+	rep.PanicBatches = num("panicBatches")
+	rep.QueueTimeouts = num("queueTimeouts")
+	rep.FinalEdges = num("edges")
+	if rep.Rejected429 < num("rejected") {
+		// Broken clients never reach admission, so the server's count
+		// can only exceed the well-behaved clients' tally if someone
+		// else was rejected — surface the server's view.
+		rep.Rejected429 = num("rejected")
+	}
+	metrics, _ := mj["metrics"].([]any)
+	for _, m := range metrics {
+		entry, _ := m.(map[string]any)
+		if entry["name"] == "streamgraph_shed_transitions_total" {
+			v, _ := entry["value"].(float64) // omitempty: absent means 0
+			rep.ShedTransitions = int(v)
+		}
+	}
+	return nil
+}
+
+// downloadSnapshot fetches and decodes /snapshot.
+func downloadSnapshot(hc *http.Client, url string) (*graph.AdjacencyStore, error) {
+	resp, err := hc.Get(url + "/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("snapshot: status %d", resp.StatusCode)
+	}
+	store, err := trace.ReadSnapshot(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot decode: %w", err)
+	}
+	return store, nil
+}

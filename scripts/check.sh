@@ -10,10 +10,10 @@
 # stage's code, so CI logs attribute the failure to the right gate:
 #
 #   10 gofmt   11 go vet   12 staticcheck   13 sglint
-#   14 go build   15 go test -race
+#   14 go build   15 go test -race   16 stress soak
 #
 # CI (.github/workflows/ci.yml) runs the same gates as separate jobs
-# plus fuzz and bench smoke.
+# plus fuzz, bench, and stress smoke.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -79,6 +79,13 @@ echo "== go test -race =="
 # verifies nothing about the current build environment.
 go test -race -count=1 ./...
 record "go test -race" $? 15
+
+echo "== stress soak =="
+# The full-length fault-injected concurrency soak (the plain test run
+# above only gets the quick 40-batch tier). Race-clean, backpressure
+# engaged, final state oracle-verified — see internal/stress.
+STRESS_SOAK_FULL=1 go test -race -count=1 -run '^TestSoak$' ./internal/stress
+record "stress soak" $? 16
 
 echo
 echo "== summary =="

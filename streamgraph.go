@@ -42,6 +42,7 @@ import (
 
 	"streamgraph/internal/abr"
 	"streamgraph/internal/compute"
+	"streamgraph/internal/fault"
 	"streamgraph/internal/graph"
 	"streamgraph/internal/obs"
 	"streamgraph/internal/oca"
@@ -73,7 +74,28 @@ type (
 	// RunMetrics aggregates per-batch pipeline metrics; see
 	// System.MetricsSnapshot.
 	RunMetrics = pipeline.RunMetrics
+	// FaultInjector injects deterministic faults at pipeline stage
+	// boundaries for robustness testing; see internal/fault and
+	// Config.Fault. Nil disables injection at zero cost.
+	FaultInjector = fault.Injector
+	// FaultSpec is a deterministic, seed-replayable fault schedule;
+	// build an injector from it with NewFaultInjector.
+	FaultSpec = fault.Spec
+	// ShedConfig sets the load-shed ladder's pressure thresholds; see
+	// Config.Shed.
+	ShedConfig = pipeline.ShedConfig
 )
+
+// NewFaultInjector builds a fault injector from a schedule. Pass it
+// via Config.Fault.
+func NewFaultInjector(spec FaultSpec) *FaultInjector { return fault.New(spec) }
+
+// FaultProfile resolves a canned fault schedule by name ("off",
+// "latency", "stall", "panic", "mixed"); ok is false for unknown
+// names.
+func FaultProfile(name string, seed int64) (FaultSpec, bool) {
+	return fault.Profile(name, seed)
+}
 
 // NewObserver builds an observability bundle holding the last
 // traceCapacity batch traces (0 means the default of 256; negative
@@ -148,6 +170,18 @@ type Config struct {
 	// pipeline, update engines, and ABR/OCA controllers record
 	// metrics and per-batch decision traces into it (see NewObserver).
 	Observer *Observer
+	// Fault, when non-nil, injects a deterministic fault schedule at
+	// the pipeline's stage boundaries (robustness testing; see
+	// NewFaultInjector). Nil is zero-cost.
+	Fault *FaultInjector
+	// Shed configures the load-shed ladder; the zero value disables
+	// it. Requires a pressure source (SetPressureSource).
+	Shed ShedConfig
+	// Recover makes the overlapped-compute goroutine recover panics
+	// into observability records instead of crashing the process.
+	// Serving deployments (internal/server) enable it together with
+	// ApplyBatchIsolated.
+	Recover bool
 }
 
 // Result reports one ingested batch.
@@ -262,6 +296,9 @@ func newSystem(cfg Config, store *graph.AdjacencyStore) *System {
 		ConcurrentCompute: cfg.ConcurrentCompute,
 		OCA:               oca.Config{Disabled: cfg.DisableOCA || engine == nil},
 		Obs:               cfg.Observer,
+		Fault:             cfg.Fault,
+		Shed:              cfg.Shed,
+		Recover:           cfg.Recover,
 	}, store)
 	return s
 }
@@ -319,9 +356,50 @@ func (s *System) ApplyBatch(edges []Edge) (Result, error) {
 	}, nil
 }
 
+// ApplyBatchIsolated is ApplyBatch behind the pipeline's panic
+// isolation boundary: a panic while processing the batch (a fault
+// injection or a real bug) is returned as an error instead of
+// crashing, the system stays usable, and — because injected update
+// panics fire before any store mutation and batch re-application is
+// idempotent — re-submitting the same batch is always safe. The
+// failed attempt keeps its batch ID; IDs number attempts, not
+// successes.
+func (s *System) ApplyBatchIsolated(edges []Edge) (Result, error) {
+	if len(edges) == 0 {
+		return Result{}, errors.New("streamgraph: empty batch")
+	}
+	b := &graph.Batch{ID: s.nextID, Edges: edges}
+	s.nextID++
+	bm, err := s.runner.ProcessBatchIsolated(b)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		BatchID:           bm.BatchID,
+		Reordered:         bm.Reordered,
+		Instrumented:      bm.ABRActive,
+		CAD:               bm.CAD,
+		Locality:          bm.Locality,
+		Update:            bm.Update,
+		Compute:           bm.Compute,
+		ComputedBatches:   bm.AggregatedBatches,
+		Locks:             bm.Stats.Locks,
+		SearchComparisons: bm.Stats.Comparisons,
+	}, nil
+}
+
+// SetPressureSource attaches the load-shed ladder's input: a function
+// returning current ingestion pressure in [0, 1] (internal/server
+// reports admission-queue occupancy). Call before the first batch.
+func (s *System) SetPressureSource(f func() float64) { s.runner.SetPressure(f) }
+
 // Flush forces any computation round OCA deferred. Call at stream
 // end (or before reading results that must reflect every batch).
 func (s *System) Flush() { s.runner.Finish() }
+
+// FlushIsolated is Flush behind the panic isolation boundary; see
+// ApplyBatchIsolated.
+func (s *System) FlushIsolated() error { return s.runner.FinishIsolated() }
 
 // Graph returns the current snapshot for ad-hoc queries.
 func (s *System) Graph() Store { return s.runner.Store() }
