@@ -59,6 +59,12 @@ func main() {
 		ciTol      = flag.Float64("ci-tolerance", 0.20, "with -ci-baseline: allowed fractional regression")
 		ciWrite    = flag.Bool("ci-write-baseline", false, "with -ci: halve the measured throughput and write it as a baseline")
 
+		expMode     = flag.Bool("experiment", false, "trajectory mode: run the adversarial engine×store matrix with span-derived phase breakdowns")
+		expOut      = flag.String("experiment-out", "BENCH_trajectory.json", "with -experiment: write the JSON report here")
+		expBaseline = flag.String("experiment-baseline", "", "with -experiment: fail on per-phase ns/edge regression vs this baseline file")
+		expTol      = flag.Float64("experiment-tolerance", 0.20, "with -experiment-baseline: allowed fractional regression")
+		expWrite    = flag.Bool("experiment-write-baseline", false, "with -experiment: double the measured phase costs and write them as a baseline")
+
 		soak        = flag.Duration("soak", 0, "soak mode: run the fault-injected concurrency soak for this long (e.g. 5m)")
 		soakClients = flag.Int("soak-clients", 8, "with -soak: concurrent clients")
 		soakFault   = flag.String("soak-fault", "mixed", "with -soak: fault profile (off|latency|stall|panic|mixed)")
@@ -68,6 +74,9 @@ func main() {
 
 	if *ciOut != "" {
 		os.Exit(runCISmoke(*ciOut, *ciBaseline, *ciTol, *ciWrite, *workers))
+	}
+	if *expMode {
+		os.Exit(runTrajectory(*expOut, *expBaseline, *expTol, *expWrite, *quick, *workers))
 	}
 	if *soak > 0 {
 		os.Exit(runSoak(*soak, *soakClients, *soakFault, *soakSeed))
@@ -196,6 +205,66 @@ func runCISmoke(out, baselinePath string, tolerance float64, writeBaseline bool,
 		return 1
 	}
 	fmt.Printf("bench-smoke gate passed vs %s (tolerance %.0f%%)\n", baselinePath, tolerance*100)
+	return 0
+}
+
+// runTrajectory is the benchmark-trajectory entry point: run the
+// adversarial engine×store matrix with span-derived per-phase
+// breakdowns, write the schema-versioned report, and (when a baseline
+// is given) gate per-phase ns/edge against it.
+func runTrajectory(out, baselinePath string, tolerance float64, writeBaseline, quick bool, workers int) int {
+	res, err := bench.RunTrajectory(quick, workers)
+	if err != nil {
+		// Same contract as the CI smoke: a partial run must not produce
+		// a report that could gate clean or become a too-easy baseline.
+		fmt.Fprintln(os.Stderr, "sgbench: partial trajectory run, refusing to write", out+":", err)
+		return 1
+	}
+	if writeBaseline {
+		// Baselines are deliberately understated (doubled phase costs):
+		// CI runners are slower and noisier than dev machines, and the
+		// gate exists to catch order-of-magnitude slips.
+		for i := range res.Entries {
+			for name, p := range res.Entries[i].Phases {
+				p.Ns *= 2
+				p.NsPerEdge *= 2
+				res.Entries[i].Phases[name] = p
+			}
+		}
+	}
+	if err := bench.WriteTrajectory(out, res); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		return 1
+	}
+	for _, e := range res.Entries {
+		fmt.Printf("%-40s reorder %7.1f  update %7.1f  compute %7.1f  ns/edge\n",
+			e.Key(), e.Phases[bench.PhaseReorder].NsPerEdge,
+			e.Phases[bench.PhaseUpdate].NsPerEdge, e.Phases[bench.PhaseCompute].NsPerEdge)
+	}
+	if writeBaseline {
+		fmt.Printf("wrote baseline (measured×2) to %s\n", out)
+		return 0
+	}
+	fmt.Printf("wrote %s\n", out)
+	if baselinePath == "" {
+		return 0
+	}
+	base, err := bench.LoadTrajectory(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		return 1
+	}
+	regressions, err := bench.CompareTrajectory(res, base, tolerance)
+	for _, msg := range regressions {
+		fmt.Fprintln(os.Stderr, "sgbench: REGRESSION:", msg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+	}
+	if len(regressions) > 0 || err != nil {
+		return 1
+	}
+	fmt.Printf("trajectory gate passed vs %s (tolerance %.0f%%)\n", baselinePath, tolerance*100)
 	return 0
 }
 

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"streamgraph/internal/compute"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/obs"
+	"streamgraph/internal/pipeline"
+)
+
+// runDecisions drives the real ABR+USC pipeline (with incremental
+// PageRank, so OCA decisions are live too) over the batch stream and
+// renders the structured decision audit the observer collected: for
+// every controller decision, the input it read, the threshold it
+// compared against, the choice it made, and the realized cost —
+// plus, for ABR, the cost model's estimate of the alternative and
+// whether the choice was regretted. Returns the process exit code.
+func runDecisions(next func() (*graph.Batch, bool), workers int) int {
+	// The stream must be materialized first: the vertex space bound is
+	// only known once every edge has been seen.
+	var batches []*graph.Batch
+	var maxV graph.VertexID
+	for {
+		b, ok := next()
+		if !ok {
+			break
+		}
+		for _, e := range b.Edges {
+			if e.Src > maxV {
+				maxV = e.Src
+			}
+			if e.Dst > maxV {
+				maxV = e.Dst
+			}
+		}
+		batches = append(batches, b)
+	}
+	if len(batches) == 0 {
+		fmt.Println("sginspect: no batches to inspect")
+		return 1
+	}
+
+	o := obs.New(obs.Options{
+		TraceCapacity: len(batches) + 1,
+		SpanCapacity:  (len(batches) + 1) * 8,
+	})
+	r := pipeline.NewRunner(pipeline.Config{
+		Policy:  pipeline.ABRUSC,
+		Workers: workers,
+		Compute: &compute.PageRank{Incremental: true, Workers: workers},
+		Obs:     o,
+	}, int(maxV)+1)
+	for _, b := range batches {
+		r.ProcessBatch(b)
+	}
+	r.Finish()
+
+	fmt.Printf("%-8s %-6s %-12s %12s %12s %-8s %-10s %12s %12s %s\n",
+		"batch", "ctrl", "input", "observed", "threshold", "sampled", "choice",
+		"realized", "est-alt", "regret")
+	for _, tr := range o.Traces.Last(0) {
+		for _, d := range tr.Decisions {
+			estAlt, regret := "-", ""
+			if d.EstAltNs > 0 {
+				estAlt = time.Duration(d.EstAltNs).Round(time.Microsecond).String()
+			}
+			if d.Regret {
+				regret = "REGRET"
+			}
+			fmt.Printf("%-8d %-6s %-12s %12.2f %12.2f %-8v %-10s %12s %12s %s\n",
+				d.BatchID, d.Controller, d.Input, d.Observed, d.Threshold, d.Sampled,
+				d.Choice, time.Duration(d.RealizedNs).Round(time.Microsecond), estAlt, regret)
+		}
+	}
+
+	fmt.Printf("\n%d batches, %d decisions audited\n", len(batches), countDecisions(o))
+	fmt.Printf("ABR mispredicts: %d   cumulative regret: %s\n",
+		o.ABRMispredictTotal.Value(),
+		time.Duration(o.ABRRegretNs.Value()).Round(time.Microsecond))
+	return 0
+}
+
+func countDecisions(o *obs.Observer) int {
+	n := 0
+	for _, tr := range o.Traces.Last(0) {
+		n += len(tr.Decisions)
+	}
+	return n
+}

@@ -6,9 +6,18 @@
 // Input is either a dataset profile (-dataset) or the sggen TSV
 // format on stdin (-stdin).
 //
+// With -decisions it goes further: instead of the static per-batch
+// characterization it runs the real ABR+USC pipeline (with
+// incremental PageRank) over the stream under an observer and prints
+// the decision audit — every ABR and OCA choice with the input it
+// read, the threshold it compared, the realized cost, the cost
+// model's estimate of the alternative, and a cumulative regret
+// summary.
+//
 // Usage:
 //
 //	sginspect -dataset wiki -batch 10000 -batches 8
+//	sginspect -dataset wiki -batch 10000 -batches 8 -decisions
 //	sggen -dataset lj -edges 500000 | sginspect -stdin -batch 100000
 package main
 
@@ -33,6 +42,9 @@ func main() {
 		nBatches = flag.Int("batches", 8, "number of batches to inspect (-dataset mode)")
 		lambda   = flag.Int("lambda", abr.DefaultParams.Lambda, "ABR λ parameter")
 		th       = flag.Float64("th", abr.DefaultParams.TH, "ABR TH parameter")
+
+		decisions = flag.Bool("decisions", false, "run the real ABR+USC pipeline and print the decision audit with regret summary")
+		workers   = flag.Int("workers", 0, "with -decisions: worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -58,6 +70,10 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "sginspect: -dataset or -stdin required")
 		os.Exit(2)
+	}
+
+	if *decisions {
+		os.Exit(runDecisions(next, *workers))
 	}
 
 	fmt.Printf("%-8s %10s %10s %10s %12s %10s %s\n",

@@ -16,9 +16,15 @@
 //	GET  /metrics        → Prometheus text exposition (pipeline, ABR,
 //	                       OCA, and update-engine series)
 //	GET  /metrics.json   → the same counters as a JSON snapshot
-//	GET  /trace?n=10     → last n per-batch decision traces
+//	GET  /trace?n=10     → last n per-batch decision traces (with
+//	                       span trees and ABR/OCA decision audits)
+//	GET  /trace/spans?n=100 → span flight recorder as JSON lines
 //	GET  /snapshot       → binary snapshot download
 //	POST /flush          → force any deferred compute round
+//
+// With -span-log, every completed span is additionally appended to a
+// file as JSON lines — a persistent flight record that survives the
+// in-memory ring (-span-buffer) wrapping.
 //
 // With -pprof, net/http/pprof and expvar are additionally served
 // under /debug/.
@@ -37,6 +43,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"streamgraph"
@@ -52,6 +59,8 @@ func main() {
 		source    = flag.Uint("source", 0, "source vertex for sssp/bfs")
 		noOCA     = flag.Bool("no-oca", false, "disable compute aggregation (latency-critical mode)")
 		traceCap  = flag.Int("trace-buffer", 256, "per-batch trace ring size (0 disables tracing)")
+		spanCap   = flag.Int("span-buffer", 4096, "span flight-recorder ring size (0 disables span recording)")
+		spanLog   = flag.String("span-log", "", "append completed spans to this file as JSON lines")
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof and expvar under /debug/")
 
 		queue        = flag.Int("queue", 64, "admission queue depth (excess batches get 429)")
@@ -88,7 +97,20 @@ func main() {
 	if ringCap == 0 {
 		ringCap = -1 // Observer semantics: negative disables tracing
 	}
-	o := streamgraph.NewObserver(ringCap)
+	spanRing := *spanCap
+	if spanRing == 0 {
+		spanRing = -1
+	}
+	o := obs.New(obs.Options{TraceCapacity: ringCap, SpanCapacity: spanRing})
+	if *spanLog != "" {
+		f, err := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("sgserve: open span log: %v", err)
+		}
+		defer f.Close()
+		o.SetSpanSink(f)
+		log.Printf("sgserve: span log → %s", *spanLog)
+	}
 
 	spec, ok := streamgraph.FaultProfile(*faultProfile, *faultSeed)
 	if !ok {

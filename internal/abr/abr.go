@@ -92,6 +92,27 @@ func (c *Controller) Report(cad float64) {
 // Reordering returns the current decision without advancing.
 func (c *Controller) Reordering() bool { return c.reorder }
 
+// Audit returns the structured decision-audit record for one batch:
+// what CAD_λ was observed (0 on inert batches, which reuse the
+// standing decision), the threshold it was compared against, and the
+// engine mode chosen. The pipeline fills in the realized cost and
+// regret fields after the update runs.
+func (c *Controller) Audit(batchID int, sampled bool, cad float64, reordered bool) obs.DecisionAudit {
+	choice := "baseline"
+	if reordered {
+		choice = "reorder"
+	}
+	return obs.DecisionAudit{
+		Controller: "abr",
+		BatchID:    batchID,
+		Input:      "cad_lambda",
+		Observed:   cad,
+		Threshold:  c.params.TH,
+		Sampled:    sampled,
+		Choice:     choice,
+	}
+}
+
 // CAD computes CAD_λ from a batch in-degree histogram. It returns 0
 // when the batch has no vertex above λ (x = 0), which the threshold
 // comparison treats as reordering-adverse.

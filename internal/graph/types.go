@@ -36,10 +36,14 @@ type Neighbor struct {
 }
 
 // Batch is one input batch: a contiguous window of the edge stream.
-// ID is the batch sequence number (0-based).
+// ID is the batch sequence number (0-based). TraceID, when nonzero,
+// links the batch to request-level trace spans recorded before the
+// batch was created (the server's ingest/admission spans); the
+// pipeline propagates it into the batch's span tree.
 type Batch struct {
-	ID    int
-	Edges []Edge
+	ID      int
+	TraceID uint64
+	Edges   []Edge
 }
 
 // Size returns the number of edges in the batch.

@@ -119,6 +119,27 @@ func TestFixturePositivesAndNegatives(t *testing.T) {
 			t.Errorf("analyzer %s reported nothing under its positive fixture %s", analyzer, prefix)
 		}
 	}
+
+	// The span rules live under the same analyzer but their own fixture
+	// pair: every violation shape in pos/span must be caught (discard,
+	// per-edge open, and the three double-End shapes), and the
+	// well-formed package must stay silent (covered by the neg/ check
+	// above).
+	spanWant := []string{"discarded", "per-edge loop", "deferred End", "deferred twice", "same block"}
+	for _, want := range spanWant {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "obsdiscipline" &&
+				strings.HasPrefix(filepath.ToSlash(d.Pos.Filename), "pos/span/") &&
+				strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no span-discipline finding containing %q under pos/span", want)
+		}
+	}
 }
 
 // TestSuppressionEngine asserts the suppression contract on the sup

@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -23,9 +25,26 @@ import (
 //     the lookup takes a string and returns a metric handle — performs
 //     a by-name map access on the hot path; resolve the handle once
 //     and store it.
+//
+// PR 6 adds the span flight recorder, and with it three span rules
+// (again outside the registry package, which owns span internals):
+//
+//  4. The result of StartSpan / StartChild must not be discarded: a
+//     span nobody holds is never ended, so it never reaches the
+//     flight recorder and its pooled storage leaks until GC.
+//  5. StartSpan / StartChild must not be called inside a loop ranging
+//     over edges or neighbors: spans are batch-granularity
+//     instrumentation; per-edge spans cost a pool round-trip and a
+//     clock read per edge, exactly the overhead hotpathalloc exists
+//     to keep out of the hot stages.
+//  6. A span must not be ended twice on one syntactic path: a defer
+//     s.End() combined with any direct s.End() in the same function,
+//     two defers of the same span, or two direct Ends in the same
+//     block. The runtime counts the second End as misuse instead of
+//     corrupting the pool; the lint catches it before it ships.
 var ObsDiscipline = &Analyzer{
 	Name: "obsdiscipline",
-	Doc:  "metrics registered once at init and observed via stored handles, never fresh lookups per batch",
+	Doc:  "metrics registered once at init and observed via stored handles; spans held, ended exactly once, and never opened per edge",
 	Run:  runObsDiscipline,
 }
 
@@ -65,6 +84,9 @@ func runObsDiscipline(prog *Program, report Reporter) {
 		regRules := pkg.Path != regPkg.Path
 		for _, file := range pkg.Files {
 			checkObsFile(pkg, regPkg, file, regRules, report)
+			if regRules {
+				checkSpanFile(pkg, regPkg, file, report)
+			}
 		}
 	}
 }
@@ -189,4 +211,170 @@ func checkChainedLookup(pkg *Package, call *ast.CallExpr, report Reporter) {
 	}
 	report(call.Pos(), "%s on a freshly looked-up %s: resolve the handle once at construction and store it; by-name lookup on the batch path costs a map access per call",
 		sel.Sel.Name, ret.Obj().Name())
+}
+
+// spanStartMethods are the span-opening entry points of the tracing
+// API; each returns a *Span that must be ended exactly once.
+var spanStartMethods = map[string]bool{
+	"StartSpan":  true,
+	"StartChild": true,
+}
+
+// isSpanStart reports whether f is a span-opening method of the
+// registry package: named StartSpan or StartChild, a method, and
+// returning the registry package's *Span.
+func isSpanStart(f *types.Func, regPkg *Package) bool {
+	if !spanStartMethods[f.Name()] {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	return isTypeNamed(sig.Results().At(0).Type(), regPkg.Path, "Span")
+}
+
+// isSpanEnd reports whether f is the niladic End method on the
+// registry package's *Span.
+func isSpanEnd(f *types.Func, regPkg *Package) bool {
+	if f.Name() != "End" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 {
+		return false
+	}
+	return isTypeNamed(sig.Recv().Type(), regPkg.Path, "Span")
+}
+
+// spanEndSite is one s.End() call: where it is, whether it runs via
+// defer, and the block it sits in (for the same-block double-End
+// check).
+type spanEndSite struct {
+	pos      token.Pos
+	deferred bool
+	block    ast.Node
+}
+
+// spanEndKey groups End calls by enclosing function and span
+// variable, so distinct spans (and the same name in different
+// functions) are judged independently.
+type spanEndKey struct {
+	fn  ast.Node
+	obj types.Object
+}
+
+// checkSpanFile enforces rules 4-6 over one file.
+func checkSpanFile(pkg, regPkg *Package, file *ast.File, report Reporter) {
+	ends := make(map[spanEndKey][]spanEndSite)
+	names := make(map[spanEndKey]string)
+	walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pkg.Info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != regPkg.Path {
+			return true
+		}
+		switch {
+		case isSpanStart(callee, regPkg):
+			if isDiscarded(stack) {
+				report(call.Pos(), "result of %s discarded: a span nobody holds is never ended, so it never reaches the flight recorder and its pooled storage leaks",
+					callee.Name())
+			}
+			if rng := enclosingEdgeRange(pkg, stack); rng != nil {
+				report(call.Pos(), "%s inside a per-edge loop: spans are batch-granularity instrumentation; opening one per edge costs a pool round-trip and a clock read per edge",
+					callee.Name())
+			}
+		case isSpanEnd(callee, regPkg):
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			key := spanEndKey{fn: enclosingFunc(stack), obj: obj}
+			names[key] = id.Name
+			ends[key] = append(ends[key], spanEndSite{
+				pos:      call.Pos(),
+				deferred: isDeferredCall(stack),
+				block:    nearestBlock(stack),
+			})
+		}
+		return true
+	})
+	for key, sites := range ends {
+		reportDoubleEnd(names[key], sites, report)
+	}
+}
+
+// reportDoubleEnd flags syntactic exactly-once violations among one
+// span variable's End calls within one function.
+func reportDoubleEnd(name string, sites []spanEndSite, report Reporter) {
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	deferred := 0
+	direct := 0
+	perBlock := make(map[ast.Node]int)
+	for _, s := range sites {
+		if s.deferred {
+			deferred++
+			if deferred == 2 {
+				report(s.pos, "span %s End deferred twice: End must run exactly once; the runtime counts the extra call as misuse", name)
+			}
+			continue
+		}
+		direct++
+		perBlock[s.block]++
+		if perBlock[s.block] == 2 {
+			report(s.pos, "span %s ended twice in the same block: End must run exactly once", name)
+		}
+	}
+	if deferred > 0 && direct > 0 {
+		// Report at the first direct End: the defer guarantees a second
+		// call on every path through it.
+		for _, s := range sites {
+			if !s.deferred {
+				report(s.pos, "span %s ended directly and again by a deferred End: End must run exactly once", name)
+				break
+			}
+		}
+	}
+}
+
+// isDeferredCall reports whether the call is the operand of a defer
+// statement.
+func isDeferredCall(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	_, ok := stack[len(stack)-1].(*ast.DeferStmt)
+	return ok
+}
+
+// nearestBlock returns the innermost enclosing block statement.
+func nearestBlock(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.BlockStmt); ok {
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// enclosingEdgeRange returns the innermost enclosing range statement
+// that iterates per-edge element types (see rangesOverEdges), or nil.
+func enclosingEdgeRange(pkg *Package, stack []ast.Node) *ast.RangeStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if rng, ok := stack[i].(*ast.RangeStmt); ok && rangesOverEdges(pkg, rng) {
+			return rng
+		}
+	}
+	return nil
 }

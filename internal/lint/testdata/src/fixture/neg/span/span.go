@@ -1,0 +1,42 @@
+// Package span holds well-formed span usage the span rules must not
+// flag: held handles, per-batch granularity, branch-exclusive Ends,
+// and the same span name reused across functions.
+package span
+
+import "fixture/reg"
+
+// Edge is a local per-edge element type (see the pos fixture).
+type Edge struct{ Src, Dst uint32 }
+
+// WellFormed holds both spans and ends each exactly once; the
+// per-edge loop contains no span calls.
+func WellFormed(r *reg.Registry, edges []Edge) {
+	s := r.StartSpan("batch")
+	defer s.End()
+	c := s.StartChild("update")
+	n := 0
+	for _, e := range edges {
+		n += int(e.Dst - e.Src)
+	}
+	c.End()
+	_ = n
+}
+
+// Branched ends the span once per control-flow path: the two direct
+// Ends sit in different blocks and are mutually exclusive.
+func Branched(r *reg.Registry, ok bool) {
+	s := r.StartSpan("admission")
+	if ok {
+		s.End()
+		return
+	}
+	s.End()
+}
+
+// Reused shows the same variable name in another function: End calls
+// group per function and per span, so this is independent of
+// Branched.
+func Reused(r *reg.Registry) {
+	s := r.StartSpan("ingest")
+	s.End()
+}

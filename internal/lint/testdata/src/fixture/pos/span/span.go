@@ -1,0 +1,47 @@
+// Package span seeds the span-discipline violations: a discarded
+// span, spans opened inside per-edge loops, and every syntactic
+// double-End shape.
+package span
+
+import "fixture/reg"
+
+// Edge is a local per-edge element type; the per-edge-loop rule keys
+// on the element type name, not its package.
+type Edge struct{ Src, Dst uint32 }
+
+// Leak discards the span: nothing can ever end it.
+func Leak(r *reg.Registry) {
+	r.StartSpan("update")
+}
+
+// PerEdge opens a span per edge — batch instrumentation at edge
+// granularity.
+func PerEdge(r *reg.Registry, edges []Edge) {
+	s := r.StartSpan("batch")
+	for range edges {
+		c := s.StartChild("edge")
+		c.End()
+	}
+	s.End()
+}
+
+// DeferAndDirect ends the span directly and again via defer.
+func DeferAndDirect(r *reg.Registry) {
+	s := r.StartSpan("update")
+	defer s.End()
+	s.End()
+}
+
+// DoubleDefer defers the same span's End twice.
+func DoubleDefer(r *reg.Registry) {
+	s := r.StartSpan("update")
+	defer s.End()
+	defer s.End()
+}
+
+// SameBlock ends the span twice in one block.
+func SameBlock(r *reg.Registry) {
+	s := r.StartSpan("update")
+	s.End()
+	s.End()
+}

@@ -39,3 +39,17 @@ func (r *Registry) NewHistogram(name, help string) *Histogram { return &Histogra
 
 // Lookup resolves a histogram handle by name.
 func (r *Registry) Lookup(name string) *Histogram { return &Histogram{} }
+
+// Span is an in-flight span handle, mirroring the tracing API the
+// span rules detect: StartSpan/StartChild return a *Span that must be
+// ended exactly once.
+type Span struct{ ended bool }
+
+// End completes the span.
+func (s *Span) End() { s.ended = true }
+
+// StartChild opens a child span under s.
+func (s *Span) StartChild(stage string) *Span { return &Span{} }
+
+// StartSpan opens a root span for one pipeline stage.
+func (r *Registry) StartSpan(stage string) *Span { return &Span{} }

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 )
@@ -16,6 +18,10 @@ type Options struct {
 	// TraceCapacity is the batch-trace ring size (0 means
 	// DefaultTraceCapacity); negative disables tracing entirely.
 	TraceCapacity int
+	// SpanCapacity is the span flight-recorder ring size (0 means
+	// DefaultSpanCapacity); negative disables span recording (spans
+	// still time their batch trace, but no events are retained).
+	SpanCapacity int
 }
 
 // Observer bundles the standard streamgraph instrumentation: one
@@ -26,11 +32,36 @@ type Options struct {
 type Observer struct {
 	Registry *Registry
 	Traces   *Ring
+	// Spans is the span flight recorder (see span.go); nil when span
+	// recording is disabled.
+	Spans *SpanRing
 
 	// Pipeline-level counters.
 	BatchesTotal   *Counter
 	ReorderedTotal *Counter
 	HAUTotal       *Counter
+
+	// Flight-recorder accounting: traces and spans evicted from the
+	// bounded rings (two label values of one series), plus span API
+	// contract violations detected at runtime (End called twice on a
+	// span that has not been reused yet).
+	TraceDroppedDecisions *Counter
+	TraceDroppedSpans     *Counter
+	SpanMisuseTotal       *Counter
+
+	// Input-knowledge telemetry: the per-batch statistics the paper's
+	// controllers key on, promoted to first-class series.
+	DeleteRatioHist *Histogram
+	DeleteRatioLast *Gauge
+	DegreeSkewHist  *Histogram
+	DegreeSkewLast  *Gauge
+	RunLenHist      *Histogram
+
+	// Realized-vs-best regret (ABR): batches where the per-edge cost
+	// model says the engine mode not chosen would have been cheaper,
+	// and the accumulated excess cost in nanoseconds.
+	ABRMispredictTotal *Counter
+	ABRRegretNs        *Counter
 
 	// Robustness instrumentation: recovered per-batch panics and
 	// load-shed ladder activity (fed by internal/pipeline).
@@ -75,6 +106,12 @@ type Observer struct {
 	baselineSec   *Histogram
 	roSec         *Histogram
 	roUSCSec      *Histogram
+
+	// sink, when set, receives every completed span as one JSON line
+	// (SetSpanSink); sinkEnc is the encoder bound to it.
+	sinkMu  sync.Mutex
+	sink    io.Writer
+	sinkEnc *json.Encoder
 }
 
 // New builds an Observer with the full streamgraph metric set
@@ -82,11 +119,24 @@ type Observer struct {
 func New(o Options) *Observer {
 	reg := NewRegistry()
 	obs := &Observer{Registry: reg}
+	obs.TraceDroppedDecisions = reg.NewCounter(`streamgraph_trace_dropped_total{ring="decisions"}`,
+		"Decision traces evicted from the bounded trace ring before being read.")
+	obs.TraceDroppedSpans = reg.NewCounter(`streamgraph_trace_dropped_total{ring="spans"}`,
+		"Span events evicted from the bounded flight-recorder ring before being read.")
+	obs.SpanMisuseTotal = reg.NewCounter("streamgraph_span_misuse_total",
+		"Span contract violations detected at runtime (End called twice).")
 	switch {
 	case o.TraceCapacity == 0:
 		obs.Traces = NewRing(DefaultTraceCapacity)
 	case o.TraceCapacity > 0:
 		obs.Traces = NewRing(o.TraceCapacity)
+	}
+	obs.Traces.SetDropCounter(obs.TraceDroppedDecisions)
+	switch {
+	case o.SpanCapacity == 0:
+		obs.Spans = NewSpanRing(DefaultSpanCapacity, obs.TraceDroppedSpans)
+	case o.SpanCapacity > 0:
+		obs.Spans = NewSpanRing(o.SpanCapacity, obs.TraceDroppedSpans)
 	}
 
 	obs.BatchesTotal = reg.NewCounter("streamgraph_pipeline_batches_total",
@@ -152,6 +202,25 @@ func New(o Options) *Observer {
 		"Batch size in edge operations.",
 		ExpBuckets(100, 5, 8))
 
+	obs.DeleteRatioHist = reg.NewHistogram("streamgraph_input_delete_ratio",
+		"Per-batch fraction of deletion operations.",
+		[]float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1})
+	obs.DeleteRatioLast = reg.NewGauge("streamgraph_input_delete_ratio_last",
+		"Most recent per-batch delete ratio.")
+	obs.DegreeSkewHist = reg.NewHistogram("streamgraph_input_degree_skew",
+		"Per-batch degree skew: share of the batch's edges aimed at its hottest destination vertex.",
+		[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1})
+	obs.DegreeSkewLast = reg.NewGauge("streamgraph_input_degree_skew_last",
+		"Most recent per-batch degree skew.")
+	obs.RunLenHist = reg.NewHistogram("streamgraph_input_run_length",
+		"Per-vertex destination run lengths observed by the reordered path (mean per batch).",
+		ExpBuckets(1, 4, 10))
+
+	obs.ABRMispredictTotal = reg.NewCounter("streamgraph_abr_mispredict_total",
+		"ABR decisions whose realized update cost exceeded the cost model's estimate for the mode not chosen.")
+	obs.ABRRegretNs = reg.NewCounter("streamgraph_abr_regret_ns_total",
+		"Accumulated realized-minus-estimated-best update cost in nanoseconds across mispredicted batches.")
+
 	obs.engineSeconds = make(map[string]*Histogram, 4)
 	for _, name := range []string{"baseline", "ro", "ro+usc"} {
 		obs.engineSeconds[name] = reg.NewHistogram(
@@ -169,16 +238,30 @@ func New(o Options) *Observer {
 // nil; the nil trace's methods are no-ops). The trace doubles as the
 // carrier for per-batch metrics, so it is produced even when the ring
 // is disabled — EmitBatch then updates the registry and discards it.
-func (o *Observer) StartBatch(id, edges int, policy string) *BatchTrace {
+// traceID joins the batch's spans to request-level spans the server
+// recorded before the batch existed; 0 allocates a fresh trace ID.
+// The trace carries an open root span ("batch"), closed by EmitBatch
+// or ObservePanic.
+func (o *Observer) StartBatch(id, edges int, policy string, traceID uint64) *BatchTrace {
 	if o == nil {
 		return nil
 	}
-	return &BatchTrace{
+	if traceID == 0 {
+		traceID = traceSeq.Add(1)
+	}
+	tr := &BatchTrace{
+		TraceID: traceID,
 		BatchID: id,
 		Start:   time.Now(),
 		Policy:  policy,
 		Edges:   edges,
+		Spans:   make([]SpanEvent, 0, 8),
+		obs:     o,
 	}
+	root := newSpan(o, tr, traceID, 0, id, "batch")
+	root.root = true
+	tr.root = root
+	return tr
 }
 
 // EngineHistogram returns the apply-latency histogram for an engine
@@ -280,23 +363,30 @@ func (o *Observer) ObserveRound(batches int, deferred bool) {
 
 // ObservePanic records a batch whose processing panicked and was
 // recovered at the pipeline's isolation boundary: the panic counter is
-// incremented and a minimal trace marked Panicked lands in the ring so
-// /trace shows the failure next to the decisions around it. The batch
-// did NOT complete, so BatchesTotal is deliberately not incremented.
-// Nil-safe.
-func (o *Observer) ObservePanic(batchID, edges int, policy string, v any) {
+// incremented and the batch's trace — marked Panicked, root span
+// closed with the panicked attribute — lands in the ring so /trace
+// shows the failure next to the decisions around it. tr is the trace
+// that was in flight when the panic fired (nil when the panic preceded
+// StartBatch; a minimal trace is synthesized). The batch did NOT
+// complete, so BatchesTotal is deliberately not incremented. Nil-safe.
+func (o *Observer) ObservePanic(tr *BatchTrace, batchID, edges int, policy string, v any) {
 	if o == nil {
 		return
 	}
 	o.PanicsTotal.Inc()
-	o.Traces.Add(BatchTrace{
-		BatchID:    batchID,
-		Start:      time.Now(),
-		Policy:     policy,
-		Edges:      edges,
-		Panicked:   true,
-		PanicValue: fmt.Sprint(v),
-	})
+	if tr == nil {
+		tr = &BatchTrace{
+			BatchID: batchID,
+			Start:   time.Now(),
+			Policy:  policy,
+			Edges:   edges,
+			obs:     o,
+		}
+	}
+	tr.Panicked = true
+	tr.PanicValue = fmt.Sprint(v)
+	tr.endRoot()
+	o.Traces.Add(*tr)
 }
 
 // EmitBatch finalizes a batch trace: pipeline-level counters and stage
@@ -308,6 +398,7 @@ func (o *Observer) EmitBatch(t *BatchTrace) {
 	if o == nil || t == nil {
 		return
 	}
+	t.endRoot()
 	o.BatchesTotal.Inc()
 	if t.Reordered {
 		o.ReorderedTotal.Inc()
@@ -324,6 +415,15 @@ func (o *Observer) EmitBatch(t *BatchTrace) {
 	}
 	if d := t.SpanDur("compute"); d > 0 {
 		o.ComputeSeconds.Observe(d.Seconds())
+	}
+	o.DeleteRatioHist.Observe(t.DeleteRatio)
+	o.DeleteRatioLast.Set(t.DeleteRatio)
+	if t.MaxRunLen > 0 {
+		// Run-shape telemetry exists only on batches where the reordered
+		// path collected destination runs.
+		o.DegreeSkewHist.Observe(t.DegreeSkew)
+		o.DegreeSkewLast.Set(t.DegreeSkew)
+		o.RunLenHist.Observe(t.MeanRunLen)
 	}
 	o.Traces.Add(*t)
 }

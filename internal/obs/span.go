@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing: the flight-recorder layer underneath the per-batch
+// decision traces. A Span is one in-flight timed stage; ending it
+// produces an immutable SpanEvent that lands in the batch's trace (when
+// the span belongs to one), in the bounded SpanRing, and — when a sink
+// is attached — as one JSON line in the span log.
+//
+// The API is deliberately tiny and allocation-free on the hot path:
+// spans come from a sync.Pool, IDs from atomic counters, and the clock
+// is read once at start and once at End (Go's time.Time carries the
+// monotonic reading, so durations are immune to wall-clock steps).
+// Spans are started a handful of times per *batch*, never per edge —
+// sglint's obsdiscipline analyzer enforces both that and the
+// exactly-once End contract.
+
+// DefaultSpanCapacity is the span flight-recorder ring size when
+// Options leaves it zero: roughly DefaultTraceCapacity batches' worth
+// of span trees.
+const DefaultSpanCapacity = 4096
+
+// SpanEvent is one completed span. StartNs is the wall-clock UnixNano
+// of the span's start (absolute, so request-level spans recorded before
+// a batch exists still order against the batch's own tree); DurNs is
+// measured on the monotonic clock. Events with the same TraceID form
+// one tree: ParentID 0 marks the root.
+type SpanEvent struct {
+	TraceID  uint64 `json:"traceId"`
+	SpanID   uint64 `json:"spanId"`
+	ParentID uint64 `json:"parentId,omitempty"`
+	// BatchID is the batch the span belongs to; -1 for request-level
+	// spans recorded before the batch was created (ingest, admission).
+	BatchID int    `json:"batchId"`
+	Stage   string `json:"stage"`
+	StartNs int64  `json:"startNs"`
+	DurNs   int64  `json:"durNs"`
+	// Panicked and Shed carry the batch's fault/shed outcome on the
+	// root span, so a soak-test span log explains degraded throughput
+	// without joining back to the decision trace.
+	Panicked bool   `json:"panicked,omitempty"`
+	Shed     string `json:"shed,omitempty"`
+}
+
+// Span is an in-flight timed stage. Start one with Observer.StartSpan,
+// BatchTrace.StartSpan, or Span.StartChild; call End exactly once.
+// Ended spans return to a pool — calling End twice on the same pointer
+// is a contract violation (counted in SpanMisuseTotal while the span
+// is still un-reused, undetectable after), which is why obsdiscipline
+// lints for syntactic double-End.
+type Span struct {
+	obs     *Observer
+	tr      *BatchTrace
+	traceID uint64
+	id      uint64
+	parent  uint64
+	batchID int
+	stage   string
+	start   time.Time
+	root    bool
+	ended   bool
+}
+
+// spanSeq and traceSeq issue process-unique span and trace IDs. One
+// shared sequence (rather than per-Observer) keeps IDs unique even
+// when traces from several observers end up in one log.
+var (
+	spanSeq  atomic.Uint64
+	traceSeq atomic.Uint64
+)
+
+// spanPool recycles Span objects so the per-batch tracing path does
+// not allocate.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// NextTraceID returns a fresh process-unique trace ID. The server
+// allocates one per ingest request so pre-batch spans (parse,
+// admission) join the batch's span tree. Nil-safe (returns 0, which
+// StartBatch treats as "allocate one").
+func (o *Observer) NextTraceID() uint64 {
+	if o == nil {
+		return 0
+	}
+	return traceSeq.Add(1)
+}
+
+// StartSpan opens a root-level span under traceID, not attached to any
+// batch trace (batchID -1 marks request-level spans). Nil-safe.
+func (o *Observer) StartSpan(traceID uint64, batchID int, stage string) *Span {
+	if o == nil {
+		return nil
+	}
+	return newSpan(o, nil, traceID, 0, batchID, stage)
+}
+
+// StartSpan opens a span under the trace's root span. Nil-receiver
+// safe (returns a nil span whose End is a no-op).
+func (t *BatchTrace) StartSpan(stage string) *Span {
+	if t == nil {
+		return nil
+	}
+	var parent uint64
+	if t.root != nil {
+		parent = t.root.id
+	}
+	return newSpan(t.obs, t, t.TraceID, parent, t.BatchID, stage)
+}
+
+// StartChild opens a child span of s. Nil-receiver safe.
+func (s *Span) StartChild(stage string) *Span {
+	if s == nil {
+		return nil
+	}
+	return newSpan(s.obs, s.tr, s.traceID, s.id, s.batchID, stage)
+}
+
+func newSpan(o *Observer, tr *BatchTrace, traceID, parent uint64, batchID int, stage string) *Span {
+	s := spanPool.Get().(*Span)
+	*s = Span{
+		obs:     o,
+		tr:      tr,
+		traceID: traceID,
+		id:      spanSeq.Add(1),
+		parent:  parent,
+		batchID: batchID,
+		stage:   stage,
+		start:   time.Now(),
+	}
+	return s
+}
+
+// End completes the span: the event is appended to the owning batch
+// trace (if any), recorded in the flight-recorder ring, and written to
+// the span sink. Call exactly once; a second End on a not-yet-reused
+// span is counted in SpanMisuseTotal and otherwise ignored. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.ended {
+		if s.obs != nil {
+			s.obs.SpanMisuseTotal.Inc()
+		}
+		return
+	}
+	s.ended = true
+	d := time.Since(s.start)
+	ev := SpanEvent{
+		TraceID:  s.traceID,
+		SpanID:   s.id,
+		ParentID: s.parent,
+		BatchID:  s.batchID,
+		Stage:    s.stage,
+		StartNs:  s.start.UnixNano(),
+		DurNs:    d.Nanoseconds(),
+	}
+	if s.root && s.tr != nil {
+		// The root span carries the batch's fault/shed outcome, set on
+		// the trace by the time the batch finishes.
+		ev.Panicked = s.tr.Panicked
+		ev.Shed = s.tr.Shed
+	}
+	if s.tr != nil {
+		s.tr.Spans = append(s.tr.Spans, ev)
+	}
+	o := s.obs
+	spanPool.Put(s)
+	o.recordSpan(ev)
+}
+
+// recordSpan lands a completed event in the flight ring and the sink.
+// Nil-safe.
+func (o *Observer) recordSpan(ev SpanEvent) {
+	if o == nil {
+		return
+	}
+	o.Spans.Add(ev)
+	o.sinkMu.Lock()
+	if o.sink != nil {
+		// One JSON line per span; an encoder error poisons the sink
+		// (disk full, closed pipe) and disables it rather than failing
+		// every subsequent batch.
+		if err := o.sinkEnc.Encode(&ev); err != nil {
+			o.sink = nil
+			o.sinkEnc = nil
+		}
+	}
+	o.sinkMu.Unlock()
+}
+
+// SetSpanSink attaches a JSON-lines sink for completed spans (the
+// sgserve -span-log file). One line per SpanEvent; writes are
+// serialized under a mutex — span completion is per batch stage, far
+// off the per-edge hot path. Pass nil to detach. Nil-receiver safe.
+func (o *Observer) SetSpanSink(w io.Writer) {
+	if o == nil {
+		return
+	}
+	o.sinkMu.Lock()
+	o.sink = w
+	if w != nil {
+		o.sinkEnc = json.NewEncoder(w)
+	} else {
+		o.sinkEnc = nil
+	}
+	o.sinkMu.Unlock()
+}
+
+// SpanRing is the bounded span flight recorder: a fixed ring of the
+// most recent SpanEvents. Overwritten (dropped) events are counted in
+// the observer's streamgraph_trace_dropped_total{ring="spans"} series
+// instead of vanishing silently.
+type SpanRing struct {
+	mu      sync.Mutex
+	buf     []SpanEvent
+	next    int
+	full    bool
+	dropped *Counter
+}
+
+// NewSpanRing returns a ring holding the last capacity spans (min 1).
+// dropped (may be nil) counts evicted events.
+func NewSpanRing(capacity int, dropped *Counter) *SpanRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRing{buf: make([]SpanEvent, capacity), dropped: dropped}
+}
+
+// Add appends an event, evicting (and counting) the oldest when full.
+// Nil-safe.
+func (r *SpanRing) Add(ev SpanEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.full {
+		r.dropped.Inc()
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of stored events. Nil-safe.
+func (r *SpanRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Last returns up to n most recent events, oldest first. n <= 0 means
+// all stored events. Nil-safe (returns nil).
+func (r *SpanRing) Last(n int) []SpanEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stored := r.next
+	if r.full {
+		stored = len(r.buf)
+	}
+	if n <= 0 || n > stored {
+		n = stored
+	}
+	out := make([]SpanEvent, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - n + i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRingEvictionAndOrder(t *testing.T) {
+	var dropped Counter
+	r := NewSpanRing(3, &dropped)
+	if got := r.Last(0); len(got) != 0 {
+		t.Fatalf("empty ring Last = %v", got)
+	}
+	for i := 1; i <= 5; i++ {
+		r.Add(SpanEvent{SpanID: uint64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	if dropped.Value() != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped.Value())
+	}
+	got := r.Last(0)
+	if len(got) != 3 || got[0].SpanID != 3 || got[2].SpanID != 5 {
+		t.Fatalf("Last(0) = %+v, want spans 3..5 oldest-first", got)
+	}
+	if got := r.Last(2); len(got) != 2 || got[0].SpanID != 4 {
+		t.Fatalf("Last(2) = %+v, want spans 4,5", got)
+	}
+	var nilRing *SpanRing
+	nilRing.Add(SpanEvent{})
+	if nilRing.Len() != 0 || nilRing.Last(1) != nil {
+		t.Fatal("nil span ring should be inert")
+	}
+}
+
+// TestSpanShapes: table-driven check that each way of starting a span
+// yields an event with the right parentage and batch attribution.
+func TestSpanShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		run   func(o *Observer) SpanEvent
+		batch int
+		// wantParent: -1 any nonzero, 0 none
+		wantParent int
+	}{
+		{
+			name: "observer root span",
+			run: func(o *Observer) SpanEvent {
+				s := o.StartSpan(o.NextTraceID(), -1, "ingest")
+				s.End()
+				return o.Spans.Last(1)[0]
+			},
+			batch:      -1,
+			wantParent: 0,
+		},
+		{
+			name: "trace child span",
+			run: func(o *Observer) SpanEvent {
+				tr := o.StartBatch(2, 5, "abr", 0)
+				s := tr.StartSpan("update")
+				s.End()
+				return tr.Spans[len(tr.Spans)-1]
+			},
+			batch:      2,
+			wantParent: -1,
+		},
+		{
+			name: "grandchild span",
+			run: func(o *Observer) SpanEvent {
+				tr := o.StartBatch(3, 5, "abr", 0)
+				s := tr.StartSpan("update")
+				c := s.StartChild("abr_instrument")
+				c.End()
+				s.End()
+				return tr.Spans[0]
+			},
+			batch:      3,
+			wantParent: -1,
+		},
+		{
+			name: "derived span",
+			run: func(o *Observer) SpanEvent {
+				tr := o.StartBatch(4, 5, "abr", 0)
+				tr.AddDerivedSpan(nil, "compute", time.Now(), time.Millisecond)
+				return tr.Spans[0]
+			},
+			batch:      4,
+			wantParent: -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := New(Options{})
+			ev := tc.run(o)
+			if ev.BatchID != tc.batch {
+				t.Fatalf("batch = %d, want %d", ev.BatchID, tc.batch)
+			}
+			switch tc.wantParent {
+			case 0:
+				if ev.ParentID != 0 {
+					t.Fatalf("parent = %d, want 0", ev.ParentID)
+				}
+			case -1:
+				if ev.ParentID == 0 {
+					t.Fatal("span should have a parent")
+				}
+			}
+			if ev.SpanID == 0 || ev.TraceID == 0 {
+				t.Fatalf("missing IDs: %+v", ev)
+			}
+		})
+	}
+}
+
+// TestSpanDoubleEnd: a second End on a not-yet-reused span is counted
+// as misuse and does not emit a second event.
+func TestSpanDoubleEnd(t *testing.T) {
+	o := New(Options{})
+	s := o.StartSpan(1, -1, "ingest")
+	s.End()
+	before := o.Spans.Len()
+	s.End()
+	if o.SpanMisuseTotal.Value() != 1 {
+		t.Fatalf("misuse = %d, want 1", o.SpanMisuseTotal.Value())
+	}
+	if o.Spans.Len() != before {
+		t.Fatal("double End emitted a second event")
+	}
+}
+
+// TestSpanSink: completed spans stream to the sink as JSON lines; an
+// encoder error disables the sink instead of failing later spans.
+func TestSpanSink(t *testing.T) {
+	o := New(Options{})
+	var buf bytes.Buffer
+	o.SetSpanSink(&buf)
+	o.StartSpan(7, -1, "ingest").End()
+	o.StartSpan(7, -1, "admission").End()
+	o.SetSpanSink(nil)
+	o.StartSpan(7, -1, "after-detach").End()
+
+	sc := bufio.NewScanner(&buf)
+	var stages []string
+	for sc.Scan() {
+		var ev SpanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad sink line %q: %v", sc.Text(), err)
+		}
+		stages = append(stages, ev.Stage)
+	}
+	if len(stages) != 2 || stages[0] != "ingest" || stages[1] != "admission" {
+		t.Fatalf("sink stages = %v", stages)
+	}
+
+	o.SetSpanSink(failWriter{})
+	o.StartSpan(8, -1, "poisons").End()
+	o.StartSpan(8, -1, "survives").End() // must not panic on nil encoder
+	if o.Spans.Last(1)[0].Stage != "survives" {
+		t.Fatal("span recording stopped after sink failure")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestSpanConcurrentEmission: many goroutines each run a full batch
+// span tree against one observer. Under -race this doubles as the
+// span-layer race test; structurally every tree must be complete,
+// every span ID unique, and no misuse recorded.
+func TestSpanConcurrentEmission(t *testing.T) {
+	const goroutines = 16
+	const batchesPer = 25
+	o := New(Options{TraceCapacity: goroutines * batchesPer,
+		SpanCapacity: goroutines * batchesPer * 8})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < batchesPer; i++ {
+				id := g*batchesPer + i
+				tr := o.StartBatch(id, 10, "abr", 0)
+				up := tr.StartSpan("update")
+				up.StartChild("abr_instrument").End()
+				up.End()
+				tr.StartSpan("oca_decide").End()
+				tr.AddDerivedSpan(nil, "compute", time.Now(), time.Microsecond)
+				o.EmitBatch(tr)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if o.SpanMisuseTotal.Value() != 0 {
+		t.Fatalf("span misuse under concurrency: %d", o.SpanMisuseTotal.Value())
+	}
+	traces := o.Traces.Last(0)
+	if len(traces) != goroutines*batchesPer {
+		t.Fatalf("traces = %d, want %d", len(traces), goroutines*batchesPer)
+	}
+	seen := map[uint64]string{}
+	for _, tr := range traces {
+		if err := checkSpanTree(tr); err != nil {
+			t.Fatalf("batch %d: %v", tr.BatchID, err)
+		}
+		for _, ev := range tr.Spans {
+			if prev, dup := seen[ev.SpanID]; dup {
+				t.Fatalf("span ID %d reused (%s and %s)", ev.SpanID, prev, ev.Stage)
+			}
+			seen[ev.SpanID] = ev.Stage
+		}
+	}
+}
+
+// checkSpanTree asserts tr's spans form one well-formed tree: exactly
+// one root, every parent resolvable, all under one trace ID.
+func checkSpanTree(tr BatchTrace) error {
+	ids := map[uint64]bool{}
+	roots := 0
+	for _, ev := range tr.Spans {
+		if ev.TraceID != tr.TraceID {
+			return fmt.Errorf("span %q trace %d outside batch trace %d", ev.Stage, ev.TraceID, tr.TraceID)
+		}
+		ids[ev.SpanID] = true
+		if ev.ParentID == 0 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("%d roots, want 1 (%+v)", roots, tr.Spans)
+	}
+	for _, ev := range tr.Spans {
+		if ev.ParentID != 0 && !ids[ev.ParentID] {
+			return fmt.Errorf("span %q parent %d not in tree", ev.Stage, ev.ParentID)
+		}
+	}
+	return nil
+}

@@ -5,21 +5,51 @@ import (
 	"time"
 )
 
-// Span is one timed pipeline stage inside a batch trace. Offsets are
-// relative to the batch's arrival so traces are self-contained.
-type Span struct {
-	// Stage names the pipeline stage: "abr_decide", "update",
-	// "abr_instrument", "oca_decide", "compute".
-	Stage string `json:"stage"`
-	// StartNs is the offset from BatchTrace.Start; DurNs the duration.
-	StartNs int64 `json:"startNs"`
-	DurNs   int64 `json:"durNs"`
+// DecisionAudit is the structured record of one input-aware controller
+// decision: what the controller observed, what it compared the
+// observation against, what it chose, and what the chosen path
+// actually cost once the batch ran. Every processed batch carries its
+// ABR and OCA audits in BatchTrace.Decisions, joinable to the batch's
+// span tree by BatchID (and TraceID), so "why did this batch run on
+// the baseline engine" is answerable from /trace alone.
+type DecisionAudit struct {
+	// Controller is "abr" or "oca".
+	Controller string `json:"controller"`
+	// BatchID joins the audit to its batch trace and span tree.
+	BatchID int `json:"batchId"`
+	// Input names the observed statistic ("cad_lambda", "locality");
+	// Observed its value and Threshold what it was compared against.
+	Input     string  `json:"input"`
+	Observed  float64 `json:"observed"`
+	Threshold float64 `json:"threshold"`
+	// Sampled marks decisions backed by a measurement on this batch;
+	// false means the controller reused its standing decision (ABR's
+	// inert batches).
+	Sampled bool `json:"sampled"`
+	// Choice is the action taken: "reorder"/"baseline" for ABR,
+	// "compute"/"aggregate"/"defer" for OCA.
+	Choice string `json:"choice"`
+	// RealizedNs is the measured cost of the chosen path: the update
+	// wall time for ABR, the compute-round wall time for OCA (0 when
+	// the round was deferred).
+	RealizedNs int64 `json:"realizedNs"`
+	// EstAltNs, when nonzero, is the cost model's estimate of the
+	// path not taken (ABR only: per-edge EWMA of the other engine
+	// mode scaled to this batch). Regret marks decisions where the
+	// realized cost exceeded that estimate — the mispredictions the
+	// realized-vs-best regret counters accumulate.
+	EstAltNs int64 `json:"estAltNs,omitempty"`
+	Regret   bool  `json:"regret,omitempty"`
 }
 
 // BatchTrace is the structured record of one batch's trip through the
-// pipeline: what each stage cost and what the input-aware controllers
-// decided and why (measured value vs threshold).
+// pipeline: what each stage cost (the span tree), what the
+// input-aware controllers observed and decided (the decision audits),
+// and the batch's input-knowledge statistics.
 type BatchTrace struct {
+	// TraceID links the batch's spans (including request-level spans
+	// recorded by the server before the batch existed) into one tree.
+	TraceID uint64    `json:"traceId"`
 	BatchID int       `json:"batchId"`
 	Start   time.Time `json:"start"`
 	Policy  string    `json:"policy"`
@@ -46,6 +76,17 @@ type BatchTrace struct {
 	ComputeDeferred   bool    `json:"computeDeferred"`
 	AggregatedBatches int     `json:"aggregatedBatches"`
 
+	// Input-knowledge statistics, promoted to per-batch time series:
+	// the fraction of deletion operations, and — on batches where the
+	// reordered path recorded destination runs — the mean and max
+	// per-vertex run length plus the degree skew (the share of the
+	// batch's edges aimed at its single hottest vertex, the quantity
+	// that predicts lock convoys on the baseline engine).
+	DeleteRatio float64 `json:"deleteRatio"`
+	DegreeSkew  float64 `json:"degreeSkew,omitempty"`
+	MeanRunLen  float64 `json:"meanRunLen,omitempty"`
+	MaxRunLen   int     `json:"maxRunLen,omitempty"`
+
 	// SimCycles is the simulated update cost (Sim policies only).
 	SimCycles float64 `json:"simCycles,omitempty"`
 
@@ -58,43 +99,50 @@ type BatchTrace struct {
 	Panicked   bool   `json:"panicked,omitempty"`
 	PanicValue string `json:"panicValue,omitempty"`
 
-	Spans []Span `json:"spans"`
+	// Decisions are the batch's controller audit records.
+	Decisions []DecisionAudit `json:"decisions,omitempty"`
+
+	// Spans is the batch's completed span tree (root stage "batch").
+	Spans []SpanEvent `json:"spans"`
+
+	// obs and root wire the trace into the span layer: obs issues span
+	// IDs and owns the flight ring; root is the still-open batch span,
+	// ended by EmitBatch (or ObservePanic).
+	obs  *Observer
+	root *Span
 }
 
-// noopEnd is the shared no-op closure returned for nil traces, so
-// disabled instrumentation allocates nothing per span.
-var noopEnd = func() {}
-
-// Span starts a stage span and returns the closure that ends it.
-// Nil-receiver safe.
-func (t *BatchTrace) Span(stage string) func() {
-	if t == nil {
-		return noopEnd
-	}
-	start := time.Now()
-	return func() {
-		t.Spans = append(t.Spans, Span{
-			Stage:   stage,
-			StartNs: start.Sub(t.Start).Nanoseconds(),
-			DurNs:   time.Since(start).Nanoseconds(),
-		})
-	}
-}
-
-// AddSpan appends an already-measured span. Nil-receiver safe.
-func (t *BatchTrace) AddSpan(stage string, start time.Time, d time.Duration) {
+// AddDerivedSpan records an already-measured child span under parent
+// (nil parent attaches to the root): timings the engines report as
+// durations, like the reorder sort inside the update phase, become
+// first-class tree nodes without threading live spans through engine
+// code. Nil-receiver safe.
+func (t *BatchTrace) AddDerivedSpan(parent *Span, stage string, start time.Time, d time.Duration) {
 	if t == nil {
 		return
 	}
-	t.Spans = append(t.Spans, Span{
-		Stage:   stage,
-		StartNs: start.Sub(t.Start).Nanoseconds(),
-		DurNs:   d.Nanoseconds(),
-	})
+	var parentID uint64
+	switch {
+	case parent != nil:
+		parentID = parent.id
+	case t.root != nil:
+		parentID = t.root.id
+	}
+	ev := SpanEvent{
+		TraceID:  t.TraceID,
+		SpanID:   spanSeq.Add(1),
+		ParentID: parentID,
+		BatchID:  t.BatchID,
+		Stage:    stage,
+		StartNs:  start.UnixNano(),
+		DurNs:    d.Nanoseconds(),
+	}
+	t.Spans = append(t.Spans, ev)
+	t.obs.recordSpan(ev)
 }
 
 // SpanDur returns the duration of the first span with the given stage
-// name, or 0.
+// name, or 0. Nil-receiver safe.
 func (t *BatchTrace) SpanDur(stage string) time.Duration {
 	if t == nil {
 		return 0
@@ -107,15 +155,28 @@ func (t *BatchTrace) SpanDur(stage string) time.Duration {
 	return 0
 }
 
+// endRoot closes the batch's root span exactly once (EmitBatch on the
+// success path, ObservePanic on the failure path).
+func (t *BatchTrace) endRoot() {
+	if t == nil || t.root == nil {
+		return
+	}
+	t.root.End()
+	t.root = nil
+}
+
 // Ring is a fixed-capacity ring buffer of batch traces. Writers and
 // readers may be concurrent (the ConcurrentCompute goroutine emits
 // traces while HTTP handlers read them); a mutex guards the buffer —
 // trace emission is once per batch, far off the per-edge hot path.
+// Evicted traces are counted in the observer's
+// streamgraph_trace_dropped_total{ring="decisions"} series.
 type Ring struct {
-	mu   sync.Mutex
-	buf  []BatchTrace
-	next int
-	full bool
+	mu      sync.Mutex
+	buf     []BatchTrace
+	next    int
+	full    bool
+	dropped *Counter
 }
 
 // NewRing returns a ring holding the last cap traces (min 1).
@@ -126,12 +187,27 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]BatchTrace, capacity)}
 }
 
-// Add appends a trace, evicting the oldest when full. Nil-safe.
+// SetDropCounter attaches the eviction counter (nil disables the
+// accounting). Nil-safe.
+func (r *Ring) SetDropCounter(c *Counter) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.dropped = c
+	r.mu.Unlock()
+}
+
+// Add appends a trace, evicting (and counting) the oldest when full.
+// Nil-safe.
 func (r *Ring) Add(t BatchTrace) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	if r.full {
+		r.dropped.Inc()
+	}
 	r.buf[r.next] = t
 	r.next++
 	if r.next == len(r.buf) {

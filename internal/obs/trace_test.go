@@ -8,20 +8,23 @@ import (
 
 func TestNilTraceIsInert(t *testing.T) {
 	var tr *BatchTrace
-	end := tr.Span("update") // must not panic
-	end()
-	tr.AddSpan("compute", time.Now(), time.Millisecond)
+	s := tr.StartSpan("update") // must not panic
+	s.End()
+	s.StartChild("child").End()
+	tr.AddDerivedSpan(nil, "compute", time.Now(), time.Millisecond)
+	tr.endRoot()
 	if tr.SpanDur("update") != 0 {
 		t.Fatal("nil trace should report zero spans")
 	}
 }
 
 func TestTraceSpans(t *testing.T) {
-	tr := &BatchTrace{BatchID: 3}
-	end := tr.Span("update")
+	o := New(Options{TraceCapacity: 4})
+	tr := o.StartBatch(3, 10, "abr", 0)
+	s := tr.StartSpan("update")
 	time.Sleep(time.Millisecond)
-	end()
-	tr.AddSpan("compute", time.Now(), 5*time.Millisecond)
+	s.End()
+	tr.AddDerivedSpan(nil, "compute", time.Now(), 5*time.Millisecond)
 	if d := tr.SpanDur("update"); d <= 0 {
 		t.Fatalf("update span = %v", d)
 	}
@@ -33,20 +36,68 @@ func TestTraceSpans(t *testing.T) {
 	}
 }
 
-func TestTraceJSONShape(t *testing.T) {
-	tr := BatchTrace{
-		BatchID:           7,
-		Policy:            "abr+usc",
-		Edges:             100,
-		ABRActive:         true,
-		Reordered:         true,
-		CAD:               512.5,
-		CADThreshold:      465,
-		Engine:            "ro+usc",
-		Locality:          0.31,
-		LocalityThreshold: 0.25,
+// TestTraceSpanTree: StartBatch opens a root "batch" span; children
+// attach to it; EmitBatch closes the root. All events share the trace
+// ID and have unique span IDs.
+func TestTraceSpanTree(t *testing.T) {
+	o := New(Options{TraceCapacity: 4})
+	tr := o.StartBatch(1, 10, "abr", 0)
+	if tr.TraceID == 0 {
+		t.Fatal("StartBatch should allocate a trace ID")
 	}
-	tr.AddSpan("update", time.Now(), time.Millisecond)
+	up := tr.StartSpan("update")
+	inner := up.StartChild("abr_instrument")
+	inner.End()
+	up.End()
+	o.EmitBatch(tr)
+
+	if len(tr.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3 (instrument, update, root)", len(tr.Spans))
+	}
+	byStage := map[string]SpanEvent{}
+	ids := map[uint64]bool{}
+	for _, ev := range tr.Spans {
+		if ev.TraceID != tr.TraceID {
+			t.Fatalf("span %q trace %d, want %d", ev.Stage, ev.TraceID, tr.TraceID)
+		}
+		if ids[ev.SpanID] {
+			t.Fatalf("duplicate span ID %d", ev.SpanID)
+		}
+		ids[ev.SpanID] = true
+		byStage[ev.Stage] = ev
+	}
+	root := byStage["batch"]
+	if root.ParentID != 0 {
+		t.Fatalf("root parent = %d, want 0", root.ParentID)
+	}
+	if byStage["update"].ParentID != root.SpanID {
+		t.Fatal("update span not parented to root")
+	}
+	if byStage["abr_instrument"].ParentID != byStage["update"].SpanID {
+		t.Fatal("child span not parented to update")
+	}
+	if tr.root != nil {
+		t.Fatal("EmitBatch must close the root span")
+	}
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	o := New(Options{TraceCapacity: 4})
+	tr := o.StartBatch(7, 100, "abr+usc", 0)
+	tr.ABRActive = true
+	tr.Reordered = true
+	tr.CAD = 512.5
+	tr.CADThreshold = 465
+	tr.Engine = "ro+usc"
+	tr.Locality = 0.31
+	tr.LocalityThreshold = 0.25
+	tr.DeleteRatio = 0.1
+	tr.Decisions = append(tr.Decisions, DecisionAudit{
+		Controller: "abr", BatchID: 7, Input: "cad_lambda",
+		Observed: 512.5, Threshold: 465, Sampled: true, Choice: "reorder",
+	})
+	tr.AddDerivedSpan(nil, "update", time.Now(), time.Millisecond)
+	o.EmitBatch(tr)
 	raw, err := json.Marshal(tr)
 	if err != nil {
 		t.Fatal(err)
@@ -55,8 +106,9 @@ func TestTraceJSONShape(t *testing.T) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"batchId", "policy", "abrActive", "reordered",
-		"cad", "cadThreshold", "engine", "locality", "localityThreshold", "spans"} {
+	for _, key := range []string{"traceId", "batchId", "policy", "abrActive", "reordered",
+		"cad", "cadThreshold", "engine", "locality", "localityThreshold",
+		"deleteRatio", "decisions", "spans"} {
 		if _, ok := m[key]; !ok {
 			t.Fatalf("trace JSON missing %q: %s", key, raw)
 		}
@@ -92,16 +144,37 @@ func TestRingEvictionAndOrder(t *testing.T) {
 	}
 }
 
+// TestRingDropAccounting: evictions from the bounded trace ring are
+// counted instead of silent.
+func TestRingDropAccounting(t *testing.T) {
+	var dropped Counter
+	r := NewRing(2)
+	r.SetDropCounter(&dropped)
+	for i := 0; i < 5; i++ {
+		r.Add(BatchTrace{BatchID: i})
+	}
+	if dropped.Value() != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped.Value())
+	}
+}
+
 func TestObserverNilSafe(t *testing.T) {
 	var o *Observer
-	if tr := o.StartBatch(0, 10, "baseline"); tr != nil {
+	if tr := o.StartBatch(0, 10, "baseline", 0); tr != nil {
 		t.Fatal("nil observer should yield nil trace")
 	}
+	if o.NextTraceID() != 0 {
+		t.Fatal("nil observer NextTraceID should be 0")
+	}
+	o.StartSpan(1, 0, "ingest").End()
 	o.ObserveCAD(100, true)
 	o.ObserveLocality(0.5)
 	o.ObserveRound(1, false)
 	o.ObserveEngineApply("ro", 0.1, 1, 1, 1, 1)
 	o.EmitBatch(nil)
+	o.ObservePanic(nil, 0, 1, "baseline", "boom")
+	o.SetSpanSink(nil)
+	o.recordSpan(SpanEvent{})
 	if h := o.EngineHistogram("ro"); h != nil {
 		t.Fatal("nil observer should yield nil histogram")
 	}
@@ -109,7 +182,7 @@ func TestObserverNilSafe(t *testing.T) {
 
 func TestObserverEmitBatch(t *testing.T) {
 	o := New(Options{TraceCapacity: 4})
-	tr := o.StartBatch(0, 50, "abr")
+	tr := o.StartBatch(0, 50, "abr", 0)
 	if tr == nil {
 		t.Fatal("StartBatch returned nil on a live observer")
 	}
@@ -117,8 +190,9 @@ func TestObserverEmitBatch(t *testing.T) {
 	tr.Reordered = true
 	tr.UsedHAU = false
 	tr.AggregatedBatches = 2
-	tr.AddSpan("update", time.Now(), 2*time.Millisecond)
-	tr.AddSpan("compute", time.Now(), 3*time.Millisecond)
+	tr.DeleteRatio = 0.25
+	tr.AddDerivedSpan(nil, "update", time.Now(), 2*time.Millisecond)
+	tr.AddDerivedSpan(nil, "compute", time.Now(), 3*time.Millisecond)
 	o.EmitBatch(tr)
 
 	if o.BatchesTotal.Value() != 1 || o.ReorderedTotal.Value() != 1 ||
@@ -135,26 +209,87 @@ func TestObserverEmitBatch(t *testing.T) {
 	if s := o.BatchEdges.Snapshot(); s.Count != 1 || s.Sum != 50 {
 		t.Fatalf("batch edges histogram: %+v", s)
 	}
+	if s := o.DeleteRatioHist.Snapshot(); s.Count != 1 || s.Sum != 0.25 {
+		t.Fatalf("delete ratio histogram: %+v", s)
+	}
+	if o.DeleteRatioLast.Value() != 0.25 {
+		t.Fatalf("delete ratio gauge = %v", o.DeleteRatioLast.Value())
+	}
 	traces := o.Traces.Last(0)
 	if len(traces) != 1 || traces[0].AggregatedBatches != 2 {
 		t.Fatalf("ring traces: %+v", traces)
+	}
+	// Root + two derived spans landed in the flight recorder too.
+	if o.Spans.Len() != 3 {
+		t.Fatalf("span ring len = %d, want 3", o.Spans.Len())
+	}
+}
+
+// TestObserverRunShapeTelemetry: degree-skew and run-length series
+// only fire on batches that recorded destination runs.
+func TestObserverRunShapeTelemetry(t *testing.T) {
+	o := New(Options{})
+	tr := o.StartBatch(0, 10, "ro", 0)
+	o.EmitBatch(tr)
+	if s := o.DegreeSkewHist.Snapshot(); s.Count != 0 {
+		t.Fatalf("skew observed with no runs: %+v", s)
+	}
+	tr = o.StartBatch(1, 10, "ro", 0)
+	tr.MeanRunLen = 2.5
+	tr.MaxRunLen = 5
+	tr.DegreeSkew = 0.5
+	o.EmitBatch(tr)
+	if s := o.DegreeSkewHist.Snapshot(); s.Count != 1 || s.Sum != 0.5 {
+		t.Fatalf("skew histogram: %+v", s)
+	}
+	if s := o.RunLenHist.Snapshot(); s.Count != 1 || s.Sum != 2.5 {
+		t.Fatalf("run length histogram: %+v", s)
 	}
 }
 
 // TestObserverNoRingStillCounts: a negative trace capacity disables
 // the ring but the trace must still function as the metrics carrier.
 func TestObserverNoRingStillCounts(t *testing.T) {
-	o := New(Options{TraceCapacity: -1})
+	o := New(Options{TraceCapacity: -1, SpanCapacity: -1})
 	if o.Traces != nil {
 		t.Fatal("negative capacity should disable the ring")
 	}
-	tr := o.StartBatch(0, 10, "baseline")
+	if o.Spans != nil {
+		t.Fatal("negative span capacity should disable the span ring")
+	}
+	tr := o.StartBatch(0, 10, "baseline", 0)
 	if tr == nil {
 		t.Fatal("StartBatch must return a trace even with tracing off")
 	}
 	o.EmitBatch(tr)
 	if o.BatchesTotal.Value() != 1 {
 		t.Fatal("metrics lost when tracing is disabled")
+	}
+}
+
+// TestObservePanicClosesTrace: a panicked batch's trace lands in the
+// ring marked Panicked, with its root span closed and carrying the
+// panicked attribute; BatchesTotal stays untouched.
+func TestObservePanicClosesTrace(t *testing.T) {
+	o := New(Options{TraceCapacity: 4})
+	tr := o.StartBatch(9, 10, "abr", 0)
+	o.ObservePanic(tr, 9, 10, "abr", "kaboom")
+	if o.PanicsTotal.Value() != 1 || o.BatchesTotal.Value() != 0 {
+		t.Fatalf("panics=%d batches=%d", o.PanicsTotal.Value(), o.BatchesTotal.Value())
+	}
+	traces := o.Traces.Last(0)
+	if len(traces) != 1 || !traces[0].Panicked || traces[0].PanicValue != "kaboom" {
+		t.Fatalf("ring traces: %+v", traces)
+	}
+	if len(traces[0].Spans) != 1 || !traces[0].Spans[0].Panicked {
+		t.Fatalf("root span not closed with panicked attr: %+v", traces[0].Spans)
+	}
+
+	// Nil trace (panic before StartBatch) synthesizes a minimal one.
+	o.ObservePanic(nil, 4, 5, "abr", "early")
+	traces = o.Traces.Last(1)
+	if traces[0].BatchID != 4 || !traces[0].Panicked {
+		t.Fatalf("synthesized trace: %+v", traces[0])
 	}
 }
 

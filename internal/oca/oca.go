@@ -144,3 +144,28 @@ func (a *Aggregator) Flush() []*graph.Batch {
 
 // Stats returns the aggregator's activity counters.
 func (a *Aggregator) Stats() Stats { return a.stats }
+
+// Audit returns the structured decision-audit record for one batch's
+// scheduling outcome: the locality estimate in effect, the threshold
+// it was compared against, and whether the round ran now ("compute"),
+// covered more than one batch ("aggregate"), or was pushed to merge
+// with the next batch ("defer"). The pipeline fills in the realized
+// compute cost once the round actually runs.
+func (a *Aggregator) Audit(batchID int, deferred bool, batches int) obs.DecisionAudit {
+	choice := "compute"
+	switch {
+	case deferred:
+		choice = "defer"
+	case batches > 1:
+		choice = "aggregate"
+	}
+	return obs.DecisionAudit{
+		Controller: "oca",
+		BatchID:    batchID,
+		Input:      "locality",
+		Observed:   a.locality,
+		Threshold:  a.cfg.threshold(),
+		Sampled:    true,
+		Choice:     choice,
+	}
+}

@@ -140,7 +140,11 @@ func (r *Runner) ProcessBatchIsolated(b *graph.Batch) (bm BatchMetrics, err erro
 	defer func() {
 		if v := recover(); v != nil {
 			err = &PanicError{BatchID: b.ID, Value: v, Stack: debug.Stack()}
-			r.cfg.Obs.ObservePanic(b.ID, len(b.Edges), r.cfg.Policy.String(), v)
+			// The in-flight trace (if StartBatch ran before the panic)
+			// carries the batch's partial span tree; ObservePanic closes
+			// its root span with the panicked attribute.
+			r.cfg.Obs.ObservePanic(r.activeTrace, b.ID, len(b.Edges), r.cfg.Policy.String(), v)
+			r.activeTrace = nil
 		}
 	}()
 	return r.ProcessBatch(b), nil
@@ -153,7 +157,7 @@ func (r *Runner) FinishIsolated() (err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &PanicError{BatchID: -1, Value: v, Stack: debug.Stack()}
-			r.cfg.Obs.ObservePanic(-1, 0, r.cfg.Policy.String(), v)
+			r.cfg.Obs.ObservePanic(nil, -1, 0, r.cfg.Policy.String(), v)
 		}
 	}()
 	r.Finish()

@@ -25,6 +25,7 @@ import (
 	"streamgraph/internal/obs"
 	"streamgraph/internal/oca"
 	"streamgraph/internal/sim"
+	"streamgraph/internal/stats"
 	"streamgraph/internal/update"
 )
 
@@ -267,6 +268,16 @@ type Runner struct {
 	pressure func() float64
 	shedLast ShedLevel
 
+	// activeTrace is the trace of the batch currently inside
+	// ProcessBatch, kept so the isolation boundary (harden.go) can close
+	// its span tree when a panic unwinds past the normal emit path. Read
+	// and written only by the ProcessBatch goroutine.
+	activeTrace *obs.BatchTrace
+
+	// model is the per-edge update cost model behind the decision
+	// audits' regret accounting (regret.go). ProcessBatch-goroutine only.
+	model costModel
+
 	// mu guards metrics: the ConcurrentCompute goroutine fills a
 	// batch's Compute/AggregatedBatches fields after ProcessBatch has
 	// returned, so concurrent readers must go through MetricsSnapshot.
@@ -363,14 +374,26 @@ func (r *Runner) appendMetrics(bm BatchMetrics) int {
 func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 	// One async round may be in flight; it must drain before this
 	// batch's update mutates the store's metrics slot invariants.
+	r.activeTrace = nil
 	r.waitCompute()
 
 	o := r.cfg.Obs
-	tr := o.StartBatch(b.ID, len(b.Edges), r.cfg.Policy.String())
+	tr := o.StartBatch(b.ID, len(b.Edges), r.cfg.Policy.String(), b.TraceID)
+	r.activeTrace = tr
 	shed := r.shedStep(tr)
 
 	var bm BatchMetrics
 	bm.BatchID = b.ID
+
+	if tr != nil && len(b.Edges) > 0 {
+		del := 0
+		for i := range b.Edges {
+			if b.Edges[i].Delete {
+				del++
+			}
+		}
+		tr.DeleteRatio = float64(del) / float64(len(b.Edges))
+	}
 
 	// Injected store-latency spikes and update panics fire here,
 	// before any store mutation: a recovered update panic leaves the
@@ -384,9 +407,18 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 		r.processSoftware(b, &bm, tr, shed)
 	}
 
+	// Run-shape telemetry from the reordered path's destination runs
+	// (absent on baseline-engine batches).
+	if tr != nil && len(bm.Stats.DstRunLens) > 0 && len(b.Edges) > 0 {
+		mean, max := stats.RunShape(bm.Stats.DstRunLens)
+		tr.MeanRunLen = mean
+		tr.MaxRunLen = max
+		tr.DegreeSkew = float64(max) / float64(len(b.Edges))
+	}
+
 	// OCA: feed locality from this batch's counters when instrumented
 	// (active batches under adaptive policies; every batch otherwise).
-	endOCA := tr.Span("oca_decide")
+	ocaSpan := tr.StartSpan("oca_decide")
 	if bm.ABRActive || !r.cfg.Policy.adaptive() {
 		r.agg.Observe(bm.Stats.UniqueVerts, bm.Stats.OverlapVerts)
 	}
@@ -404,7 +436,10 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 			toCompute = r.agg.Next(b)
 		}
 	}
-	endOCA()
+	ocaSpan.End()
+	// ocaIdx locates the OCA audit so the compute path (possibly on the
+	// overlapped goroutine) can fill in the round's realized cost.
+	ocaIdx := -1
 	if tr != nil {
 		tr.ABRActive = bm.ABRActive
 		tr.Reordered = bm.Reordered
@@ -416,6 +451,11 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 		tr.LocalityThreshold = r.cfg.OCA.EffectiveThreshold()
 		tr.ComputeDeferred = r.cfg.Compute != nil && len(toCompute) == 0 &&
 			(!r.cfg.OCA.Disabled || shed >= ShedSkipCompute)
+		if r.cfg.Compute != nil {
+			tr.Decisions = append(tr.Decisions,
+				r.agg.Audit(b.ID, tr.ComputeDeferred, len(toCompute)))
+			ocaIdx = len(tr.Decisions) - 1
+		}
 	}
 
 	if r.cfg.Compute != nil {
@@ -451,8 +491,11 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 				r.metrics.Batches[slot].AggregatedBatches = len(toCompute)
 				r.mu.Unlock()
 				if tr != nil {
-					tr.AddSpan("compute", cs, d)
+					tr.AddDerivedSpan(nil, "compute", cs, d)
 					tr.AggregatedBatches = len(toCompute)
+					if ocaIdx >= 0 {
+						tr.Decisions[ocaIdx].RealizedNs = d.Nanoseconds()
+					}
 					o.EmitBatch(tr)
 				}
 			}(r.computeCh)
@@ -464,9 +507,12 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 			r.cfg.Compute.Update(r.store, toCompute...)
 			bm.Compute = time.Since(cs)
 			bm.AggregatedBatches = len(toCompute)
-			tr.AddSpan("compute", cs, bm.Compute)
+			tr.AddDerivedSpan(nil, "compute", cs, bm.Compute)
 			if tr != nil {
 				tr.AggregatedBatches = len(toCompute)
+				if ocaIdx >= 0 {
+					tr.Decisions[ocaIdx].RealizedNs = bm.Compute.Nanoseconds()
+				}
 			}
 		}
 	}
@@ -536,9 +582,9 @@ func (r *Runner) decide(b *graph.Batch) (active, reorderNow bool) {
 func (r *Runner) processSoftware(b *graph.Batch, bm *BatchMetrics, tr *obs.BatchTrace, shed ShedLevel) {
 	var active, reorderNow bool
 	if shed < ShedForceBaseline {
-		endDecide := tr.Span("abr_decide")
+		decideSpan := tr.StartSpan("abr_decide")
 		active, reorderNow = r.decide(b)
-		endDecide()
+		decideSpan.End()
 	}
 	bm.ABRActive = active
 	bm.Reordered = reorderNow
@@ -547,27 +593,50 @@ func (r *Runner) processSoftware(b *graph.Batch, bm *BatchMetrics, tr *obs.Batch
 	if tr != nil {
 		tr.Engine = eng.Name()
 	}
-	endUpdate := tr.Span("update")
+	updateSpan := tr.StartSpan("update")
 	start := time.Now()
 	st := eng.Apply(r.store, b)
 	if active {
 		// Instrumentation overlapped with the update: the reordered
 		// path reads run lengths; the non-reordered path pays the
 		// concurrent-hash-map pass.
-		endInstr := tr.Span("abr_instrument")
+		instrSpan := updateSpan.StartChild("abr_instrument")
 		var cad float64
 		if reorderNow {
 			cad = abr.CADFromRuns(st.DstRunLens, r.cfg.ABRParams.Lambda)
 		} else {
 			cad = abr.CollectConcurrent(b, r.cfg.ABRParams.Lambda, r.cfg.Workers)
 		}
-		endInstr()
+		instrSpan.End()
 		r.controller.Report(cad)
 		bm.CAD = cad
 	}
 	bm.Update = time.Since(start)
-	endUpdate()
+	// The engine reports its reorder sort as a duration; promote it to
+	// a child span of the update so per-phase breakdowns can separate
+	// reorder cost from raw ingestion.
+	if st.Sort > 0 {
+		tr.AddDerivedSpan(updateSpan, "reorder", start, st.Sort)
+	}
+	updateSpan.End()
 	bm.Stats = st
+
+	// Decision audit + regret: record what ABR chose, what it cost, and
+	// what the cost model says the other mode would have cost.
+	if o := r.cfg.Obs; o != nil && tr != nil {
+		audit := r.controller.Audit(b.ID, active, bm.CAD, reorderNow)
+		audit.RealizedNs = bm.Update.Nanoseconds()
+		if est := r.model.estimateAlt(reorderNow, len(b.Edges)); est > 0 {
+			audit.EstAltNs = est
+			if audit.RealizedNs > est {
+				audit.Regret = true
+				o.ABRMispredictTotal.Inc()
+				o.ABRRegretNs.Add(audit.RealizedNs - est)
+			}
+		}
+		tr.Decisions = append(tr.Decisions, audit)
+	}
+	r.model.observe(reorderNow, len(b.Edges), bm.Update.Nanoseconds())
 
 	// Online feedback tuning: feed the active batch's outcome and
 	// rebuild the controller when TH moved.
@@ -604,9 +673,9 @@ func (r *Runner) pickEngine(reorderNow bool) update.Engine {
 // processSim runs one batch on the simulated machine, then applies it
 // functionally so compute and subsequent batches see real state.
 func (r *Runner) processSim(b *graph.Batch, bm *BatchMetrics, tr *obs.BatchTrace) {
-	endDecide := tr.Span("abr_decide")
+	decideSpan := tr.StartSpan("abr_decide")
 	active, reorderNow := r.decide(b)
-	endDecide()
+	decideSpan.End()
 	bm.ABRActive = active
 	bm.Reordered = reorderNow
 
@@ -646,7 +715,7 @@ func (r *Runner) processSim(b *graph.Batch, bm *BatchMetrics, tr *obs.BatchTrace
 	if tr != nil {
 		tr.Engine = r.simulator.Mode.String()
 	}
-	endUpdate := tr.Span("update")
+	updateSpan := tr.StartSpan("update")
 	res := r.simulator.SimulateBatch(b, r.store)
 	bm.SimCycles = res.Cycles
 	bm.HAUResult = &res
@@ -664,5 +733,5 @@ func (r *Runner) processSim(b *graph.Batch, bm *BatchMetrics, tr *obs.BatchTrace
 		bm.CAD = cad
 		bm.SimCycles += r.simulator.SimulateInstrumentation(b, reorderNow)
 	}
-	endUpdate()
+	updateSpan.End()
 }

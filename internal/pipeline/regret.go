@@ -1,0 +1,55 @@
+package pipeline
+
+// costModel tracks the per-edge update cost of the two engine-mode
+// families (baseline vs reordered) as exponentially weighted moving
+// averages, giving the decision audit a counterfactual: what would
+// this batch have cost on the path ABR did not choose? When the
+// realized cost exceeds that estimate the decision is flagged as a
+// regret — the realized-vs-best accounting that grounds the planned
+// cost-model-driven controller (ROADMAP item 4).
+//
+// The model is deliberately coarse (two scalars, updated once per
+// batch off the hot path): it cannot see per-batch shape effects, so
+// its estimates are advisory, never fed back into the decision.
+type costModel struct {
+	perEdgeNs [2]float64
+	seen      [2]bool
+}
+
+// costModelAlpha weights the newest batch in the EWMA: high enough to
+// track phase changes in the stream, low enough to ride out one
+// outlier batch.
+const costModelAlpha = 0.3
+
+func modeIndex(reordered bool) int {
+	if reordered {
+		return 1
+	}
+	return 0
+}
+
+// observe feeds one batch's realized per-edge cost into the chosen
+// mode's average.
+func (m *costModel) observe(reordered bool, edges int, realizedNs int64) {
+	if edges <= 0 || realizedNs <= 0 {
+		return
+	}
+	per := float64(realizedNs) / float64(edges)
+	i := modeIndex(reordered)
+	if !m.seen[i] {
+		m.perEdgeNs[i] = per
+		m.seen[i] = true
+		return
+	}
+	m.perEdgeNs[i] = costModelAlpha*per + (1-costModelAlpha)*m.perEdgeNs[i]
+}
+
+// estimateAlt returns the estimated cost of running edges on the mode
+// NOT chosen, or 0 when that mode has no history yet.
+func (m *costModel) estimateAlt(reordered bool, edges int) int64 {
+	j := 1 - modeIndex(reordered)
+	if !m.seen[j] || edges <= 0 {
+		return 0
+	}
+	return int64(m.perEdgeNs[j] * float64(edges))
+}

@@ -1,0 +1,199 @@
+package pipeline
+
+import (
+	"testing"
+
+	"streamgraph/internal/compute"
+	"streamgraph/internal/obs"
+)
+
+// checkBatchSpanTree asserts one emitted trace carries a well-formed
+// span tree: exactly one root ("batch", no parent), every other span
+// parented inside the trace, and consistent trace/batch IDs.
+func checkBatchSpanTree(t *testing.T, tr obs.BatchTrace) {
+	t.Helper()
+	if len(tr.Spans) == 0 {
+		t.Fatalf("batch %d: no spans emitted", tr.BatchID)
+	}
+	ids := make(map[uint64]bool, len(tr.Spans))
+	roots := 0
+	for _, s := range tr.Spans {
+		if ids[s.SpanID] {
+			t.Fatalf("batch %d: duplicate span ID %d", tr.BatchID, s.SpanID)
+		}
+		ids[s.SpanID] = true
+		if s.TraceID != tr.TraceID {
+			t.Fatalf("batch %d: span %q has trace ID %d, trace has %d",
+				tr.BatchID, s.Stage, s.TraceID, tr.TraceID)
+		}
+		if s.BatchID != tr.BatchID {
+			t.Fatalf("batch %d: span %q tagged with batch %d",
+				tr.BatchID, s.Stage, s.BatchID)
+		}
+		if s.DurNs < 0 {
+			t.Fatalf("batch %d: span %q has negative duration", tr.BatchID, s.Stage)
+		}
+		if s.ParentID == 0 {
+			if s.Stage != "batch" {
+				t.Fatalf("batch %d: parentless span %q is not the root", tr.BatchID, s.Stage)
+			}
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("batch %d: %d root spans, want exactly 1", tr.BatchID, roots)
+	}
+	for _, s := range tr.Spans {
+		if s.ParentID != 0 && !ids[s.ParentID] {
+			t.Fatalf("batch %d: span %q parent %d not in trace",
+				tr.BatchID, s.Stage, s.ParentID)
+		}
+	}
+}
+
+// TestPipelineSpanTrees drives the full software pipeline and asserts
+// the flight-recorder contract: every processed batch produces a
+// complete span tree (ingestion stages through compute) and decision
+// audits joinable to it by batch ID.
+func TestPipelineSpanTrees(t *testing.T) {
+	batches, verts := batchesFor("wiki", 2000, 6)
+	o := obs.New(obs.Options{})
+	r := NewRunner(Config{
+		Policy:  ABRUSC,
+		Workers: 2,
+		Compute: &compute.PageRank{Incremental: true, Workers: 2},
+		Obs:     o,
+	}, verts)
+	for _, b := range batches {
+		r.ProcessBatch(b)
+	}
+	r.Finish()
+
+	traces := o.Traces.Last(0)
+	if len(traces) != len(batches) {
+		t.Fatalf("%d traces, want %d", len(traces), len(batches))
+	}
+	seenSpanIDs := make(map[uint64]bool)
+	seenTraceIDs := make(map[uint64]bool)
+	for _, tr := range traces {
+		checkBatchSpanTree(t, tr)
+		if seenTraceIDs[tr.TraceID] {
+			t.Fatalf("trace ID %d reused across batches", tr.TraceID)
+		}
+		seenTraceIDs[tr.TraceID] = true
+		stages := make(map[string]int)
+		for _, s := range tr.Spans {
+			if seenSpanIDs[s.SpanID] {
+				t.Fatalf("span ID %d reused across traces", s.SpanID)
+			}
+			seenSpanIDs[s.SpanID] = true
+			stages[s.Stage]++
+		}
+		for _, want := range []string{"batch", "abr_decide", "update", "oca_decide"} {
+			if stages[want] != 1 {
+				t.Fatalf("batch %d: stage %q appears %d times, want 1 (stages: %v)",
+					tr.BatchID, want, stages[want], stages)
+			}
+		}
+
+		// Audit joinability: every decision carries the trace's batch ID,
+		// and an ABRUSC-with-compute run records both controllers.
+		byController := make(map[string]int)
+		for _, d := range tr.Decisions {
+			if d.BatchID != tr.BatchID {
+				t.Fatalf("batch %d: %s decision tagged with batch %d",
+					tr.BatchID, d.Controller, d.BatchID)
+			}
+			byController[d.Controller]++
+		}
+		if byController["abr"] != 1 || byController["oca"] != 1 {
+			t.Fatalf("batch %d: decisions by controller = %v, want one abr and one oca",
+				tr.BatchID, byController)
+		}
+	}
+	// Realized costs flow back into the audits: the ABR decision's
+	// realized update time must match the update span's order of
+	// magnitude (both measure the same stage).
+	var realized bool
+	for _, tr := range traces {
+		for _, d := range tr.Decisions {
+			if d.Controller == "abr" && d.RealizedNs > 0 {
+				realized = true
+			}
+		}
+	}
+	if !realized {
+		t.Fatal("no ABR decision recorded a realized cost")
+	}
+	if o.SpanMisuseTotal.Value() != 0 {
+		t.Fatalf("span misuse counted: %d", o.SpanMisuseTotal.Value())
+	}
+}
+
+// TestPipelineSpanTreesConcurrentCompute re-runs the span-tree
+// contract with the async compute path: the compute span is derived
+// on the compute goroutine after ProcessBatch returned, interleaving
+// with the next batch's spans, and the OCA audit's realized cost is
+// backfilled from that goroutine. Run under -race this also guards
+// the emission ordering (EmitBatch is the publication point).
+func TestPipelineSpanTreesConcurrentCompute(t *testing.T) {
+	batches, verts := batchesFor("fb", 2000, 8)
+	o := obs.New(obs.Options{})
+	r := NewRunner(Config{
+		Policy:            ABRUSC,
+		Workers:           2,
+		Compute:           &compute.PageRank{Incremental: true, Workers: 2},
+		ConcurrentCompute: true,
+		Obs:               o,
+	}, verts)
+
+	// Poll the flight recorder while batches stream, as /trace/spans
+	// does in production; -race validates the ring's locking against
+	// the compute goroutine's emissions.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range o.Spans.Last(8) {
+				_ = ev.Stage
+			}
+		}
+	}()
+	for _, b := range batches {
+		r.ProcessBatch(b)
+	}
+	r.Finish()
+	close(stop)
+	<-done
+
+	traces := o.Traces.Last(0)
+	if len(traces) != len(batches) {
+		t.Fatalf("%d traces, want %d", len(traces), len(batches))
+	}
+	computeRounds := 0
+	for _, tr := range traces {
+		checkBatchSpanTree(t, tr)
+		for _, s := range tr.Spans {
+			if s.Stage == "compute" {
+				computeRounds++
+			}
+		}
+		for _, d := range tr.Decisions {
+			if d.Controller == "oca" && d.Choice != "defer" && d.RealizedNs <= 0 {
+				t.Fatalf("batch %d: oca %s decision missing realized cost", tr.BatchID, d.Choice)
+			}
+		}
+	}
+	if computeRounds == 0 {
+		t.Fatal("no compute spans recorded across the run")
+	}
+	if o.SpanMisuseTotal.Value() != 0 {
+		t.Fatalf("span misuse counted: %d", o.SpanMisuseTotal.Value())
+	}
+}

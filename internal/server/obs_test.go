@@ -192,6 +192,7 @@ func TestMethodNotAllowed(t *testing.T) {
 		{http.MethodPost, "/metrics", "GET"},
 		{http.MethodPost, "/metrics.json", "GET"},
 		{http.MethodPost, "/trace", "GET"},
+		{http.MethodPost, "/trace/spans", "GET"},
 		{http.MethodPost, "/rank", "GET"},
 		{http.MethodDelete, "/snapshot", "GET"},
 	}
@@ -240,5 +241,131 @@ func TestJSONContentTypes(t *testing.T) {
 	resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("POST /batch Content-Type = %q", ct)
+	}
+}
+
+// TestTraceSpansEndpoint: the span flight recorder streams as JSON
+// lines, joinable to /trace by trace ID — the server's ingest and
+// admission spans carry the same trace ID the pipeline's batch tree
+// gets.
+func TestTraceSpansEndpoint(t *testing.T) {
+	ts := newObservedServer(t)
+	postBatch(t, ts, `[{"src":1,"dst":2},{"src":2,"dst":3}]`)
+	postBatch(t, ts, `[{"src":3,"dst":4}]`)
+
+	resp, err := http.Get(ts.URL + "/trace/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var events []map[string]any
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var ev map[string]any
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+
+	// Each ingested batch contributes the server-side spans (ingest,
+	// admission) plus the pipeline tree (batch root, update, ...).
+	stages := make(map[string]int)
+	byTrace := make(map[float64]map[string]bool)
+	for _, ev := range events {
+		stage := ev["stage"].(string)
+		stages[stage]++
+		id := ev["traceId"].(float64)
+		if byTrace[id] == nil {
+			byTrace[id] = make(map[string]bool)
+		}
+		byTrace[id][stage] = true
+		if ev["spanId"].(float64) <= 0 {
+			t.Fatalf("span %q missing spanId: %v", stage, ev)
+		}
+		if _, ok := ev["durNs"]; !ok {
+			t.Fatalf("span %q missing durNs: %v", stage, ev)
+		}
+	}
+	for _, want := range []string{"ingest", "admission", "batch", "update"} {
+		if stages[want] != 2 {
+			t.Fatalf("stage %q appears %d times, want 2 (stages: %v)", want, stages[want], stages)
+		}
+	}
+	// Joinability: every trace that has the server-side spans also has
+	// the pipeline's batch root under the same trace ID.
+	joined := 0
+	for id, st := range byTrace {
+		if st["ingest"] && st["admission"] {
+			if !st["batch"] || !st["update"] {
+				t.Fatalf("trace %v has server spans but no pipeline tree: %v", id, st)
+			}
+			joined++
+		}
+	}
+	if joined != 2 {
+		t.Fatalf("%d joined traces, want 2", joined)
+	}
+
+	// ?n=1 returns exactly the newest event.
+	resp, err = http.Get(ts.URL + "/trace/spans?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("?n=1 returned %d lines", n)
+	}
+
+	// Bad n values.
+	for _, q := range []string{"?n=0", "?n=-3", "?n=x"} {
+		r, _ := http.Get(ts.URL + "/trace/spans" + q)
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("/trace/spans%s status %d, want 400", q, r.StatusCode)
+		}
+	}
+}
+
+func TestTraceSpansDisabledWithoutObserver(t *testing.T) {
+	ts := newTestServer(t, streamgraph.AnalyticsNone)
+	resp, err := http.Get(ts.URL + "/trace/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/trace/spans without observer: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsJSONTraceDropped: /metrics.json exposes the flight
+// recorder's drop accounting for both rings.
+func TestMetricsJSONTraceDropped(t *testing.T) {
+	ts := newObservedServer(t)
+	postBatch(t, ts, `[{"src":1,"dst":2}]`)
+	resp, err := http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		TraceDropped map[string]float64 `json:"traceDropped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceDropped == nil {
+		t.Fatal("metrics.json missing traceDropped")
+	}
+	for _, ring := range []string{"decisions", "spans"} {
+		if v, ok := out.TraceDropped[ring]; !ok || v < 0 {
+			t.Fatalf("traceDropped[%q] = %v, ok=%v", ring, v, ok)
+		}
 	}
 }

@@ -154,6 +154,7 @@ func NewWithOptions(sys *streamgraph.System, opts Options) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /trace", s.handleTrace)
+	s.mux.HandleFunc("GET /trace/spans", s.handleTraceSpans)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	return s
 }
@@ -236,7 +237,13 @@ func ParseBatch(r io.Reader, opts Options) ([]streamgraph.Edge, error) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	// One trace ID per ingest request: the parse and admission spans
+	// recorded here (batch ID -1 — no batch exists yet) join the span
+	// tree the pipeline builds once the batch is created.
+	traceID := s.obs.NextTraceID()
+	ingest := s.obs.StartSpan(traceID, -1, "ingest")
 	edges, err := ParseBatch(r.Body, s.opts)
+	ingest.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -244,10 +251,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Admission: non-blocking. A full queue answers 429 immediately —
 	// overload is the client's signal to back off, not the server's
-	// cue to accumulate goroutines.
+	// cue to accumulate goroutines. The admission span covers queue
+	// entry through processing-token acquisition: the time the batch
+	// spent waiting, the quantity the load-shed ladder keys on.
+	admission := s.obs.StartSpan(traceID, -1, "admission")
 	select {
 	case s.admit <- struct{}{}:
 	default:
+		admission.End()
 		s.statsMu.Lock()
 		s.rejected++
 		s.statsMu.Unlock()
@@ -258,6 +269,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer func() { <-s.admit }()
 
 	release, ok := s.acquire(r)
+	admission.End()
 	if !ok {
 		// The token never transferred: the batch was NOT applied, so
 		// the client may safely retry.
@@ -268,7 +280,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "queue timeout: batch not applied", http.StatusServiceUnavailable)
 		return
 	}
-	res, aerr := s.sys.ApplyBatchIsolated(edges)
+	res, aerr := s.sys.ApplyBatchIsolatedTraced(edges, traceID)
 	release()
 
 	if aerr != nil {
@@ -453,6 +465,10 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	s.statsMu.Unlock()
 	if s.obs != nil {
 		out["metrics"] = s.obs.Registry.Snapshot()
+		out["traceDropped"] = map[string]any{
+			"decisions": s.obs.TraceDroppedDecisions.Value(),
+			"spans":     s.obs.TraceDroppedSpans.Value(),
+		}
 	}
 	writeJSON(w, out)
 }
@@ -481,6 +497,35 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		traces = []streamgraph.BatchTrace{}
 	}
 	writeJSON(w, traces)
+}
+
+// handleTraceSpans streams the span flight recorder as JSON lines
+// (newest last): one SpanEvent per line, the same format as the
+// sgserve -span-log file sink. ?n= bounds the count; default and
+// maximum are the ring capacity.
+func (s *Server) handleTraceSpans(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil || s.obs.Spans == nil {
+		http.Error(w, "span tracing disabled: server started without an observer",
+			http.StatusNotFound)
+		return
+	}
+	n := 0 // all stored events
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			http.Error(w, "bad span count parameter n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	events := s.obs.Spans.Last(n)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return
+		}
+	}
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

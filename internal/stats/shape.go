@@ -1,0 +1,21 @@
+package stats
+
+// RunShape summarizes a batch's per-vertex destination run lengths as
+// recorded by the reordered update path (update.Stats.DstRunLens):
+// the mean run length and the longest run. The longest run divided by
+// the batch size is the batch's degree skew — the share of the batch
+// aimed at its single hottest vertex, the quantity that predicts lock
+// convoys on the baseline engine.
+func RunShape(lens []int) (mean float64, max int) {
+	if len(lens) == 0 {
+		return 0, 0
+	}
+	total := 0
+	for _, l := range lens {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	return float64(total) / float64(len(lens)), max
+}

@@ -11,6 +11,7 @@
 #
 #   10 gofmt   11 go vet   12 staticcheck   13 sglint
 #   14 go build   15 go test -race   16 stress soak
+#   17 bench trajectory
 #
 # CI (.github/workflows/ci.yml) runs the same gates as separate jobs
 # plus fuzz, bench, and stress smoke.
@@ -86,6 +87,16 @@ echo "== stress soak =="
 # engaged, final state oracle-verified — see internal/stress.
 STRESS_SOAK_FULL=1 go test -race -count=1 -run '^TestSoak$' ./internal/stress
 record "stress soak" $? 16
+
+echo "== bench trajectory =="
+# Quick adversarial engine×store matrix with span-derived per-phase
+# breakdowns, gated per-phase (ns/edge) against the committed
+# baseline. Refresh the baseline deliberately with
+#   go run ./cmd/sgbench -experiment -quick -experiment-write-baseline \
+#       -experiment-out BENCH_baseline.json
+go run ./cmd/sgbench -experiment -quick -experiment-out BENCH_trajectory.json \
+    -experiment-baseline BENCH_baseline.json
+record "bench trajectory" $? 17
 
 echo
 echo "== summary =="

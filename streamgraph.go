@@ -365,10 +365,19 @@ func (s *System) ApplyBatch(edges []Edge) (Result, error) {
 // failed attempt keeps its batch ID; IDs number attempts, not
 // successes.
 func (s *System) ApplyBatchIsolated(edges []Edge) (Result, error) {
+	return s.ApplyBatchIsolatedTraced(edges, 0)
+}
+
+// ApplyBatchIsolatedTraced is ApplyBatchIsolated with an explicit
+// trace ID: the server allocates one per ingest request (see
+// Observer.NextTraceID) so request-level spans recorded before the
+// batch existed — parse, admission — join the batch's span tree.
+// traceID 0 lets the pipeline allocate a fresh one.
+func (s *System) ApplyBatchIsolatedTraced(edges []Edge, traceID uint64) (Result, error) {
 	if len(edges) == 0 {
 		return Result{}, errors.New("streamgraph: empty batch")
 	}
-	b := &graph.Batch{ID: s.nextID, Edges: edges}
+	b := &graph.Batch{ID: s.nextID, TraceID: traceID, Edges: edges}
 	s.nextID++
 	bm, err := s.runner.ProcessBatchIsolated(b)
 	if err != nil {
