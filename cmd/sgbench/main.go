@@ -17,6 +17,16 @@
 //	sgbench -ci ci/bench-baseline.json -ci-write-baseline
 //	                                                   # refresh the baseline (halved)
 //
+// Store head-to-head mode (no -exp):
+//
+//	sgbench -store-experiment -quick                   # race all stores, write
+//	                                                   # BENCH_storecmp.json
+//	sgbench -store-experiment -quick -store-baseline BENCH_store.json
+//	                                                   # ...and gate vs baseline
+//	sgbench -store-experiment -quick -store-write-baseline -store-out BENCH_store.json
+//	                                                   # refresh the baseline (doubled)
+//	sgbench -validate-baselines                        # preflight committed baselines
+//
 // Fault-injected soak mode (no -exp):
 //
 //	sgbench -soak 5m -soak-clients 8 -soak-fault mixed # long-running concurrency
@@ -65,6 +75,14 @@ func main() {
 		expTol      = flag.Float64("experiment-tolerance", 0.20, "with -experiment-baseline: allowed fractional regression")
 		expWrite    = flag.Bool("experiment-write-baseline", false, "with -experiment: double the measured phase costs and write them as a baseline")
 
+		storeMode     = flag.Bool("store-experiment", false, "store head-to-head mode: race every graph store (and the adaptive store with live migration) on the adversarial workloads")
+		storeOut      = flag.String("store-out", "BENCH_storecmp.json", "with -store-experiment: write the JSON report here")
+		storeBaseline = flag.String("store-baseline", "", "with -store-experiment: fail on per-phase ns/edge regression vs this baseline file")
+		storeTol      = flag.Float64("store-tolerance", 0.20, "with -store-baseline: allowed fractional regression")
+		storeWrite    = flag.Bool("store-write-baseline", false, "with -store-experiment: double the measured phase costs and write them as a baseline")
+
+		validateBaselines = flag.Bool("validate-baselines", false, "validate the committed BENCH_*.json gate baselines (existence, JSON, schema version) and exit")
+
 		soak        = flag.Duration("soak", 0, "soak mode: run the fault-injected concurrency soak for this long (e.g. 5m)")
 		soakClients = flag.Int("soak-clients", 8, "with -soak: concurrent clients")
 		soakFault   = flag.String("soak-fault", "mixed", "with -soak: fault profile (off|latency|stall|panic|mixed)")
@@ -77,6 +95,12 @@ func main() {
 	}
 	if *expMode {
 		os.Exit(runTrajectory(*expOut, *expBaseline, *expTol, *expWrite, *quick, *workers))
+	}
+	if *storeMode {
+		os.Exit(runStoreCompare(*storeOut, *storeBaseline, *storeTol, *storeWrite, *quick))
+	}
+	if *validateBaselines {
+		os.Exit(runValidateBaselines())
 	}
 	if *soak > 0 {
 		os.Exit(runSoak(*soak, *soakClients, *soakFault, *soakSeed))
@@ -266,6 +290,85 @@ func runTrajectory(out, baselinePath string, tolerance float64, writeBaseline, q
 	}
 	fmt.Printf("trajectory gate passed vs %s (tolerance %.0f%%)\n", baselinePath, tolerance*100)
 	return 0
+}
+
+// runStoreCompare is the store head-to-head entry point: race every
+// store (plus the adaptive store under live migration) on the
+// adversarial workloads through the shared Mutable ingestion path,
+// write the trajectory-schema report, and (when a baseline is given)
+// gate per-phase ns/edge against it.
+func runStoreCompare(out, baselinePath string, tolerance float64, writeBaseline, quick bool) int {
+	res, err := bench.RunStoreCompare(quick)
+	if err != nil {
+		// A partial run must not produce a report that could gate clean
+		// or become a too-easy baseline.
+		fmt.Fprintln(os.Stderr, "sgbench: partial store run, refusing to write", out+":", err)
+		return 1
+	}
+	if writeBaseline {
+		// Doubled, like the other baselines: CI runners are slower and
+		// noisier than dev machines, and the gate is for order-of-
+		// magnitude slips. Doubling every cell preserves the stores'
+		// relative standing, which is what this report documents.
+		for i := range res.Entries {
+			for name, p := range res.Entries[i].Phases {
+				p.Ns *= 2
+				p.NsPerEdge *= 2
+				res.Entries[i].Phases[name] = p
+			}
+		}
+	}
+	if err := bench.WriteTrajectory(out, res); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		return 1
+	}
+	for _, e := range res.Entries {
+		fmt.Printf("%-40s update %7.1f ns/edge\n", e.Key(), e.Phases[bench.PhaseUpdate].NsPerEdge)
+	}
+	if writeBaseline {
+		fmt.Printf("wrote baseline (measured×2) to %s\n", out)
+		return 0
+	}
+	fmt.Printf("wrote %s\n", out)
+	if baselinePath == "" {
+		return 0
+	}
+	base, err := bench.LoadTrajectory(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		return 1
+	}
+	regressions, err := bench.CompareTrajectory(res, base, tolerance)
+	for _, msg := range regressions {
+		fmt.Fprintln(os.Stderr, "sgbench: REGRESSION:", msg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+	}
+	if len(regressions) > 0 || err != nil {
+		return 1
+	}
+	fmt.Printf("store gate passed vs %s (tolerance %.0f%%)\n", baselinePath, tolerance*100)
+	return 0
+}
+
+// gateBaselines are the committed baseline files the bench gates
+// compare against; -validate-baselines preflights them so check.sh and
+// CI fail fast (with a distinct exit code) on a missing or
+// schema-mismatched baseline instead of minutes into a measurement.
+var gateBaselines = []string{"BENCH_baseline.json", "BENCH_store.json"}
+
+func runValidateBaselines() int {
+	code := 0
+	for _, p := range gateBaselines {
+		if err := bench.ValidateBaseline(p); err != nil {
+			fmt.Fprintln(os.Stderr, "sgbench:", err)
+			code = 1
+			continue
+		}
+		fmt.Printf("baseline %s ok\n", p)
+	}
+	return code
 }
 
 // writeCSV dumps one result table for external plotting.

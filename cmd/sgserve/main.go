@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"streamgraph"
+	"streamgraph/internal/graph"
 	"streamgraph/internal/obs"
 	"streamgraph/internal/server"
 )
@@ -71,6 +72,7 @@ func main() {
 		faultSeed    = flag.Int64("fault-seed", 1, "fault jitter seed (with -fault)")
 		maxEdges     = flag.Int("max-batch-edges", 1<<20, "reject larger batches with 400")
 		maxVertex    = flag.Uint("max-vertex", 1<<26, "reject batches naming vertex IDs above this with 400")
+		shadowStore  = flag.String("store-shadow", "", "attach an adaptive store replica starting in this representation (adjacency|dah|hybrid|tango); reported as storeShadow in /metrics.json")
 	)
 	flag.Parse()
 
@@ -112,6 +114,12 @@ func main() {
 		log.Printf("sgserve: span log → %s", *spanLog)
 	}
 
+	if *shadowStore != "" {
+		if _, err := graph.ParseStoreKind(*shadowStore); err != nil {
+			log.Fatalf("sgserve: -store-shadow: %v", err)
+		}
+	}
+
 	spec, ok := streamgraph.FaultProfile(*faultProfile, *faultSeed)
 	if !ok {
 		log.Fatalf("sgserve: unknown fault profile %q", *faultProfile)
@@ -136,8 +144,12 @@ func main() {
 		Shed:       shed,
 		// A serving process recovers pipeline panics into 503s (with
 		// the batch not counted) instead of dying mid-stream.
-		Recover: true,
+		Recover:     true,
+		ShadowStore: *shadowStore,
 	})
+	if *shadowStore != "" {
+		log.Printf("sgserve: adaptive store shadow ON, starting as %s", *shadowStore)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", server.NewWithOptions(sys, server.Options{

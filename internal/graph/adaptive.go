@@ -1,0 +1,450 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamgraph/internal/obs"
+)
+
+// StoreKind names one of the concrete Mutable store implementations.
+// It is the unit of the adaptive store's runtime representation choice
+// and the axis of the oracle store matrix (CI STORE=<kind>).
+type StoreKind uint8
+
+const (
+	KindAdjacency StoreKind = iota
+	KindDAH
+	KindHybrid
+	KindTango
+)
+
+// String implements fmt.Stringer with the names used by CLI flags, CI
+// matrix axes, and benchmark reports.
+func (k StoreKind) String() string {
+	switch k {
+	case KindAdjacency:
+		return "adjacency"
+	case KindDAH:
+		return "dah"
+	case KindHybrid:
+		return "hybrid"
+	case KindTango:
+		return "tango"
+	}
+	return fmt.Sprintf("storekind(%d)", uint8(k))
+}
+
+// ParseStoreKind maps a flag/env value to a StoreKind.
+func ParseStoreKind(s string) (StoreKind, error) {
+	for _, k := range StoreKinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown store kind %q (want adjacency, dah, hybrid, or tango)", s)
+}
+
+// StoreKinds returns every concrete store kind, in flag order.
+func StoreKinds() []StoreKind {
+	return []StoreKind{KindAdjacency, KindDAH, KindHybrid, KindTango}
+}
+
+// NewMutableOfKind constructs a store of the given kind pre-sized for
+// n vertices.
+func NewMutableOfKind(k StoreKind, n int) Mutable {
+	switch k {
+	case KindDAH:
+		return NewDAHStore(n)
+	case KindHybrid:
+		return NewHybridStore(n)
+	case KindTango:
+		return NewTangoStore(n)
+	default:
+		return NewAdjacencyStore(n)
+	}
+}
+
+// AdaptiveOptions configures an AdaptiveStore.
+type AdaptiveOptions struct {
+	// Policy drives the migration controller; the zero value means
+	// DefaultMigrationPolicy. Set Policy.Disabled to run without a
+	// controller (migrations then happen only via BeginMigration).
+	Policy MigrationPolicy
+	// Obs, when set, receives migration spans, decision audits and
+	// counters through the flight recorder.
+	Obs *obs.Observer
+}
+
+// AdaptiveStore wraps one concrete Mutable store and can migrate the
+// live graph to a different representation while writes continue.
+//
+// Migration protocol: BeginMigration allocates the target store and a
+// vertex frontier at 0. MigrateStep advances the frontier under the
+// write lock, copying each vertex's out-adjacency into the target via
+// InsertEdge (which materializes the in-mirrors on the target side).
+// Between steps, writers run under the read lock: every mutation
+// applies to the current store, and mutations whose source vertex is
+// already behind the frontier are dual-written to the target, so
+// copied state never goes stale. When the frontier passes the last
+// vertex the target is swapped in and the old store is dropped. Reads
+// always see the current store; a batch is never split across
+// representations mid-apply because steps take the write lock.
+//
+// Concurrency: safe for concurrent use when both representations are
+// (adjacency, dah, tango). The hybrid store is not safe for concurrent
+// writers, so an AdaptiveStore currently at or migrating to
+// KindHybrid must be driven by one writer at a time.
+type AdaptiveStore struct {
+	mu       sync.RWMutex
+	cur      Mutable
+	kind     StoreKind
+	next     Mutable
+	nextKind StoreKind
+	frontier int
+	copyNs   int64 // accumulated copy time of the in-flight migration
+
+	ctl *MigrationController
+	o   *obs.Observer
+
+	migrations atomic.Int64
+
+	auditMu sync.Mutex
+	audits  []obs.DecisionAudit
+}
+
+// maxStoredAudits bounds the standalone audit log (sginspect replay,
+// tests); the flight recorder's own ring is bounded separately.
+const maxStoredAudits = 256
+
+// NewAdaptiveStore returns an adaptive store starting in the given
+// representation, pre-sized for n vertices.
+func NewAdaptiveStore(kind StoreKind, n int, opt AdaptiveOptions) *AdaptiveStore {
+	a := &AdaptiveStore{
+		cur:  NewMutableOfKind(kind, n),
+		kind: kind,
+		o:    opt.Obs,
+	}
+	if !opt.Policy.Disabled {
+		if opt.Policy == (MigrationPolicy{}) {
+			opt.Policy = DefaultMigrationPolicy()
+		}
+		a.ctl = NewMigrationController(opt.Policy)
+	}
+	return a
+}
+
+// Kind returns the current representation.
+func (a *AdaptiveStore) Kind() StoreKind {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.kind
+}
+
+// Migrating reports the in-flight migration target, if any.
+func (a *AdaptiveStore) Migrating() (StoreKind, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.nextKind, a.next != nil
+}
+
+// Migrations returns the number of completed representation switches.
+func (a *AdaptiveStore) Migrations() int64 { return a.migrations.Load() }
+
+// Audits returns a copy of the retained migration decision audits,
+// oldest first.
+func (a *AdaptiveStore) Audits() []obs.DecisionAudit {
+	a.auditMu.Lock()
+	defer a.auditMu.Unlock()
+	out := make([]obs.DecisionAudit, len(a.audits))
+	copy(out, a.audits)
+	return out
+}
+
+func (a *AdaptiveStore) addAudit(d obs.DecisionAudit, tr *obs.BatchTrace) {
+	if tr != nil {
+		tr.Decisions = append(tr.Decisions, d)
+	}
+	a.auditMu.Lock()
+	if len(a.audits) >= maxStoredAudits {
+		copy(a.audits, a.audits[1:])
+		a.audits = a.audits[:len(a.audits)-1]
+	}
+	a.audits = append(a.audits, d)
+	a.auditMu.Unlock()
+}
+
+// BeginMigration starts migrating the live graph to the given kind.
+// Returns false when a migration is already in flight or to is the
+// current kind.
+func (a *AdaptiveStore) BeginMigration(to StoreKind) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.next != nil || to == a.kind {
+		return false
+	}
+	a.next = NewMutableOfKind(to, a.cur.NumVertices())
+	a.nextKind = to
+	a.frontier = 0
+	a.copyNs = 0
+	return true
+}
+
+// MigrateStep copies up to maxVerts vertices into the migration target
+// and reports whether the migration completed (the target swapped in).
+// No-op (false) when no migration is in flight.
+func (a *AdaptiveStore) MigrateStep(maxVerts int) bool {
+	if maxVerts <= 0 {
+		maxVerts = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.next == nil {
+		return false
+	}
+	start := time.Now()
+	n := a.cur.NumVertices()
+	end := a.frontier + maxVerts
+	if end > n {
+		end = n
+	}
+	var src VertexID
+	cp := func(nb Neighbor) {
+		a.next.InsertEdge(Edge{Src: src, Dst: nb.ID, Weight: nb.Weight})
+	}
+	for v := a.frontier; v < end; v++ {
+		src = VertexID(v)
+		a.cur.ForEachOut(src, cp)
+	}
+	a.frontier = end
+	a.copyNs += time.Since(start).Nanoseconds()
+	if o := a.o; o != nil {
+		o.StoreMigrationStepsTotal.Inc()
+		o.StoreMigrateNs.Add(time.Since(start).Nanoseconds())
+	}
+	// The vertex space can grow under dual-writes, so re-check against
+	// the current size rather than the size at BeginMigration.
+	if a.frontier < a.cur.NumVertices() {
+		return false
+	}
+	a.cur = a.next
+	a.kind = a.nextKind
+	a.next = nil
+	a.frontier = 0
+	a.migrations.Add(1)
+	if o := a.o; o != nil {
+		o.StoreMigrationsTotal.Inc()
+	}
+	return true
+}
+
+// NumVertices implements Store.
+func (a *AdaptiveStore) NumVertices() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.cur.NumVertices()
+}
+
+// NumEdges implements Store.
+func (a *AdaptiveStore) NumEdges() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.cur.NumEdges()
+}
+
+// OutDegree implements Store.
+func (a *AdaptiveStore) OutDegree(v VertexID) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.cur.OutDegree(v)
+}
+
+// InDegree implements Store.
+func (a *AdaptiveStore) InDegree(v VertexID) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.cur.InDegree(v)
+}
+
+// ForEachOut implements Store. The callback must not call back into
+// the adaptive store's write or migration methods.
+func (a *AdaptiveStore) ForEachOut(v VertexID, fn func(Neighbor)) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	a.cur.ForEachOut(v, fn)
+}
+
+// ForEachIn implements Store under the same contract as ForEachOut.
+func (a *AdaptiveStore) ForEachIn(v VertexID, fn func(Neighbor)) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	a.cur.ForEachIn(v, fn)
+}
+
+// HasEdge implements Store.
+func (a *AdaptiveStore) HasEdge(src, dst VertexID) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.cur.HasEdge(src, dst)
+}
+
+// InsertEdge implements Mutable: applied to the current store and
+// dual-written to the migration target when src is behind the frontier.
+func (a *AdaptiveStore) InsertEdge(e Edge) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.insertLocked(e)
+}
+
+// DeleteEdge implements Mutable under the same dual-write contract.
+func (a *AdaptiveStore) DeleteEdge(src, dst VertexID) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.deleteLocked(src, dst)
+}
+
+// insertLocked applies one insertion; caller holds mu (read side).
+func (a *AdaptiveStore) insertLocked(e Edge) bool {
+	created := a.cur.InsertEdge(e)
+	if a.next != nil && int(e.Src) < a.frontier {
+		a.next.InsertEdge(e)
+	}
+	return created
+}
+
+// deleteLocked applies one deletion; caller holds mu (read side).
+func (a *AdaptiveStore) deleteLocked(src, dst VertexID) bool {
+	removed := a.cur.DeleteEdge(src, dst)
+	if a.next != nil && int(src) < a.frontier {
+		a.next.DeleteEdge(src, dst)
+	}
+	return removed
+}
+
+// ApplyBatch ingests a batch with the shared HAU ordering (all
+// insertions, then all deletions), self-profiling the batch for the
+// migration controller. Returns created and removed edge counts.
+func (a *AdaptiveStore) ApplyBatch(b *Batch) (created, removed int) {
+	return a.ApplyBatchObserved(b, ProfileBatch(b, DefaultProfileLambda), nil)
+}
+
+// ApplyBatchObserved ingests a batch like ApplyBatch but takes an
+// externally observed InputProfile (the pipeline feeds ABR telemetry
+// here) and an optional batch trace to attach migration spans and
+// decision audits to.
+func (a *AdaptiveStore) ApplyBatchObserved(b *Batch, p InputProfile, tr *obs.BatchTrace) (created, removed int) {
+	inserts, deletes := b.Split()
+	a.mu.RLock()
+	for _, e := range inserts {
+		if a.insertLocked(e) {
+			created++
+		}
+	}
+	for _, e := range deletes {
+		if a.deleteLocked(e.Src, e.Dst) {
+			removed++
+		}
+	}
+	a.mu.RUnlock()
+	a.observe(b.ID, p, tr)
+	return created, removed
+}
+
+// observe advances the migration machinery after a batch: feed the
+// controller, step any in-flight migration, and start one when the
+// controller asks for it.
+func (a *AdaptiveStore) observe(batchID int, p InputProfile, tr *obs.BatchTrace) {
+	if a.ctl == nil {
+		return
+	}
+	a.ctl.Observe(p)
+	start := time.Now()
+	worked := false
+
+	if _, inFlight := a.Migrating(); inFlight {
+		worked = true
+		fromNs := a.migrationNs()
+		if a.MigrateStep(a.ctl.pol.StepVertices) {
+			a.addAudit(obs.DecisionAudit{
+				Controller: "store",
+				BatchID:    batchID,
+				Input:      "migration_frontier",
+				Observed:   float64(a.NumVertices()),
+				Threshold:  float64(a.NumVertices()),
+				Sampled:    true,
+				Choice:     "swapped:" + a.Kind().String(),
+				RealizedNs: fromNs + time.Since(start).Nanoseconds(),
+			}, tr)
+		}
+	} else if dec, ok := a.ctl.Decide(a.Kind()); ok {
+		worked = true
+		a.BeginMigration(dec.Target)
+		a.MigrateStep(a.ctl.pol.StepVertices)
+		a.addAudit(obs.DecisionAudit{
+			Controller: "store",
+			BatchID:    batchID,
+			Input:      dec.Stat,
+			Observed:   dec.Observed,
+			Threshold:  dec.Threshold,
+			Sampled:    true,
+			Choice:     "migrate:" + dec.Target.String(),
+		}, tr)
+	}
+
+	if worked {
+		if tr != nil {
+			tr.AddDerivedSpan(nil, "store_migrate", start, time.Since(start))
+		} else if o := a.o; o != nil {
+			// Standalone use: record the span directly in the flight ring.
+			sp := o.StartSpan(o.NextTraceID(), batchID, "store_migrate")
+			sp.End()
+		}
+	}
+}
+
+// migrationNs returns the copy time accumulated by the in-flight
+// migration so far.
+func (a *AdaptiveStore) migrationNs() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.copyNs
+}
+
+// ShadowReport is the adaptive store's introspection snapshot, exposed
+// by sgserve's /metrics.json and sginspect.
+type ShadowReport struct {
+	Kind        string     `json:"kind"`
+	MigratingTo string     `json:"migratingTo,omitempty"`
+	Frontier    int        `json:"frontier,omitempty"`
+	Migrations  int64      `json:"migrations"`
+	Vertices    int        `json:"vertices"`
+	Edges       int        `json:"edges"`
+	Census      *RepCensus `json:"census,omitempty"`
+}
+
+// Report snapshots the adaptive store's state. The census is included
+// when the current representation is tango.
+func (a *AdaptiveStore) Report() ShadowReport {
+	a.mu.RLock()
+	r := ShadowReport{
+		Kind:       a.kind.String(),
+		Migrations: a.migrations.Load(),
+		Vertices:   a.cur.NumVertices(),
+		Edges:      a.cur.NumEdges(),
+	}
+	if a.next != nil {
+		r.MigratingTo = a.nextKind.String()
+		r.Frontier = a.frontier
+	}
+	ts, isTango := a.cur.(*TangoStore)
+	a.mu.RUnlock()
+	if isTango {
+		c := ts.Census()
+		r.Census = &c
+	}
+	return r
+}
+
+var _ Mutable = (*AdaptiveStore)(nil)

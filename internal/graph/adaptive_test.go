@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"streamgraph/internal/obs"
+)
+
+func TestStoreKindRoundTrip(t *testing.T) {
+	for _, k := range StoreKinds() {
+		got, err := ParseStoreKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseStoreKind(%q) = %v, %v", k.String(), got, err)
+		}
+		s := NewMutableOfKind(k, 8)
+		if s == nil || s.NumVertices() != 8 {
+			t.Fatalf("NewMutableOfKind(%v) = %v", k, s)
+		}
+	}
+	if _, err := ParseStoreKind("csr"); err == nil {
+		t.Fatal("ParseStoreKind accepted an unknown kind")
+	}
+}
+
+// TestAdaptiveMigrationPreservesGraph drives a random op stream with a
+// migration beginning and stepping mid-stream (so dual-writes land on
+// both sides of the frontier) and verifies the post-swap graph against
+// the reference oracle.
+func TestAdaptiveMigrationPreservesGraph(t *testing.T) {
+	const maxV = 64
+	kinds := []StoreKind{KindTango, KindDAH, KindAdjacency}
+	for seed := int64(0); seed < 3; seed++ {
+		a := NewAdaptiveStore(KindAdjacency, maxV, AdaptiveOptions{
+			Policy: MigrationPolicy{Disabled: true},
+		})
+		ref := newRefGraph()
+		rng := rand.New(rand.NewSource(seed))
+		nextKind := 0
+		for i := 0; i < 6000; i++ {
+			src := VertexID(rng.Intn(maxV))
+			dst := VertexID(rng.Intn(maxV))
+			if rng.Intn(4) == 0 {
+				got := a.DeleteEdge(src, dst)
+				_, want := ref.out[src][dst]
+				if got != want {
+					t.Fatalf("op %d: DeleteEdge = %v, want %v", i, got, want)
+				}
+				ref.delete(src, dst)
+			} else {
+				w := Weight(rng.Intn(100)) + 1
+				a.InsertEdge(Edge{Src: src, Dst: dst, Weight: w})
+				ref.insert(Edge{Src: src, Dst: dst, Weight: w})
+			}
+			// A migration begins every ~1500 ops and advances a few
+			// vertices per op, so it stays in flight across many writes.
+			if i%1500 == 700 {
+				a.BeginMigration(kinds[nextKind%len(kinds)])
+				nextKind++
+			}
+			if i%3 == 0 {
+				a.MigrateStep(5)
+			}
+		}
+		for a.MigrateStep(maxV) == false {
+			if _, inFlight := a.Migrating(); !inFlight {
+				break
+			}
+		}
+		checkAgainstRef(t, a, ref, maxV)
+		if err := CheckMirror(a); err != nil {
+			t.Fatal(err)
+		}
+		if a.Migrations() == 0 {
+			t.Fatal("no migration completed")
+		}
+	}
+}
+
+// TestAdaptiveControllerMigrates feeds skewed profiles until the
+// controller migrates to tango, then calm profiles until it migrates
+// back, checking audits and observer counters along the way.
+func TestAdaptiveControllerMigrates(t *testing.T) {
+	o := obs.New(obs.Options{})
+	a := NewAdaptiveStore(KindAdjacency, 256, AdaptiveOptions{
+		Policy: MigrationPolicy{StepVertices: 64}, // 4 steps per migration
+		Obs:    o,
+	})
+
+	mkBatch := func(id int, hub bool) *Batch {
+		b := &Batch{ID: id}
+		for i := 0; i < 200; i++ {
+			dst := VertexID(i % 250)
+			if hub && i%2 == 0 {
+				dst = 7 // half the batch aims at one vertex
+			}
+			b.Edges = append(b.Edges, Edge{Src: VertexID(i % 31), Dst: dst, Weight: 1})
+		}
+		return b
+	}
+
+	id := 0
+	for ; id < 20 && a.Kind() != KindTango; id++ {
+		a.ApplyBatch(mkBatch(id, true))
+	}
+	if a.Kind() != KindTango {
+		t.Fatalf("controller never migrated to tango; kind = %v", a.Kind())
+	}
+	for ; id < 60 && a.Kind() != KindAdjacency; id++ {
+		a.ApplyBatch(mkBatch(id, false))
+	}
+	if a.Kind() != KindAdjacency {
+		t.Fatalf("controller never migrated back; kind = %v", a.Kind())
+	}
+	if a.Migrations() < 2 {
+		t.Fatalf("Migrations = %d, want >= 2", a.Migrations())
+	}
+	if err := CheckMirror(a); err != nil {
+		t.Fatal(err)
+	}
+
+	audits := a.Audits()
+	var begins, swaps int
+	for _, d := range audits {
+		if d.Controller != "store" {
+			t.Fatalf("audit controller = %q", d.Controller)
+		}
+		switch {
+		case d.Choice == "migrate:tango" || d.Choice == "migrate:adjacency":
+			begins++
+		case d.Choice == "swapped:tango" || d.Choice == "swapped:adjacency":
+			swaps++
+		}
+	}
+	if begins < 2 || swaps < 2 {
+		t.Fatalf("audits: %d begins, %d swaps (%+v)", begins, swaps, audits)
+	}
+	if o.StoreMigrationsTotal.Value() < 2 {
+		t.Fatalf("StoreMigrationsTotal = %d", o.StoreMigrationsTotal.Value())
+	}
+	if o.StoreMigrationStepsTotal.Value() < o.StoreMigrationsTotal.Value() {
+		t.Fatal("steps counter below migrations counter")
+	}
+
+	rep := a.Report()
+	if rep.Kind != "adjacency" || rep.Migrations < 2 || rep.Edges != a.NumEdges() {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestAdaptiveMigrationRacingWrites is the migration-in-flight race
+// case: representation transitions proceed concurrently with inserts
+// and deletes of the same vertices (run under -race). The writer is
+// serial, so the final state is checked exactly against the oracle.
+func TestAdaptiveMigrationRacingWrites(t *testing.T) {
+	const maxV = 128
+	a := NewAdaptiveStore(KindAdjacency, maxV, AdaptiveOptions{
+		Policy: MigrationPolicy{Disabled: true},
+	})
+	kinds := []StoreKind{KindTango, KindDAH, KindAdjacency, KindTango}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// Migration driver: keep starting and stepping migrations in
+		// tiny slices until the writer finishes.
+		defer wg.Done()
+		next := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, inFlight := a.Migrating(); !inFlight {
+				a.BeginMigration(kinds[next%len(kinds)])
+				next++
+			}
+			a.MigrateStep(3)
+		}
+	}()
+
+	ref := newRefGraph()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30000; i++ {
+		src := VertexID(rng.Intn(maxV))
+		dst := VertexID(rng.Intn(maxV))
+		if rng.Intn(3) == 0 {
+			got := a.DeleteEdge(src, dst)
+			_, want := ref.out[src][dst]
+			if got != want {
+				t.Fatalf("op %d: DeleteEdge(%d,%d) = %v, want %v", i, src, dst, got, want)
+			}
+			ref.delete(src, dst)
+		} else {
+			w := Weight(rng.Intn(100)) + 1
+			a.InsertEdge(Edge{Src: src, Dst: dst, Weight: w})
+			ref.insert(Edge{Src: src, Dst: dst, Weight: w})
+		}
+		if i%256 == 0 {
+			// Give the migration driver scheduling room so transitions
+			// genuinely interleave with the writes.
+			runtime.Gosched()
+		}
+	}
+	close(done)
+	wg.Wait()
+	// Finish any half-done migration so the final check crosses a swap;
+	// if scheduling starved the driver entirely, force one swap so the
+	// check still covers a post-migration graph.
+	for {
+		if _, inFlight := a.Migrating(); !inFlight {
+			break
+		}
+		a.MigrateStep(maxV)
+	}
+	if a.Migrations() == 0 {
+		a.BeginMigration(KindTango)
+		for !a.MigrateStep(maxV) {
+		}
+	}
+	checkAgainstRef(t, a, ref, maxV)
+	if err := CheckMirror(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationControllerDwellAndHysteresis(t *testing.T) {
+	c := NewMigrationController(MigrationPolicy{Dwell: 3})
+	hot := InputProfile{Edges: 100, DegreeSkew: 0.5}
+	c.Observe(hot)
+	if _, ok := c.Decide(KindAdjacency); ok {
+		t.Fatal("decision before dwell elapsed")
+	}
+	c.Observe(hot)
+	c.Observe(hot)
+	dec, ok := c.Decide(KindAdjacency)
+	if !ok || dec.Target != KindTango || dec.Stat != "degree_skew" {
+		t.Fatalf("decide = %+v, %v", dec, ok)
+	}
+	// Mid-band skew: above SkewLow, below SkewHigh — no flap back.
+	mid := InputProfile{Edges: 100, DegreeSkew: 0.03}
+	for i := 0; i < 20; i++ {
+		c.Observe(mid)
+	}
+	if dec, ok := c.Decide(KindTango); ok {
+		t.Fatalf("hysteresis violated: %+v", dec)
+	}
+	// Calm skew drains the EWMA below SkewLow → migrate back.
+	calm := InputProfile{Edges: 100, DegreeSkew: 0.001}
+	for i := 0; i < 30; i++ {
+		c.Observe(calm)
+	}
+	dec, ok = c.Decide(KindTango)
+	if !ok || dec.Target != KindAdjacency {
+		t.Fatalf("no migration back: %+v, %v", dec, ok)
+	}
+	// Negative fields leave estimates untouched.
+	skew, _, _ := c.Estimates()
+	c.Observe(InputProfile{Edges: 100, DegreeSkew: -1, DeleteRatio: -1, CAD: -1})
+	if got, _, _ := c.Estimates(); got != skew {
+		t.Fatalf("negative profile moved the estimate: %v -> %v", skew, got)
+	}
+}
+
+func TestProfileBatch(t *testing.T) {
+	b := &Batch{}
+	for i := 0; i < 100; i++ {
+		b.Edges = append(b.Edges, Edge{Src: VertexID(i), Dst: 5, Weight: 1})
+	}
+	for i := 0; i < 100; i++ {
+		b.Edges = append(b.Edges, Edge{Src: 1, Dst: VertexID(100 + i), Delete: true})
+	}
+	p := ProfileBatch(b, 64)
+	if p.Edges != 200 {
+		t.Fatalf("Edges = %d", p.Edges)
+	}
+	if p.DeleteRatio != 0.5 {
+		t.Fatalf("DeleteRatio = %v", p.DeleteRatio)
+	}
+	if p.DegreeSkew != 0.5 {
+		t.Fatalf("DegreeSkew = %v", p.DegreeSkew)
+	}
+	// One destination (5) has in-degree 100 > λ=64: CAD = 100/1.
+	if p.CAD != 100 {
+		t.Fatalf("CAD = %v", p.CAD)
+	}
+	if got := ProfileBatch(&Batch{}, 64); got.Edges != 0 || got.CAD != 0 {
+		t.Fatalf("empty profile = %+v", got)
+	}
+}

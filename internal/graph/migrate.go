@@ -1,0 +1,181 @@
+package graph
+
+// The store migration controller: the input-knowledge thesis applied
+// to storage. ABR watches per-batch statistics to pick an update
+// *engine*; this controller watches the same statistics (degree skew,
+// delete ratio, CAD_λ) to pick a storage *representation*, migrating
+// the live graph when the profile drifts. Decisions use EWMA-smoothed
+// observations with hysteresis bands and a dwell time so a noisy
+// stream cannot thrash the store between representations.
+//
+// The controller itself is not goroutine-safe: it is driven by the
+// (serial) batch-apply path. The AdaptiveStore it steers remains safe
+// for concurrent single-edge writers.
+
+// MigrationPolicy tunes the migration controller.
+type MigrationPolicy struct {
+	// Disabled turns the controller off (AdaptiveOptions.Policy).
+	Disabled bool
+
+	// SkewHigh: an EWMA degree skew at or above this migrates toward
+	// tango (hub batches make linear duplicate scans quadratic-ish).
+	// SkewLow: at or below this (with deletes and CAD also calm) the
+	// store migrates back to the flat adjacency representation. The
+	// gap between them is the hysteresis band.
+	SkewHigh float64
+	SkewLow  float64
+
+	// DeleteHigh: an EWMA delete ratio at or above this migrates
+	// toward tango (hash-tier deletes are O(1); flat arrays scan).
+	DeleteHigh float64
+
+	// CADHigh: an EWMA CAD_λ at or above this migrates toward tango.
+	// The default matches the ABR controller's tuned threshold (465),
+	// so storage and engine dispatch react to the same signal scale.
+	CADHigh float64
+
+	// Alpha is the EWMA smoothing coefficient in (0, 1]; higher reacts
+	// faster.
+	Alpha float64
+
+	// Dwell is the minimum number of observed batches between
+	// migration decisions (counted from the last decision).
+	Dwell int
+
+	// StepVertices is how many vertices each per-batch migration step
+	// copies while a migration is in flight.
+	StepVertices int
+}
+
+// DefaultMigrationPolicy returns the tuned defaults.
+func DefaultMigrationPolicy() MigrationPolicy {
+	return MigrationPolicy{
+		SkewHigh:     0.05,
+		SkewLow:      0.01,
+		DeleteHigh:   0.35,
+		CADHigh:      465,
+		Alpha:        0.3,
+		Dwell:        4,
+		StepVertices: 4096,
+	}
+}
+
+// MigrationDecision is one controller verdict: which representation to
+// migrate to and which observed statistic triggered it (for the
+// decision audit).
+type MigrationDecision struct {
+	Target    StoreKind
+	Stat      string
+	Observed  float64
+	Threshold float64
+}
+
+// MigrationController smooths batch profiles and decides when the
+// adaptive store should change representation.
+type MigrationController struct {
+	pol MigrationPolicy
+
+	skew, del, cad             float64
+	skewInit, delInit, cadInit bool
+
+	sinceDecision int
+}
+
+// NewMigrationController returns a controller with the given policy;
+// zero-valued tunables fall back to DefaultMigrationPolicy.
+func NewMigrationController(pol MigrationPolicy) *MigrationController {
+	def := DefaultMigrationPolicy()
+	if pol.SkewHigh == 0 {
+		pol.SkewHigh = def.SkewHigh
+	}
+	if pol.SkewLow == 0 {
+		pol.SkewLow = def.SkewLow
+	}
+	if pol.DeleteHigh == 0 {
+		pol.DeleteHigh = def.DeleteHigh
+	}
+	if pol.CADHigh == 0 {
+		pol.CADHigh = def.CADHigh
+	}
+	if pol.Alpha == 0 {
+		pol.Alpha = def.Alpha
+	}
+	if pol.Dwell == 0 {
+		pol.Dwell = def.Dwell
+	}
+	if pol.StepVertices == 0 {
+		pol.StepVertices = def.StepVertices
+	}
+	return &MigrationController{pol: pol}
+}
+
+// ewma folds x into the running estimate v.
+func (c *MigrationController) ewma(v float64, init bool, x float64) float64 {
+	if !init {
+		return x
+	}
+	return c.pol.Alpha*x + (1-c.pol.Alpha)*v
+}
+
+// Observe folds one batch's profile into the running estimates.
+// Negative fields mean "not measured this batch" and are skipped;
+// empty batches are ignored entirely.
+func (c *MigrationController) Observe(p InputProfile) {
+	if p.Edges <= 0 {
+		return
+	}
+	if p.DeleteRatio >= 0 {
+		c.del = c.ewma(c.del, c.delInit, p.DeleteRatio)
+		c.delInit = true
+	}
+	if p.DegreeSkew >= 0 {
+		c.skew = c.ewma(c.skew, c.skewInit, p.DegreeSkew)
+		c.skewInit = true
+	}
+	if p.CAD >= 0 {
+		c.cad = c.ewma(c.cad, c.cadInit, p.CAD)
+		c.cadInit = true
+	}
+	c.sinceDecision++
+}
+
+// Estimates returns the current EWMA (skew, delete ratio, CAD_λ).
+func (c *MigrationController) Estimates() (skew, del, cad float64) {
+	return c.skew, c.del, c.cad
+}
+
+// Decide returns a migration decision for a store currently in kind
+// cur, or ok=false to stay. A returned decision restarts the dwell
+// clock whether or not the caller acts on it.
+func (c *MigrationController) Decide(cur StoreKind) (MigrationDecision, bool) {
+	if c.sinceDecision < c.pol.Dwell {
+		return MigrationDecision{}, false
+	}
+	// Hot profile → tango. Priority order: skew (the strongest hub
+	// signal), then CAD, then delete ratio.
+	if cur != KindTango {
+		var d MigrationDecision
+		switch {
+		case c.skewInit && c.skew >= c.pol.SkewHigh:
+			d = MigrationDecision{KindTango, "degree_skew", c.skew, c.pol.SkewHigh}
+		case c.cadInit && c.cad >= c.pol.CADHigh:
+			d = MigrationDecision{KindTango, "cad_lambda", c.cad, c.pol.CADHigh}
+		case c.delInit && c.del >= c.pol.DeleteHigh:
+			d = MigrationDecision{KindTango, "delete_ratio", c.del, c.pol.DeleteHigh}
+		default:
+			return MigrationDecision{}, false
+		}
+		c.sinceDecision = 0
+		return d, true
+	}
+	// Calm profile → back to the flat adjacency representation. All
+	// three signals must sit below their low bands.
+	if cur == KindTango &&
+		c.skewInit && c.skew <= c.pol.SkewLow &&
+		(!c.delInit || c.del < c.pol.DeleteHigh/2) &&
+		(!c.cadInit || c.cad < c.pol.CADHigh/2) {
+		c.sinceDecision = 0
+		return MigrationDecision{KindAdjacency, "degree_skew", c.skew, c.pol.SkewLow}, true
+	}
+	return MigrationDecision{}, false
+}

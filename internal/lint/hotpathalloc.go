@@ -6,10 +6,11 @@ import (
 )
 
 // HotPathAlloc polices the per-edge loops of the hot pipeline stages
-// (internal/update, internal/reorder, internal/compute — the code that
-// runs once per edge per batch, millions of times a second at the
-// paper's target rates). Inside a loop ranging over edges or
-// neighbors it flags:
+// (internal/update, internal/reorder, internal/compute, and — since
+// the stores grew per-vertex tiered representations — internal/graph:
+// the code that runs once per edge per batch, millions of times a
+// second at the paper's target rates). Inside a loop ranging over
+// edges or neighbors it flags:
 //
 //   - fmt.Sprintf / Sprint / Sprintln / Errorf — formatting allocates
 //     and reflects;
@@ -34,6 +35,7 @@ var hotPackages = map[string]bool{
 	"update":  true,
 	"reorder": true,
 	"compute": true,
+	"graph":   true,
 }
 
 func runHotPathAlloc(prog *Program, report Reporter) {

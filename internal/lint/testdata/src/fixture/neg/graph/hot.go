@@ -1,0 +1,30 @@
+// hot.go exercises the shapes hotpathalloc must accept in the graph
+// package: allocations hoisted out of the per-neighbor loop, and
+// loops over non-edge element types left unconstrained.
+package graph
+
+import "fmt"
+
+// Neighbor is the per-edge element type the analyzer keys on.
+type Neighbor struct {
+	ID     uint32
+	Weight float32
+}
+
+// Degree hoists the map out of the per-neighbor loop.
+func Degree(ns []Neighbor) int {
+	seen := make(map[uint32]bool, len(ns))
+	for _, n := range ns {
+		seen[n.ID] = true
+	}
+	return len(seen)
+}
+
+// Labels ranges over plain ints, not neighbors: formatting is allowed.
+func Labels(ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("v%d", id))
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+// hot.go seeds hotpathalloc violations in the graph package: store
+// code ranging over neighbors is per-edge hot since the tiered
+// representations landed.
+package graph
+
+import "fmt"
+
+// Neighbor is the per-edge element type the analyzer keys on.
+type Neighbor struct {
+	ID     uint32
+	Weight float32
+}
+
+// Describe formats and allocates per neighbor — both flagged.
+func Describe(ns []Neighbor) []string {
+	var out []string
+	for _, n := range ns {
+		out = append(out, fmt.Sprintf("->%d", n.ID))
+		dedup := make(map[uint32]bool)
+		dedup[n.ID] = true
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package oracle
+
+import (
+	"os"
+	"testing"
+
+	"streamgraph/internal/gen"
+	"streamgraph/internal/graph"
+)
+
+// TestLiveMigrationMatchesReference is the acceptance gate for live
+// store migration: an adaptive store that switches representation at
+// runtime — with migrations deliberately left in flight across batch
+// boundaries — must match the sequential reference model on full graph
+// state after every batch, on the final state, and on every analytic.
+func TestLiveMigrationMatchesReference(t *testing.T) {
+	const verts = 256
+	for _, kind := range []gen.AdvKind{gen.AdvMixed, gen.AdvDeleteHeavy} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			spec := gen.AdvSpec{Kind: kind, Seed: 5, Vertices: verts, BatchSize: 250, Batches: 10}
+			target, st := AdaptiveTarget("adaptive/migrating", verts, 2)
+			targets := []*Target{
+				MutableTarget("mutable/adjlist", graph.NewAdjacencyStore(verts)),
+				target,
+			}
+			err := RunStream(spec.Generate(), targets, Options{
+				Context:  spec.String(),
+				Computes: DefaultComputes(0),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Migrations() < 1 {
+				t.Fatalf("no runtime representation switch completed (migrations=%d)", st.Migrations())
+			}
+			if st.Kind() == graph.KindAdjacency {
+				if _, inFlight := st.Migrating(); !inFlight && st.Migrations() < 2 {
+					t.Fatalf("store never left its initial representation: %+v", st.Report())
+				}
+			}
+		})
+	}
+}
+
+// TestStoreMatrixDifferential is the CI store-matrix job's entry
+// point: STORE=<adjacency|dah|hybrid|tango> selects the slice of the
+// differential matrix backed by that store and replays every
+// adversarial family through it. With STORE unset it runs the full
+// matrix on a reduced stream (the full-size sweep is
+// TestDifferentialMatrix).
+func TestStoreMatrixDifferential(t *testing.T) {
+	store := os.Getenv("STORE")
+	verts, batchSize, batches := 128, 150, 6
+	if store != "" {
+		verts, batchSize, batches = 512, 300, 8
+	}
+	targets := MatrixForStore(verts, 3, store)
+	if len(targets) == 0 {
+		t.Fatalf("MatrixForStore(%q) selected no targets", store)
+	}
+	t.Logf("STORE=%q -> %d targets: %v", store, len(targets), Names(targets))
+	for _, kind := range gen.AdvKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			spec := gen.AdvSpec{Kind: kind, Seed: 1, Vertices: verts, BatchSize: batchSize, Batches: batches}
+			err := RunStream(spec.Generate(), MatrixForStore(verts, 3, store), Options{
+				Context: spec.String(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

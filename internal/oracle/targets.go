@@ -120,14 +120,50 @@ func FaultedPipelineTarget(name string, cfg pipeline.Config, numVerts int, press
 	}
 }
 
+// AdaptiveTarget replays batches through an AdaptiveStore with a
+// deterministic migration schedule (the EWMA controller is disabled so
+// differential runs do not depend on stream statistics): a migration to
+// the next kind in the adjacency → tango → dah → adjacency cycle begins
+// every cadence batches, and each Apply advances the in-flight copy by
+// roughly a quarter of the vertex space, so migrations stay in flight
+// across batch boundaries and dual-writes land on both sides of the
+// frontier. The store pointer is returned so tests can assert that
+// representation switches actually happened.
+func AdaptiveTarget(name string, numVerts, cadence int) (*Target, *graph.AdaptiveStore) {
+	st := graph.NewAdaptiveStore(graph.KindAdjacency, numVerts, graph.AdaptiveOptions{
+		Policy: graph.MigrationPolicy{Disabled: true},
+	})
+	cycle := []graph.StoreKind{graph.KindTango, graph.KindDAH, graph.KindAdjacency}
+	step := numVerts/4 + 1
+	applied, next := 0, 0
+	t := &Target{
+		Name: name,
+		Apply: func(b *graph.Batch) {
+			st.ApplyBatch(b)
+			applied++
+			if _, inFlight := st.Migrating(); inFlight {
+				st.MigrateStep(step)
+			} else if cadence > 0 && applied%cadence == 0 {
+				st.BeginMigration(cycle[next%len(cycle)])
+				next++
+				st.MigrateStep(step)
+			}
+		},
+		Store: func() graph.Store { return st },
+	}
+	return t, st
+}
+
 // Matrix returns fresh targets covering every engine × store
 // combination plus the adaptive pipeline paths:
 //
 //   - adjacency list × {baseline, baseline(1 worker), RO, RO+USC,
 //     RO+USC with forced coalescing, sequential Mutable};
-//   - DAH store and hybrid store × sequential Mutable (the batch
+//   - DAH, hybrid and tango stores × sequential Mutable (the batch
 //     engines are adjacency-specific by design; the Mutable path is
 //     how those stores ingest batches);
+//   - the adaptive store with live representation migrations in
+//     flight across batch boundaries;
 //   - pipeline × {ABR+USC adaptive, PerfectABR oracle decisions}.
 //
 // Every store is pre-sized for numVerts; streams must keep vertex IDs
@@ -136,6 +172,7 @@ func Matrix(numVerts, workers int) []*Target {
 	cfg := update.Config{Workers: workers}
 	forced := cfg
 	forced.MinCoalesceRun = 1
+	adaptive, _ := AdaptiveTarget("adaptive/migrating", numVerts, 2)
 	return []*Target{
 		EngineTarget("baseline/adjlist", &update.Baseline{Cfg: cfg}, numVerts),
 		EngineTarget("baseline-1w/adjlist", &update.Baseline{Cfg: update.Config{Workers: 1}}, numVerts),
@@ -145,6 +182,8 @@ func Matrix(numVerts, workers int) []*Target {
 		MutableTarget("mutable/adjlist", graph.NewAdjacencyStore(numVerts)),
 		MutableTarget("mutable/dah", graph.NewDAHStore(numVerts)),
 		HybridTarget("mutable/hybrid", numVerts, 3),
+		MutableTarget("mutable/tango", graph.NewTangoStore(numVerts)),
+		adaptive,
 		PipelineTarget("pipeline/abr+usc",
 			pipeline.Config{Policy: pipeline.ABRUSC, Workers: workers}, numVerts),
 		PipelineTarget("pipeline/perfect-abr",
@@ -154,6 +193,36 @@ func Matrix(numVerts, workers int) []*Target {
 				Oracle:  func(b *graph.Batch) bool { return b.ID%2 == 0 },
 			}, numVerts),
 	}
+}
+
+// MatrixForStore returns the slice of the differential matrix backed
+// by the named store — the CI store-matrix job's STORE=<name> axis.
+// The adjacency axis carries every engine and pipeline path (they are
+// adjacency-specific by design); tango also carries the adaptive
+// migrating target. An empty name returns the full Matrix; an unknown
+// name returns nil.
+func MatrixForStore(numVerts, workers int, store string) []*Target {
+	if store == "" {
+		return Matrix(numVerts, workers)
+	}
+	var out []*Target
+	for _, t := range Matrix(numVerts, workers) {
+		keep := false
+		switch store {
+		case "adjacency":
+			keep = t.Name == "mutable/adjlist" || t.Adj != nil
+		case "dah":
+			keep = t.Name == "mutable/dah"
+		case "hybrid":
+			keep = t.Name == "mutable/hybrid"
+		case "tango":
+			keep = t.Name == "mutable/tango" || t.Name == "adaptive/migrating"
+		}
+		if keep {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // Names returns the target names, for logging.

@@ -450,6 +450,7 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	edges, vertices := s.sys.NumEdges(), s.sys.NumVertices()
+	shadow := s.sys.ShadowReport()
 	release()
 	s.statsMu.Lock()
 	out := map[string]any{
@@ -463,6 +464,9 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 		"vertices":      vertices,
 	}
 	s.statsMu.Unlock()
+	if shadow.Kind != "" {
+		out["storeShadow"] = shadow
+	}
 	if s.obs != nil {
 		out["metrics"] = s.obs.Registry.Snapshot()
 		out["traceDropped"] = map[string]any{

@@ -11,7 +11,13 @@
 #
 #   10 gofmt   11 go vet   12 staticcheck   13 sglint
 #   14 go build   15 go test -race   16 stress soak
-#   17 bench trajectory
+#   17 bench trajectory   18 baseline preflight   19 bench store
+#
+# The baseline preflight (18) validates the committed BENCH_*.json
+# gate baselines (existence, JSON, schema version) BEFORE the bench
+# stages run; on failure both bench stages are skipped, so a missing
+# or stale baseline fails fast with its own code instead of minutes
+# into a measurement run.
 #
 # CI (.github/workflows/ci.yml) runs the same gates as separate jobs
 # plus fuzz, bench, and stress smoke.
@@ -88,15 +94,36 @@ echo "== stress soak =="
 STRESS_SOAK_FULL=1 go test -race -count=1 -run '^TestSoak$' ./internal/stress
 record "stress soak" $? 16
 
-echo "== bench trajectory =="
-# Quick adversarial engine×store matrix with span-derived per-phase
-# breakdowns, gated per-phase (ns/edge) against the committed
-# baseline. Refresh the baseline deliberately with
-#   go run ./cmd/sgbench -experiment -quick -experiment-write-baseline \
-#       -experiment-out BENCH_baseline.json
-go run ./cmd/sgbench -experiment -quick -experiment-out BENCH_trajectory.json \
-    -experiment-baseline BENCH_baseline.json
-record "bench trajectory" $? 17
+echo "== baseline preflight =="
+go run ./cmd/sgbench -validate-baselines
+preflight_rc=$?
+record "baseline preflight" "$preflight_rc" 18
+
+if [ "$preflight_rc" -eq 0 ]; then
+    echo "== bench trajectory =="
+    # Quick adversarial engine×store matrix with span-derived per-phase
+    # breakdowns, gated per-phase (ns/edge) against the committed
+    # baseline. Refresh the baseline deliberately with
+    #   go run ./cmd/sgbench -experiment -quick -experiment-write-baseline \
+    #       -experiment-out BENCH_baseline.json
+    go run ./cmd/sgbench -experiment -quick -experiment-out BENCH_trajectory.json \
+        -experiment-baseline BENCH_baseline.json
+    record "bench trajectory" $? 17
+
+    echo "== bench store =="
+    # Store head-to-head (every fixed store plus the adaptive store
+    # under live migration), gated the same way. Refresh with
+    #   go run ./cmd/sgbench -store-experiment -quick \
+    #       -store-write-baseline -store-out BENCH_store.json
+    go run ./cmd/sgbench -store-experiment -quick -store-out BENCH_storecmp.json \
+        -store-baseline BENCH_store.json
+    record "bench store" $? 19
+else
+    echo "== bench trajectory == (skipped: baseline preflight failed)"
+    summary="${summary}bench trajectory:skip:0\n"
+    echo "== bench store == (skipped: baseline preflight failed)"
+    summary="${summary}bench store:skip:0\n"
+fi
 
 echo
 echo "== summary =="

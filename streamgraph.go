@@ -84,6 +84,9 @@ type (
 	// ShedConfig sets the load-shed ladder's pressure thresholds; see
 	// Config.Shed.
 	ShedConfig = pipeline.ShedConfig
+	// ShadowReport describes the adaptive store replica's current
+	// state; see Config.ShadowStore and System.ShadowReport.
+	ShadowReport = graph.ShadowReport
 )
 
 // NewFaultInjector builds a fault injector from a schedule. Pass it
@@ -182,6 +185,13 @@ type Config struct {
 	// Serving deployments (internal/server) enable it together with
 	// ApplyBatchIsolated.
 	Recover bool
+	// ShadowStore, when non-empty, attaches an adaptive store replica
+	// that ingests every batch after the primary update and migrates
+	// the live graph between representations ("adjacency", "dah",
+	// "hybrid", "tango") as the stream's observed profile drifts. The
+	// value names the initial representation; New panics on unknown
+	// names. Inspect the replica with System.ShadowReport.
+	ShadowStore string
 }
 
 // Result reports one ingested batch.
@@ -216,6 +226,7 @@ type Result struct {
 type System struct {
 	cfg    Config
 	runner *pipeline.Runner
+	shadow *graph.AdaptiveStore
 	pr     *compute.PageRank
 	sssp   *compute.SSSP
 	bfs    *compute.BFS
@@ -287,6 +298,24 @@ func newSystem(cfg Config, store *graph.AdjacencyStore) *System {
 		pol = pipeline.ABRUSC
 	}
 
+	if cfg.ShadowStore != "" {
+		kind, err := graph.ParseStoreKind(cfg.ShadowStore)
+		if err != nil {
+			panic("streamgraph: Config.ShadowStore: " + err.Error())
+		}
+		s.shadow = graph.NewAdaptiveStore(kind, store.NumVertices(), graph.AdaptiveOptions{
+			Obs: cfg.Observer,
+		})
+		// Seed the replica with any pre-existing state (snapshot
+		// restores); a fresh system's store is empty and this is free.
+		for v := 0; v < store.NumVertices(); v++ {
+			src := graph.VertexID(v)
+			store.ForEachOut(src, func(n graph.Neighbor) {
+				s.shadow.InsertEdge(graph.Edge{Src: src, Dst: n.ID, Weight: n.Weight})
+			})
+		}
+	}
+
 	s.runner = pipeline.NewRunnerWithStore(pipeline.Config{
 		Policy:            pol,
 		ABRParams:         cfg.ABR,
@@ -299,8 +328,19 @@ func newSystem(cfg Config, store *graph.AdjacencyStore) *System {
 		Fault:             cfg.Fault,
 		Shed:              cfg.Shed,
 		Recover:           cfg.Recover,
+		Shadow:            s.shadow,
 	}, store)
 	return s
+}
+
+// ShadowReport returns the adaptive replica's current state; the zero
+// report (empty Kind) when Config.ShadowStore is unset. Safe to call
+// between batches; not synchronized with an in-flight ApplyBatch.
+func (s *System) ShadowReport() ShadowReport {
+	if s.shadow == nil {
+		return ShadowReport{}
+	}
+	return s.shadow.Report()
 }
 
 // Observer returns the observability bundle the system records into
