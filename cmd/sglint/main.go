@@ -6,16 +6,24 @@
 //
 // Usage:
 //
-//	go run ./cmd/sglint [-tests] [-list] [packages]
+//	go run ./cmd/sglint [-tests] [-list] [-json] [-run analyzers] [packages]
 //
 // Package patterns are directory-prefix filters on the reported
 // diagnostics ("./...", "./internal/graph", default all). The whole
 // module is always loaded so cross-package facts stay consistent.
 //
+// -run restricts the suite to a comma-separated subset of analyzers
+// (CI shards the suite this way); suppression hygiene findings are
+// always reported. -json emits one JSON object per finding
+// ({"file","line","col","analyzer","message"}, one per line) for
+// editor and CI integration; .github/problem-matchers/sglint.json
+// parses the default text form.
+//
 // Exit status: 0 clean, 1 findings, 2 load or usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +43,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	includeTests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	root := fs.String("root", ".", "module root to analyze (directory containing go.mod)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON records, one object per line")
+	runOnly := fs.String("run", "", "comma-separated analyzer names to run (default all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,15 +56,34 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 
+	analyzers, err := selectAnalyzers(*runOnly)
+	if err != nil {
+		fmt.Fprintf(stderr, "sglint: %v\n", err)
+		return 2
+	}
+
 	prog, err := lint.LoadModule(*root, *includeTests)
 	if err != nil {
 		fmt.Fprintf(stderr, "sglint: %v\n", err)
 		return 2
 	}
 
-	diags := lint.Run(prog, lint.Analyzers())
+	diags := lint.Run(prog, analyzers)
 	diags = filterByPatterns(diags, fs.Args())
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
+		if *jsonOut {
+			// The record is flat and append-only so CI consumers can
+			// parse one line at a time without a streaming decoder.
+			enc.Encode(jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			continue
+		}
 		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {
@@ -62,6 +91,46 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the -json record shape. Field order is the same as the
+// text form: position, analyzer, message.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// selectAnalyzers resolves the -run flag: empty means the full suite,
+// otherwise a comma-separated list of registered analyzer names.
+func selectAnalyzers(runOnly string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if runOnly == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(runOnly, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("-run names unknown analyzer %q (known: %s)",
+				name, strings.Join(lint.AnalyzerNames(), ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers")
+	}
+	return out, nil
 }
 
 // filterByPatterns keeps diagnostics under the directories named by

@@ -98,13 +98,18 @@ type AdaptiveOptions struct {
 // writers, so an AdaptiveStore currently at or migrating to
 // KindHybrid must be driven by one writer at a time.
 type AdaptiveStore struct {
-	mu       sync.RWMutex
-	cur      Mutable
-	kind     StoreKind
-	next     Mutable
-	nextKind StoreKind
-	frontier int
-	copyNs   int64 // accumulated copy time of the in-flight migration
+	mu sync.RWMutex
+	// cur is the live representation; the pointer flip in MigrateStep
+	// happens under the write lock, reads take the read side.
+	cur  Mutable   //sglint:guard mu
+	kind StoreKind //sglint:guard mu
+	// next and nextKind are the in-flight migration target.
+	next     Mutable   //sglint:guard mu
+	nextKind StoreKind //sglint:guard mu
+	// frontier is the next vertex to copy; writers behind it dual-write.
+	frontier int //sglint:guard mu
+	// copyNs accumulates copy time of the in-flight migration.
+	copyNs int64 //sglint:guard mu
 
 	ctl *MigrationController
 	o   *obs.Observer
@@ -112,7 +117,7 @@ type AdaptiveStore struct {
 	migrations atomic.Int64
 
 	auditMu sync.Mutex
-	audits  []obs.DecisionAudit
+	audits  []obs.DecisionAudit //sglint:guard auditMu
 }
 
 // maxStoredAudits bounds the standalone audit log (sginspect replay,
@@ -211,8 +216,11 @@ func (a *AdaptiveStore) MigrateStep(maxVerts int) bool {
 		end = n
 	}
 	var src VertexID
+	// The callback runs synchronously under the write lock; capture the
+	// target as a local so the guarded field is read exactly once here.
+	next := a.next
 	cp := func(nb Neighbor) {
-		a.next.InsertEdge(Edge{Src: src, Dst: nb.ID, Weight: nb.Weight})
+		next.InsertEdge(Edge{Src: src, Dst: nb.ID, Weight: nb.Weight})
 	}
 	for v := a.frontier; v < end; v++ {
 		src = VertexID(v)
@@ -306,6 +314,8 @@ func (a *AdaptiveStore) DeleteEdge(src, dst VertexID) bool {
 }
 
 // insertLocked applies one insertion; caller holds mu (read side).
+//
+//sglint:locked mu
 func (a *AdaptiveStore) insertLocked(e Edge) bool {
 	created := a.cur.InsertEdge(e)
 	if a.next != nil && int(e.Src) < a.frontier {
@@ -315,6 +325,8 @@ func (a *AdaptiveStore) insertLocked(e Edge) bool {
 }
 
 // deleteLocked applies one deletion; caller holds mu (read side).
+//
+//sglint:locked mu
 func (a *AdaptiveStore) deleteLocked(src, dst VertexID) bool {
 	removed := a.cur.DeleteEdge(src, dst)
 	if a.next != nil && int(src) < a.frontier {

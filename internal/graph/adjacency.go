@@ -10,9 +10,11 @@ import (
 // edge-parallel) update engine, and the latest_bid field that OCA uses
 // to measure inter-batch locality.
 type vertexAdj struct {
-	mu        sync.Mutex
-	out       []Neighbor
-	in        []Neighbor
+	mu sync.Mutex
+	// out and in are written under mu; engines may read them lock-free
+	// only during quiescent compute phases (the *Unsafe contract).
+	out       []Neighbor //sglint:guard mu writes
+	in        []Neighbor //sglint:guard mu writes
 	latestBID int32
 }
 
@@ -105,27 +107,27 @@ func (s *AdjacencyStore) InUnsafe(v VertexID) []Neighbor { return s.at(v).in }
 func (s *AdjacencyStore) SetOutUnsafe(v VertexID, ns []Neighbor) {
 	va := s.at(v)
 	s.numEdge.Add(int64(len(ns) - len(va.out)))
-	va.out = ns
+	va.out = ns //sglint:ignore guardfield caller guarantees exclusive vertex access (reordered vertex-centric apply)
 }
 
 // SetInUnsafe replaces v's in-adjacency. In-edges are mirrors of
 // out-edges and are not counted in NumEdges.
 func (s *AdjacencyStore) SetInUnsafe(v VertexID, ns []Neighbor) {
-	s.at(v).in = ns
+	s.at(v).in = ns //sglint:ignore guardfield caller guarantees exclusive vertex access (reordered vertex-centric apply)
 }
 
 // AppendOutUnsafe appends one out-neighbor without a duplicate check.
 // Same exclusivity contract; callers perform their own duplicate scan.
 func (s *AdjacencyStore) AppendOutUnsafe(v VertexID, n Neighbor) {
 	va := s.at(v)
-	va.out = append(va.out, n)
+	va.out = append(va.out, n) //sglint:ignore guardfield caller guarantees exclusive vertex access (reordered vertex-centric apply)
 	s.numEdge.Add(1)
 }
 
 // AppendInUnsafe appends one in-neighbor without a duplicate check.
 func (s *AdjacencyStore) AppendInUnsafe(v VertexID, n Neighbor) {
 	va := s.at(v)
-	va.in = append(va.in, n)
+	va.in = append(va.in, n) //sglint:ignore guardfield caller guarantees exclusive vertex access (reordered vertex-centric apply)
 }
 
 // LatestBID returns the last batch ID in which v appeared, or -1.

@@ -219,9 +219,11 @@ func (a *dahAdj) foreach(fn func(Neighbor)) {
 
 // dahVertex is the per-vertex record of the DAH store.
 type dahVertex struct {
-	mu  sync.Mutex
-	out dahAdj
-	in  dahAdj
+	mu sync.Mutex
+	// out and in are written under mu; reads are lock-free during
+	// quiescent compute phases.
+	out dahAdj //sglint:guard mu writes
+	in  dahAdj //sglint:guard mu writes
 }
 
 // DAHStore is the degree-aware hashing dynamic graph store: a hybrid

@@ -9,8 +9,11 @@ package graph
 // stream cannot thrash the store between representations.
 //
 // The controller itself is not goroutine-safe: it is driven by the
-// (serial) batch-apply path. The AdaptiveStore it steers remains safe
-// for concurrent single-edge writers.
+// (serial) batch-apply path, so it carries no mutex and no
+// //sglint:guard annotations. The AdaptiveStore it steers remains safe
+// for concurrent single-edge writers; its guarded fields (cur, next,
+// frontier, ...) are annotated in adaptive.go and checked by the
+// guardfield analyzer.
 
 // MigrationPolicy tunes the migration controller.
 type MigrationPolicy struct {

@@ -272,8 +272,10 @@ func insertionSort(s []Neighbor) {
 type tangoVertex struct {
 	mu        sync.Mutex
 	latestBID int32
-	out       tangoAdj
-	in        tangoAdj
+	// out and in are written under mu; reads are lock-free during
+	// quiescent compute phases.
+	out tangoAdj //sglint:guard mu writes
+	in  tangoAdj //sglint:guard mu writes
 }
 
 // TangoStore is the GraphTango-style dynamic graph store: per-vertex

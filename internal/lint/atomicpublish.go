@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicPublish checks atomic publication edges: a pointer, slice, or
+// map stored through sync/atomic becomes visible to other goroutines
+// the instant the Store executes, so
+//
+//  1. the published value must be fully initialized first — no writes
+//     through it after the Store in the same function (until the local
+//     is rebound to a fresh value), and no writes to a variable whose
+//     address was published;
+//  2. a publication site used with the free-function API
+//     (atomic.StorePointer(&p, ...)) must be stored atomically
+//     everywhere — one plain `p = x` beside it is the same torn-read
+//     race atomicfield catches on fields, generalized to publication
+//     edges (package-level and local sites; fields stay atomicfield's
+//     domain).
+//
+// This is the pointer-flip class of bug in live store migration: build
+// next, publish next, and only then remember one more fix-up write —
+// which a concurrent reader of the published pointer observes halfway.
+var AtomicPublish = &Analyzer{
+	Name: "atomicpublish",
+	Doc:  "atomically published pointers are initialized before the Store, with no post-publication writes or mixed plain stores",
+	Run:  runAtomicPublish,
+}
+
+// publication is one recognized atomic store of a value.
+type publication struct {
+	api   string   // "atomic.StorePointer", "atomic.Pointer.Store", ...
+	value ast.Expr // the published value expression
+	site  ast.Expr // &site argument for the free-function API, else nil
+	call  *ast.CallExpr
+}
+
+func runAtomicPublish(prog *Program, report Reporter) {
+	for _, pkg := range prog.Packages {
+		siteVars := make(map[*types.Var]string)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkPublications(pkg, fd, siteVars, report)
+			}
+		}
+		if len(siteVars) > 0 {
+			checkMixedStores(pkg, siteVars, report)
+		}
+	}
+}
+
+// classifyPublish recognizes one atomic publication call: the
+// sync/atomic free functions taking a pointer site, and the Store/
+// Swap/CompareAndSwap methods of atomic.Pointer[T] and atomic.Value.
+func classifyPublish(pkg *Package, call *ast.CallExpr) *publication {
+	callee := calleeFunc(pkg.Info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
+		named := namedOf(recv.Type())
+		if named == nil {
+			return nil
+		}
+		tname := named.Obj().Name()
+		if tname != "Pointer" && tname != "Value" {
+			return nil
+		}
+		api := "atomic." + tname + "." + callee.Name()
+		switch callee.Name() {
+		case "Store", "Swap":
+			if len(call.Args) == 1 {
+				return &publication{api: api, value: call.Args[0], call: call}
+			}
+		case "CompareAndSwap":
+			if len(call.Args) == 2 {
+				return &publication{api: api, value: call.Args[1], call: call}
+			}
+		}
+		return nil
+	}
+	switch callee.Name() {
+	case "StorePointer", "SwapPointer":
+		if len(call.Args) == 2 {
+			return &publication{api: "atomic." + callee.Name(), value: call.Args[1], site: call.Args[0], call: call}
+		}
+	case "CompareAndSwapPointer":
+		if len(call.Args) == 3 {
+			return &publication{api: "atomic." + callee.Name(), value: call.Args[2], site: call.Args[0], call: call}
+		}
+	}
+	return nil
+}
+
+// checkPublications finds every publication in fd, enforces the
+// no-write-after-publish window, and records free-function site
+// variables for the mixed-store check.
+func checkPublications(pkg *Package, fd *ast.FuncDecl, siteVars map[*types.Var]string, report Reporter) {
+	defs := collectDefs(pkg, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pub := classifyPublish(pkg, call)
+		if pub == nil {
+			return true
+		}
+		if pub.site != nil {
+			if v := publicationSiteVar(pkg, pub.site); v != nil {
+				siteVars[v] = pub.api
+			}
+		}
+		checkPostPublicationWrites(pkg, fd, defs, pub, report)
+		return true
+	})
+}
+
+// publicationSiteVar resolves the &site argument of a free-function
+// publication to a non-field variable. Struct fields are atomicfield's
+// domain and return nil.
+func publicationSiteVar(pkg *Package, site ast.Expr) *types.Var {
+	un, ok := ast.Unparen(site).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	id, ok := ast.Unparen(un.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// checkPostPublicationWrites enforces the initialize-before-publish
+// contract for one publication: after the Store, the local variable
+// whose value was published must not be written through (and, when its
+// address was published, not written at all) until it is rebound.
+func checkPostPublicationWrites(pkg *Package, fd *ast.FuncDecl, defs *funcDefs, pub *publication, report Reporter) {
+	val := unwrapConversions(pkg, pub.value)
+	direct := false
+	if un, ok := ast.Unparen(val).(*ast.UnaryExpr); ok && un.Op == token.AND {
+		// &x published: every later write to x is visible through the
+		// published pointer, bare assignments included.
+		direct = true
+		val = ast.Unparen(un.X)
+	}
+	id, ok := val.(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || (!direct && !pointerShaped(v.Type())) {
+		return
+	}
+	start := pub.call.End()
+	end := fd.Body.End()
+	if !direct {
+		if next := defs.nextDef(v, start); next != token.NoPos {
+			end = next
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Pos() < start || n.Pos() >= end {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				base, through := baseIdent(lhs)
+				if base == nil || pkg.Info.Uses[base] != v {
+					continue
+				}
+				if through {
+					report(n.Pos(), "write through %s after it was published via %s: initialize fully before the Store, or rebind and republish",
+						v.Name(), pub.api)
+				} else if direct {
+					report(n.Pos(), "write to %s after &%s was published via %s: the published pointer observes this mutation without synchronization",
+						v.Name(), v.Name(), pub.api)
+				}
+			}
+		case *ast.IncDecStmt:
+			if n.Pos() < start || n.Pos() >= end {
+				return true
+			}
+			if base, through := baseIdent(n.X); base != nil && pkg.Info.Uses[base] == v && (through || direct) {
+				report(n.Pos(), "write through %s after it was published via %s: initialize fully before the Store, or rebind and republish",
+					v.Name(), pub.api)
+			}
+		case *ast.CallExpr:
+			if n.Pos() < start || n.Pos() >= end {
+				return true
+			}
+			if bi, ok := pkg.Info.Uses[identOf(n.Fun)].(*types.Builtin); ok && bi.Name() == "copy" && len(n.Args) > 0 {
+				if base, _ := baseIdent(n.Args[0]); base != nil && pkg.Info.Uses[base] == v {
+					report(n.Pos(), "copy into %s after it was published via %s: the published slice aliases the destination",
+						v.Name(), pub.api)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMixedStores reports plain assignments to variables that are
+// atomic publication sites elsewhere in the package.
+func checkMixedStores(pkg *Package, siteVars map[*types.Var]string, report Reporter) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				// A := on the same name is a new variable; Uses only
+				// resolves rebindings of the existing one.
+				v, _ := pkg.Info.Uses[id].(*types.Var)
+				if v == nil {
+					continue
+				}
+				if api, tracked := siteVars[v]; tracked {
+					report(id.Pos(), "plain store to %s, which is published via %s elsewhere: every store to a publication site must go through sync/atomic",
+						v.Name(), api)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// unwrapConversions strips type conversions (unsafe.Pointer(x),
+// (*T)(p)) down to the underlying expression.
+func unwrapConversions(pkg *Package, expr ast.Expr) ast.Expr {
+	for {
+		call, ok := ast.Unparen(expr).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return ast.Unparen(expr)
+		}
+		if tv, ok := pkg.Info.Types[call.Fun]; !ok || !tv.IsType() {
+			return ast.Unparen(expr)
+		}
+		expr = call.Args[0]
+	}
+}
+
+// pointerShaped reports whether writes through a value of type t are
+// visible to holders of a copy: pointers, slices, maps, channels, and
+// unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

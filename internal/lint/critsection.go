@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CritSection forbids blocking or unbounded work inside a critical
+// section. With a mutex held, a goroutine must not:
+//
+//   - perform channel operations (send, receive, select without a
+//     default, range over a channel);
+//   - sleep or wait (time.Sleep, sync.WaitGroup.Wait);
+//   - do I/O (file and network reads/writes, subprocess waits);
+//   - call a function that may transitively do any of the above — a
+//     second fixpoint alongside lockorder's may-lock, with the same
+//     conservative treatment of method values and closures passed as
+//     arguments.
+//
+// This is what keeps MigrateStep's bounded-copy contract honest: the
+// store lock windows stay short and CPU-only, so tail latency under
+// load is a function of batch size, not of whatever a callee decided
+// to wait on. sync.Cond.Wait is deliberately exempt — it exists to be
+// called with the lock held — and deferred statements are skipped
+// (they run at return, after or alongside the deferred unlock).
+var CritSection = &Analyzer{
+	Name: "critsection",
+	Doc:  "no channel ops, sleeps, I/O, or may-block calls while a mutex is held",
+	Run:  runCritSection,
+}
+
+// blockMarker is the single transitive fact tracked by the may-block
+// fixpoint.
+var blockMarker types.Object = types.NewLabel(token.NoPos, nil, "<may-block>")
+
+// blockingFuncs lists package-level stdlib functions that block on
+// time, I/O, or the scheduler.
+var blockingFuncs = map[string]string{
+	"time.Sleep":        "sleeps",
+	"os.Open":           "does file I/O",
+	"os.OpenFile":       "does file I/O",
+	"os.Create":         "does file I/O",
+	"os.ReadFile":       "does file I/O",
+	"os.WriteFile":      "does file I/O",
+	"os.ReadDir":        "does file I/O",
+	"os.Remove":         "does file I/O",
+	"os.RemoveAll":      "does file I/O",
+	"os.Rename":         "does file I/O",
+	"os.Mkdir":          "does file I/O",
+	"os.MkdirAll":       "does file I/O",
+	"net.Dial":          "does network I/O",
+	"net.DialTimeout":   "does network I/O",
+	"net.Listen":        "does network I/O",
+	"net.LookupHost":    "does network I/O",
+	"net.LookupIP":      "does network I/O",
+	"net/http.Get":      "does network I/O",
+	"net/http.Post":     "does network I/O",
+	"net/http.PostForm": "does network I/O",
+	"net/http.Head":     "does network I/O",
+	"io.Copy":           "does I/O",
+	"io.CopyN":          "does I/O",
+	"io.CopyBuffer":     "does I/O",
+	"io.ReadAll":        "does I/O",
+	"io.ReadFull":       "does I/O",
+}
+
+// blockingMethods lists stdlib methods that block, keyed
+// "pkgpath.Type.Method". sync.Cond.Wait is intentionally absent.
+var blockingMethods = map[string]string{
+	"sync.WaitGroup.Wait":        "waits on a WaitGroup",
+	"net/http.Client.Do":         "does network I/O",
+	"net/http.Client.Get":        "does network I/O",
+	"net/http.Client.Post":       "does network I/O",
+	"net/http.Client.PostForm":   "does network I/O",
+	"net/http.Client.Head":       "does network I/O",
+	"os.File.Read":               "does file I/O",
+	"os.File.ReadAt":             "does file I/O",
+	"os.File.Write":              "does file I/O",
+	"os.File.WriteAt":            "does file I/O",
+	"os.File.Sync":               "does file I/O",
+	"os.Process.Wait":            "waits on a subprocess",
+	"os/exec.Cmd.Run":            "waits on a subprocess",
+	"os/exec.Cmd.Wait":           "waits on a subprocess",
+	"os/exec.Cmd.Output":         "waits on a subprocess",
+	"os/exec.Cmd.CombinedOutput": "waits on a subprocess",
+	"net.Conn.Read":              "does network I/O",
+	"net.Conn.Write":             "does network I/O",
+	"net.Listener.Accept":        "does network I/O",
+	"net.TCPConn.Read":           "does network I/O",
+	"net.TCPConn.Write":          "does network I/O",
+	"io.Reader.Read":             "does I/O",
+	"io.Writer.Write":            "does I/O",
+	"io.ReadWriter.Read":         "does I/O",
+	"io.ReadWriter.Write":        "does I/O",
+	"io.ReadCloser.Read":         "does I/O",
+	"io.WriteCloser.Write":       "does I/O",
+}
+
+func runCritSection(prog *Program, report Reporter) {
+	cs := &critSectionPass{prog: prog, report: report}
+	cs.mayBlock = transitiveFacts(prog, cs.directBlocking)
+	locked := collectLockedFuncs(prog, nil)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				cs.checkFunc(pkg, fd, lockedSeed(pkg, fd, locked))
+			}
+		}
+	}
+}
+
+type critSectionPass struct {
+	prog     *Program
+	report   Reporter
+	mayBlock map[*types.Func]map[types.Object]bool
+}
+
+// classifyBlockingOp recognizes syntactically blocking operations.
+// Returns a description or "".
+func classifyBlockingOp(pkg *Package, n ast.Node, stack []ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		if inSelectComm(n, stack) {
+			return ""
+		}
+		return "channel send"
+	case *ast.UnaryExpr:
+		if n.Op != token.ARROW || inSelectComm(n, stack) {
+			return ""
+		}
+		return "channel receive"
+	case *ast.SelectStmt:
+		for _, clause := range n.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				return "" // has a default: non-blocking poll
+			}
+		}
+		return "select without default"
+	case *ast.RangeStmt:
+		if t := pkg.Info.Types[n.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return "range over channel"
+			}
+		}
+	case *ast.CallExpr:
+		callee := calleeFunc(pkg.Info, n)
+		if callee == nil || callee.Pkg() == nil {
+			return ""
+		}
+		if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
+			if named := namedOf(recv.Type()); named != nil {
+				key := callee.Pkg().Path() + "." + named.Obj().Name() + "." + callee.Name()
+				if desc, ok := blockingMethods[key]; ok {
+					return "call to " + named.Obj().Name() + "." + callee.Name() + " " + desc
+				}
+			}
+			return ""
+		}
+		key := callee.Pkg().Path() + "." + callee.Name()
+		if desc, ok := blockingFuncs[key]; ok {
+			return "call to " + key + " " + desc
+		}
+	}
+	return ""
+}
+
+// inSelectComm reports whether a channel operation is the comm clause
+// of an enclosing select — those are reported (or exempted) at the
+// select itself, not individually.
+func inSelectComm(n ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.CommClause:
+			return anc.Comm != nil && anc.Comm.Pos() <= n.Pos() && n.Pos() < anc.Comm.End()
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// directBlocking seeds the may-block fixpoint with the operations fn
+// performs in its own body (including inside func literals — a caller
+// must assume they run).
+func (cs *critSectionPass) directBlocking(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	var out map[types.Object]bool
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if classifyBlockingOp(pkg, n, stack) != "" {
+			if out == nil {
+				out = map[types.Object]bool{blockMarker: true}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// litBlocking seeds the blocking facts of one func literal, for
+// resolving closures passed as arguments.
+func (cs *critSectionPass) litBlocking(pkg *Package, lit *ast.FuncLit) map[types.Object]bool {
+	var out map[types.Object]bool
+	walkStack(lit.Body, func(n ast.Node, stack []ast.Node) bool {
+		if classifyBlockingOp(pkg, n, stack) != "" {
+			if out == nil {
+				out = map[types.Object]bool{blockMarker: true}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (cs *critSectionPass) checkFunc(pkg *Package, fd *ast.FuncDecl, seed []heldEntry) {
+	defs := collectDefs(pkg, fd.Body)
+	walkWithHeld(pkg, fd.Body, seed, func(n ast.Node, held []heldEntry, stack []ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			// Deferred work runs at return, alongside the deferred
+			// unlock; its ordering is a lockorder concern, not ours.
+			return false
+		}
+		if len(held) == 0 {
+			return true
+		}
+		lock := held[len(held)-1].key
+		if desc := classifyBlockingOp(pkg, n, stack); desc != "" {
+			cs.report(n.Pos(), "%s while %s is held: critical sections must stay bounded and CPU-only", desc, lock)
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, _, isMutexOp := classifyMutexOp(pkg, call); isMutexOp {
+			return true
+		}
+		if len(stack) > 0 {
+			// A go statement only spawns: the callee blocks on its own
+			// goroutine, outside this critical section.
+			if gs, isGo := stack[len(stack)-1].(*ast.GoStmt); isGo && gs.Call == call {
+				return true
+			}
+		}
+		if callee := calleeFunc(pkg.Info, call); callee != nil {
+			if cs.prog.funcDecls[callee] != nil && cs.mayBlock[callee][blockMarker] {
+				cs.report(call.Pos(), "call to %s, which may block (channel op, sleep, or I/O on some path), while %s is held",
+					callee.Name(), lock)
+				return true
+			}
+		} else if facts := callableFacts(cs.prog, pkg, call.Fun, defs, cs.mayBlock, cs.litBlocking); facts[blockMarker] {
+			cs.report(call.Pos(), "call through %s, which may block, while %s is held",
+				types.ExprString(call.Fun), lock)
+			return true
+		}
+		for _, arg := range call.Args {
+			if facts := callableFacts(cs.prog, pkg, arg, defs, cs.mayBlock, cs.litBlocking); facts[blockMarker] {
+				cs.report(call.Pos(), "argument %s may block and the callee can invoke it while %s is held",
+					types.ExprString(arg), lock)
+				return true
+			}
+		}
+		return true
+	})
+}

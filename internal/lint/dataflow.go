@@ -1,0 +1,433 @@
+package lint
+
+// The shared intra-procedural dataflow engine behind the
+// concurrency-safety analyzers (lockorder, guardfield, atomicpublish,
+// critsection). Three capabilities, each deliberately small:
+//
+//   - a held-locks walker (walkWithHeld): source-order traversal of a
+//     function body tracking which mutexes are held at every node,
+//     including read/write lock distinction and the defer-unlock idiom;
+//
+//   - a transitive fact engine (transitiveFacts): a fixpoint over the
+//     intra-module call graph computing "this function may do X"
+//     (may-lock, may-block). Method values and closures that escape as
+//     plain values — passed as arguments, stored, returned — contribute
+//     their facts to the function that lets them escape, because the
+//     receiving code can invoke them at any point; treating them as
+//     inert is exactly the soundness gap the first lockorder fixpoint
+//     shipped with;
+//
+//   - def-use bookkeeping (funcDefs): per-local-variable definition
+//     sites in source order, used for reaching-definition queries (what
+//     callable does this function value hold here? was this value
+//     freshly constructed in this function?) and for the
+//     write-after-publication window of atomicpublish.
+//
+// Everything is intra-procedural and source-order approximated: a
+// node's "held" set and a variable's "reaching definition" come from
+// the textually preceding code, not a CFG. That is the same contract
+// the original lockorder walker shipped with, and it is the right
+// trade for a lint pass that must stay fast and dependency-free.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// heldEntry is one currently held lock acquisition, tracked by the
+// walker: the lock class object (the mutex field/variable), the
+// printed receiver key distinguishing instances ("a.mu",
+// "s.shards[i].mu", "s#v"), and whether only the read side is held.
+type heldEntry struct {
+	class types.Object
+	key   string
+	// index is the constant lock index when statically known, else -1.
+	index int64
+	// read marks RLock acquisitions: sufficient for guarded reads,
+	// insufficient for guarded writes.
+	read bool
+}
+
+// holdsWrite reports whether held contains a write-side hold of class
+// with the given instance key.
+func holdsWrite(held []heldEntry, class types.Object, key string) bool {
+	for _, h := range held {
+		if h.class == class && h.key == key && !h.read {
+			return true
+		}
+	}
+	return false
+}
+
+// holdsAny reports whether held contains any hold (read or write) of
+// class with the given instance key.
+func holdsAny(held []heldEntry, class types.Object, key string) bool {
+	for _, h := range held {
+		if h.class == class && h.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyMutexOp recognizes direct mutex method calls (mu.Lock,
+// mu.RLock, mu.Unlock, mu.RUnlock) on sync.Mutex/sync.RWMutex values
+// and returns the lock class object (the mutex field or variable), the
+// instance key, and the operation kind. Returns ok=false for anything
+// else, including the store-style index locks lockorder additionally
+// tracks.
+func classifyMutexOp(pkg *Package, call *ast.CallExpr) (op heldEntry, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return heldEntry{}, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire = true
+		op.read = true
+	case "Unlock", "RUnlock":
+	default:
+		return heldEntry{}, false, false
+	}
+	recvType := pkg.Info.Types[sel.X].Type
+	if recvType == nil || !isSyncLocker(recvType) {
+		return heldEntry{}, false, false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if f := selectedField(pkg.Info, x); f != nil {
+			op.class = f
+		}
+	case *ast.Ident:
+		op.class = pkg.Info.Uses[x]
+	}
+	if op.class == nil {
+		// Mutex reached through indexing or a call result: bucket the
+		// class on the mutex's own named type, conservatively.
+		if named := namedOf(recvType); named != nil {
+			op.class = named.Obj()
+		}
+	}
+	op.key = types.ExprString(sel.X)
+	op.index = constIndexOf(pkg, sel.X)
+	return op, acquire, op.class != nil
+}
+
+// walkWithHeld traverses body in source order, calling visit at every
+// node with the set of locks held there (seeded with seed) and the
+// ancestor stack. Lock acquisitions take effect for the nodes after
+// the acquiring call; unlocks release the most recent matching hold
+// unless deferred (a deferred unlock runs at return, so the lock stays
+// held for the rest of the walk). FuncLit bodies are walked with a
+// fresh empty held set — they execute later, on whatever goroutine
+// invokes them, not under the current locks. visit returning false
+// skips the node's children.
+func walkWithHeld(pkg *Package, body ast.Node, seed []heldEntry, visit func(n ast.Node, held []heldEntry, stack []ast.Node) bool) {
+	held := append([]heldEntry(nil), seed...)
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !visit(n, held, stack) {
+				return false
+			}
+			walkWithHeld(pkg, n.Body, nil, visit)
+			return false
+		case *ast.CallExpr:
+			// The visit callback sees the held set as of just before
+			// the call, so an acquire site observes what it nests under.
+			keep := visit(n, held, stack)
+			if op, acquire, ok := classifyMutexOp(pkg, n); ok {
+				if acquire {
+					held = append(held, op)
+				} else if !inDefer(stack) {
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].key == op.key {
+							held = append(held[:i:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			return keep
+		}
+		return visit(n, held, stack)
+	})
+}
+
+// funcRef is one reference to a module function inside a body: either
+// a direct call or an escaping value use (method value, function
+// value, method expression).
+type funcRef struct {
+	fn   *types.Func
+	call bool
+	node ast.Node
+}
+
+// moduleFuncRefs collects every reference to a module-declared
+// function in body, classifying call vs. value use. A SelectorExpr or
+// Ident that is the Fun of a CallExpr is a call; anywhere else the
+// function escapes as a value.
+func moduleFuncRefs(prog *Program, pkg *Package, body ast.Node) []funcRef {
+	var refs []funcRef
+	callFun := make(map[ast.Node]bool)
+	handledSel := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callFun[ast.Unparen(n.Fun)] = true
+		case *ast.SelectorExpr:
+			handledSel[n.Sel] = true
+			if f, ok := pkg.Info.Uses[n.Sel].(*types.Func); ok && prog.funcDecls[f] != nil {
+				refs = append(refs, funcRef{fn: f, call: callFun[n], node: n})
+			}
+		case *ast.Ident:
+			if handledSel[n] {
+				return true
+			}
+			if f, ok := pkg.Info.Uses[n].(*types.Func); ok && prog.funcDecls[f] != nil {
+				refs = append(refs, funcRef{fn: f, call: callFun[n], node: n})
+			}
+		}
+		return true
+	})
+	return refs
+}
+
+// transitiveFacts computes, for every module function, the transitive
+// closure of the facts established by direct(fn) over the intra-module
+// call graph. The call graph includes both resolved calls and escaping
+// value references (method values, function values): a function that
+// hands s.addLocked to a helper may see it invoked, so it inherits its
+// facts. FuncLit bodies are part of their enclosing declaration and
+// contribute through direct() and through the references they contain.
+func transitiveFacts(prog *Program, direct func(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool) map[*types.Func]map[types.Object]bool {
+	facts := make(map[*types.Func]map[types.Object]bool, len(prog.funcDecls))
+	edges := make(map[*types.Func][]*types.Func)
+	for f, node := range prog.funcDecls {
+		facts[f] = direct(node.pkg, node.decl)
+		for _, ref := range moduleFuncRefs(prog, node.pkg, node.decl.Body) {
+			edges[f] = append(edges[f], ref.fn)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for f, callees := range edges {
+			set := facts[f]
+			for _, callee := range callees {
+				for obj := range facts[callee] {
+					if !set[obj] {
+						if set == nil {
+							set = make(map[types.Object]bool)
+							facts[f] = set
+						}
+						set[obj] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// defSite is one definition of a local variable: its position and the
+// defining expression when the assignment is 1:1 (nil for tuple
+// assignments, range bindings, and other unknown-value definitions).
+type defSite struct {
+	pos token.Pos
+	rhs ast.Expr
+}
+
+// funcDefs holds the source-ordered definition sites of every local
+// variable in one function body.
+type funcDefs struct {
+	defs map[*types.Var][]defSite
+}
+
+// collectDefs builds the def table for body. Definitions are recorded
+// for :=, =, compound assignment, var specs with values, and range
+// bindings; taking a variable's address is also recorded as an
+// unknown-value definition, since anything may write through the
+// pointer afterwards.
+func collectDefs(pkg *Package, body ast.Node) *funcDefs {
+	d := &funcDefs{defs: make(map[*types.Var][]defSite)}
+	add := func(id *ast.Ident, rhs ast.Expr) {
+		var obj types.Object
+		if def, ok := pkg.Info.Defs[id]; ok && def != nil {
+			obj = def
+		} else {
+			obj = pkg.Info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			d.defs[v] = append(d.defs[v], defSite{pos: id.Pos(), rhs: rhs})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					rhs = n.Rhs[i]
+				}
+				add(id, rhs)
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				var rhs ast.Expr
+				if len(n.Values) == len(n.Names) {
+					rhs = n.Values[i]
+				}
+				add(id, rhs)
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				add(id, nil)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				add(id, nil)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					add(id, nil)
+				}
+			}
+		}
+		return true
+	})
+	return d
+}
+
+// reachingDef returns the last definition of v textually before pos,
+// or nil when none exists (parameters, receivers, free variables).
+func (d *funcDefs) reachingDef(v *types.Var, pos token.Pos) *defSite {
+	var last *defSite
+	for i := range d.defs[v] {
+		if d.defs[v][i].pos < pos {
+			last = &d.defs[v][i]
+		}
+	}
+	return last
+}
+
+// nextDef returns the position of the first definition of v at or
+// after pos, or token.NoPos when v is never redefined.
+func (d *funcDefs) nextDef(v *types.Var, pos token.Pos) token.Pos {
+	for i := range d.defs[v] {
+		if d.defs[v][i].pos > pos {
+			return d.defs[v][i].pos
+		}
+	}
+	return token.NoPos
+}
+
+// isFreshComposite reports whether the reaching definition of v at pos
+// is a composite literal (T{...} or &T{...}) built in this function —
+// construction-time state that no other goroutine can observe yet.
+func (d *funcDefs) isFreshComposite(v *types.Var, pos token.Pos) bool {
+	def := d.reachingDef(v, pos)
+	if def == nil || def.rhs == nil {
+		return false
+	}
+	rhs := ast.Unparen(def.rhs)
+	if un, ok := rhs.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		rhs = ast.Unparen(un.X)
+	}
+	_, ok := rhs.(*ast.CompositeLit)
+	return ok
+}
+
+// baseIdent peels selectors, indexing, derefs, and slicing off an
+// lvalue chain and returns the base identifier, along with whether any
+// link was peeled (false means the expression IS the bare identifier).
+func baseIdent(expr ast.Expr) (id *ast.Ident, through bool) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e, through
+		case *ast.SelectorExpr:
+			expr = e.X
+			through = true
+		case *ast.IndexExpr:
+			expr = e.X
+			through = true
+		case *ast.StarExpr:
+			expr = e.X
+			through = true
+		case *ast.SliceExpr:
+			expr = e.X
+			through = true
+		default:
+			return nil, through
+		}
+	}
+}
+
+// callableFacts resolves the facts of a callable expression: a method
+// value or function reference (the referenced function's facts), a
+// func literal (facts of the code inside it, via direct()), or a local
+// variable holding one of those per its reaching definition. Returns
+// nil for expressions that cannot be resolved to module code.
+func callableFacts(prog *Program, pkg *Package, expr ast.Expr, defs *funcDefs,
+	facts map[*types.Func]map[types.Object]bool,
+	litFacts func(pkg *Package, lit *ast.FuncLit) map[types.Object]bool) map[types.Object]bool {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.FuncLit:
+		set := litFacts(pkg, e)
+		// References inside the literal contribute their own facts.
+		for _, ref := range moduleFuncRefs(prog, pkg, e.Body) {
+			for obj := range facts[ref.fn] {
+				if set == nil {
+					set = make(map[types.Object]bool)
+				}
+				set[obj] = true
+			}
+		}
+		return set
+	case *ast.SelectorExpr:
+		if f, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
+			return facts[f]
+		}
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[e].(*types.Func); ok {
+			return facts[f]
+		}
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok && defs != nil {
+			if def := defs.reachingDef(v, e.Pos()); def != nil && def.rhs != nil {
+				if _, isIdent := ast.Unparen(def.rhs).(*ast.Ident); !isIdent {
+					return callableFacts(prog, pkg, def.rhs, defs, facts, litFacts)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// guardComment extracts the payload of a //sglint:<directive> comment
+// from a comment group, or "" when absent.
+func directivePayload(groups []*ast.CommentGroup, directive string) (string, *ast.Comment) {
+	prefix := "//sglint:" + directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if rest, ok := strings.CutPrefix(c.Text, prefix); ok {
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					return strings.TrimSpace(rest), c
+				}
+			}
+		}
+	}
+	return "", nil
+}

@@ -131,6 +131,9 @@ func Analyzers() []*Analyzer {
 		BareGoroutine,
 		HotPathAlloc,
 		ObsDiscipline,
+		GuardField,
+		AtomicPublish,
+		CritSection,
 	}
 }
 
@@ -215,7 +218,12 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		// Same position, same analyzer: order on the message so golden
+		// output is deterministic.
+		return a.Message < b.Message
 	})
 	return out
 }

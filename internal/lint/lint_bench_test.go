@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// BenchmarkFullModuleAnalysis measures one end-to-end sglint pass over
+// the real module: parse, type-check, run every analyzer (including
+// the three dataflow-backed ones), and apply suppressions. This is the
+// cost every check.sh run and CI shard pays, so it is the number to
+// watch when an analyzer grows a new fixpoint.
+func BenchmarkFullModuleAnalysis(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := LoadModule("../..", false)
+		if err != nil {
+			b.Fatalf("loading module: %v", err)
+		}
+		Run(prog, Analyzers())
+	}
+}
+
+// BenchmarkAnalyzersOnly isolates analysis from loading: the module is
+// parsed and type-checked once, then each iteration re-runs the full
+// analyzer suite (the dataflow fixpoints dominate here).
+func BenchmarkAnalyzersOnly(b *testing.B) {
+	prog, err := LoadModule("../..", false)
+	if err != nil {
+		b.Fatalf("loading module: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(prog, Analyzers())
+	}
+}
+
+// TestAnalysisTimeBudget is the wall-clock regression gate wired into
+// check.sh: a full load-and-analyze pass must finish within the budget
+// named by SGLINT_TIME_BUDGET (a Go duration, e.g. "30s"). Unset, the
+// test skips — local `go test ./...` stays fast and machine-speed
+// independent; the gate engages only where the budget is set
+// explicitly for known hardware.
+func TestAnalysisTimeBudget(t *testing.T) {
+	budgetEnv := os.Getenv("SGLINT_TIME_BUDGET")
+	if budgetEnv == "" {
+		t.Skip("SGLINT_TIME_BUDGET not set; skipping wall-clock budget gate")
+	}
+	budget, err := time.ParseDuration(budgetEnv)
+	if err != nil {
+		t.Fatalf("SGLINT_TIME_BUDGET %q: %v", budgetEnv, err)
+	}
+	start := time.Now()
+	prog, err := LoadModule("../..", false)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	Run(prog, Analyzers())
+	elapsed := time.Since(start)
+	t.Logf("full-module analysis took %v (budget %v)", elapsed, budget)
+	if elapsed > budget {
+		t.Fatalf("full-module analysis took %v, over the %v budget: an analyzer regressed (profile with BenchmarkAnalyzersOnly)", elapsed, budget)
+	}
+}

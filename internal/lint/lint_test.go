@@ -23,12 +23,12 @@ func loadFixture(t *testing.T) *Program {
 	return prog
 }
 
-// TestSuiteShape guards the tentpole contract: at least six analyzers,
-// each named and documented.
+// TestSuiteShape guards the tentpole contract: at least nine analyzers
+// (six syntactic plus the dataflow trio), each named and documented.
 func TestSuiteShape(t *testing.T) {
 	as := Analyzers()
-	if len(as) < 6 {
-		t.Fatalf("suite has %d analyzers, want >= 6", len(as))
+	if len(as) < 9 {
+		t.Fatalf("suite has %d analyzers, want >= 9", len(as))
 	}
 	seen := make(map[string]bool)
 	for _, a := range as {
@@ -103,6 +103,9 @@ func TestFixturePositivesAndNegatives(t *testing.T) {
 		"baregoroutine":     "pos/goro/",
 		"hotpathalloc":      "pos/update/",
 		"obsdiscipline":     "pos/metrics/",
+		"guardfield":        "pos/guard/",
+		"atomicpublish":     "pos/publish/",
+		"critsection":       "pos/crit/",
 	}
 	counts := make(map[string]int)
 	for _, d := range diags {
@@ -138,6 +141,55 @@ func TestFixturePositivesAndNegatives(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("no span-discipline finding containing %q under pos/span", want)
+		}
+	}
+
+	// Each dataflow analyzer must catch every violation shape its
+	// positive fixture stages, not just one finding per package.
+	shapeWant := map[string][]struct{ prefix, substr string }{
+		"guardfield": {
+			{"pos/guard/", "read of"},
+			{"pos/guard/", "write to"},
+			{"pos/guard/", "read side"},
+			{"pos/guard/", "//sglint:locked"},
+			{"pos/guard/", "unknown sibling field"},
+			{"pos/guard/", "not a sync.Mutex"},
+		},
+		"atomicpublish": {
+			{"pos/publish/", "write through"},
+			{"pos/publish/", "plain store"},
+			{"pos/publish/", "copy into"},
+			{"pos/publish/", "published pointer observes"},
+		},
+		"critsection": {
+			{"pos/crit/", "channel send"},
+			{"pos/crit/", "channel receive"},
+			{"pos/crit/", "sleeps"},
+			{"pos/crit/", "select without default"},
+			{"pos/crit/", "may block"},
+			{"pos/crit/", "argument"},
+		},
+		"lockorder": {
+			// The may-lock fixpoint must see closures and method values
+			// passed as arguments (the gap the shared engine closed).
+			{"pos/graph/", "apply"},
+			{"pos/graph/", "cb"},
+		},
+	}
+	for analyzer, wants := range shapeWant {
+		for _, w := range wants {
+			found := false
+			for _, d := range diags {
+				if d.Analyzer == analyzer &&
+					strings.HasPrefix(filepath.ToSlash(d.Pos.Filename), w.prefix) &&
+					strings.Contains(d.Message, w.substr) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("no %s finding containing %q under %s", analyzer, w.substr, w.prefix)
+			}
 		}
 	}
 }

@@ -19,6 +19,11 @@ import (
 // field/variable object (every vertexAdj.mu is one class; growMu is
 // another). Cross-class nesting is allowed: the store hierarchy
 // (vertex lock over table-growth lock) is a deliberate design.
+//
+// The may-lock fixpoint is conservative about function values: a
+// method value or closure passed as an argument (or called through a
+// local variable) contributes its lock classes to the call, because
+// the receiving code can invoke it while the caller's locks are held.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc:  "shard locks acquired in ascending order and never held across a call that can re-lock the store",
@@ -39,27 +44,18 @@ func (c lockClass) String() string {
 	return c.obj.Name()
 }
 
-// heldLock is one currently held acquisition.
-type heldLock struct {
-	class lockClass
-	// key distinguishes instances within a class: the printed receiver
-	// expression plus index arguments ("s.shards[i].mu", "s#v").
-	key string
-	// index is the constant lock index when statically known, else -1.
-	index int64
-}
-
 // lockOp describes a recognized lock/unlock call site.
 type lockOp struct {
 	class   lockClass
 	key     string
 	index   int64 // constant index or -1
+	read    bool
 	acquire bool
 }
 
 func runLockOrder(prog *Program, report Reporter) {
 	lo := &lockOrderPass{prog: prog, report: report}
-	lo.buildMayLock()
+	lo.mayLock = transitiveFacts(prog, lo.directLocks)
 	for _, pkg := range prog.Packages {
 		if lastPathElement(pkg.Path) != "graph" && !strings.Contains(pkg.Path, "/graph/") {
 			// The discipline is specific to the sharded stores; other
@@ -90,49 +86,26 @@ type lockOrderPass struct {
 // RLock/RUnlock) and store index-lock methods (s.Lock(v)/s.Unlock(v)
 // where the method is declared in the module and wraps a mutex).
 func (lo *lockOrderPass) classifyLockCall(pkg *Package, call *ast.CallExpr) *lockOp {
+	if op, acquire, ok := classifyMutexOp(pkg, call); ok {
+		return &lockOp{
+			class:   lockClass{obj: op.class},
+			key:     op.key,
+			index:   op.index,
+			read:    op.read,
+			acquire: acquire,
+		}
+	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return nil
 	}
-	name := sel.Sel.Name
 	var acquire bool
-	switch name {
+	switch sel.Sel.Name {
 	case "Lock", "RLock":
 		acquire = true
 	case "Unlock", "RUnlock":
 	default:
 		return nil
-	}
-	recvType := pkg.Info.Types[sel.X].Type
-	if recvType == nil {
-		return nil
-	}
-	if isSyncLocker(recvType) {
-		// Direct mutex access: the class is the field/variable object
-		// holding the mutex.
-		var obj types.Object
-		switch x := ast.Unparen(sel.X).(type) {
-		case *ast.SelectorExpr:
-			if f := selectedField(pkg.Info, x); f != nil {
-				obj = f
-			}
-		case *ast.Ident:
-			obj = pkg.Info.Uses[x]
-		}
-		if obj == nil {
-			// Mutex reached through indexing or a call result: key the
-			// class on the mutex's own type object as a conservative
-			// bucket.
-			if named := namedOf(recvType); named != nil {
-				obj = named.Obj()
-			}
-		}
-		return &lockOp{
-			class:   lockClass{obj: obj},
-			key:     types.ExprString(sel.X),
-			index:   constIndexOf(pkg, sel.X),
-			acquire: acquire,
-		}
 	}
 	// Store-style index lock: a module method named Lock/Unlock taking
 	// the shard/vertex index as its first argument.
@@ -143,6 +116,7 @@ func (lo *lockOrderPass) classifyLockCall(pkg *Package, call *ast.CallExpr) *loc
 	if len(call.Args) == 0 {
 		return nil
 	}
+	recvType := pkg.Info.Types[sel.X].Type
 	named := namedOf(recvType)
 	if named == nil {
 		return nil
@@ -180,51 +154,39 @@ func constValueOf(pkg *Package, expr ast.Expr) int64 {
 	return -1
 }
 
-// buildMayLock computes, for every module function, the set of lock
-// classes it may acquire — a transitive closure over the intra-module
-// call graph, iterated to fixpoint.
-func (lo *lockOrderPass) buildMayLock() {
-	lo.mayLock = make(map[*types.Func]map[types.Object]bool)
-	// calls maps caller -> statically resolved module callees.
-	calls := make(map[*types.Func][]*types.Func)
-
-	for f, node := range lo.prog.funcDecls {
-		direct := make(map[types.Object]bool)
-		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if op := lo.classifyLockCall(node.pkg, call); op != nil {
-				if op.acquire && op.class.obj != nil {
-					direct[op.class.obj] = true
-				}
-				return true
-			}
-			if callee := calleeFunc(node.pkg.Info, call); callee != nil {
-				if _, inModule := lo.prog.funcDecls[callee]; inModule {
-					calls[f] = append(calls[f], callee)
-				}
-			}
+// directLocks seeds the may-lock fixpoint with the lock classes fn
+// acquires in its own body (func literals included: their acquisitions
+// happen whenever the literal runs, which the caller must assume).
+func (lo *lockOrderPass) directLocks(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
 			return true
-		})
-		lo.mayLock[f] = direct
-	}
-
-	for changed := true; changed; {
-		changed = false
-		for f, callees := range calls {
-			set := lo.mayLock[f]
-			for _, callee := range callees {
-				for obj := range lo.mayLock[callee] {
-					if !set[obj] {
-						set[obj] = true
-						changed = true
-					}
-				}
-			}
 		}
-	}
+		if op := lo.classifyLockCall(pkg, call); op != nil && op.acquire && op.class.obj != nil {
+			out[op.class.obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// litLocks seeds the lock classes a func literal acquires directly, for
+// conservative resolution of closures passed as arguments.
+func (lo *lockOrderPass) litLocks(pkg *Package, lit *ast.FuncLit) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op := lo.classifyLockCall(pkg, call); op != nil && op.acquire && op.class.obj != nil {
+			out[op.class.obj] = true
+		}
+		return true
+	})
+	return out
 }
 
 // checkFunc walks one function body in source order tracking held
@@ -235,6 +197,7 @@ func (lo *lockOrderPass) checkFunc(pkg *Package, fd *ast.FuncDecl) {
 }
 
 func (lo *lockOrderPass) checkBody(pkg *Package, body ast.Node, held []heldLock) {
+	defs := collectDefs(pkg, body)
 	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
@@ -252,10 +215,20 @@ func (lo *lockOrderPass) checkBody(pkg *Package, body ast.Node, held []heldLock)
 				}
 				return true
 			}
-			lo.checkCallUnderLock(pkg, n, held)
+			lo.checkCallUnderLock(pkg, n, held, defs)
 		}
 		return true
 	})
+}
+
+// heldLock is one currently held acquisition.
+type heldLock struct {
+	class lockClass
+	// key distinguishes instances within a class: the printed receiver
+	// expression plus index arguments ("s.shards[i].mu", "s#v").
+	key string
+	// index is the constant lock index when statically known, else -1.
+	index int64
 }
 
 // inDefer reports whether the innermost statement context is a defer.
@@ -305,24 +278,62 @@ func (lo *lockOrderPass) checkAcquire(pkg *Package, call *ast.CallExpr, op *lock
 }
 
 // checkCallUnderLock flags calls that can transitively re-acquire a
-// held lock class.
-func (lo *lockOrderPass) checkCallUnderLock(pkg *Package, call *ast.CallExpr, held []heldLock) {
+// held lock class. The callee's may-lock set is resolved statically
+// when possible; calls through function values use the value's
+// reaching definition. Either way, callable arguments (method values,
+// closures) count toward the call: the callee may invoke them under
+// the caller's locks.
+func (lo *lockOrderPass) checkCallUnderLock(pkg *Package, call *ast.CallExpr, held []heldLock, defs *funcDefs) {
 	if len(held) == 0 {
 		return
 	}
-	callee := calleeFunc(pkg.Info, call)
-	if callee == nil {
-		return
+	var locks map[types.Object]bool
+	var calleeName string
+	if callee := calleeFunc(pkg.Info, call); callee != nil {
+		if _, inModule := lo.prog.funcDecls[callee]; !inModule {
+			// Non-module callee (stdlib, interface method): its body
+			// cannot name a module lock. Its callable arguments still
+			// can, so fall through to the argument check.
+			locks = nil
+		} else {
+			locks = lo.mayLock[callee]
+		}
+		calleeName = callee.Name()
+	} else {
+		// Call through a function value: resolve what it holds via its
+		// reaching definition, conservatively.
+		locks = callableFacts(lo.prog, pkg, call.Fun, defs, lo.mayLock, lo.litLocks)
+		calleeName = types.ExprString(call.Fun)
 	}
-	locks := lo.mayLock[callee]
-	if len(locks) == 0 {
+	merged := locks
+	for _, arg := range call.Args {
+		argLocks := callableFacts(lo.prog, pkg, arg, defs, lo.mayLock, lo.litLocks)
+		if len(argLocks) == 0 {
+			continue
+		}
+		if merged == nil {
+			merged = make(map[types.Object]bool, len(argLocks))
+		} else if len(locks) > 0 {
+			// Copy-on-write: never mutate the shared fixpoint sets.
+			cp := make(map[types.Object]bool, len(merged)+len(argLocks))
+			for obj := range merged {
+				cp[obj] = true
+			}
+			merged = cp
+			locks = nil
+		}
+		for obj := range argLocks {
+			merged[obj] = true
+		}
+	}
+	if len(merged) == 0 {
 		return
 	}
 	for _, h := range held {
-		if h.class.obj != nil && locks[h.class.obj] {
+		if h.class.obj != nil && merged[h.class.obj] {
 			lo.report(call.Pos(),
 				"call to %s while holding %s: callee can acquire a %s lock of the same class (re-lock deadlock)",
-				callee.Name(), h.key, h.class)
+				calleeName, h.key, h.class)
 			return
 		}
 	}

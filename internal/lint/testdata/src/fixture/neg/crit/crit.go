@@ -1,0 +1,70 @@
+// Package crit exercises the patterns critsection must accept:
+// signaling after unlock, non-blocking polls with a default, CPU-only
+// critical sections, and goroutines spawned (not run) under the lock.
+package crit
+
+import (
+	"sync"
+	"time"
+)
+
+// Queue is a mutex-protected queue with a notification channel.
+type Queue struct {
+	mu    sync.Mutex
+	items []int
+	ready chan struct{}
+}
+
+// PushThenNotify keeps the critical section CPU-only and signals after
+// unlocking.
+func (q *Queue) PushThenNotify(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.ready <- struct{}{}
+}
+
+// TryNotify polls with a default: non-blocking, allowed under lock.
+func (q *Queue) TryNotify(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+	select {
+	case q.ready <- struct{}{}:
+	default:
+	}
+}
+
+// SleepOutside throttles outside the lock window.
+func (q *Queue) SleepOutside() {
+	q.mu.Lock()
+	n := len(q.items)
+	q.mu.Unlock()
+	time.Sleep(time.Duration(n))
+}
+
+// SpawnUnderLock starts a goroutine under the lock: the literal runs
+// on its own goroutine, outside this critical section.
+func (q *Queue) SpawnUnderLock(done chan<- struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		defer func() { recover() }()
+		defer close(done)
+		<-q.ready
+	}()
+}
+
+// trim is CPU-only and lock-free; calling it under a lock is fine.
+func (q *Queue) trim(n int) {
+	if len(q.items) > n {
+		q.items = q.items[:n]
+	}
+}
+
+// Compact holds the lock across a CPU-only helper.
+func (q *Queue) Compact() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.trim(16)
+}

@@ -56,3 +56,26 @@ func (s *Store) Deferred(i int) int {
 	defer s.shards[i].mu.Unlock()
 	return s.shards[i].n
 }
+
+// apply invokes the callback it receives.
+func apply(f func(int), i int) { f(i) }
+
+// size reads a shard count without locking anything.
+func (s *Store) size(i int) int { return s.shards[i].n }
+
+// NonLockingCallback passes a lock-free method value to a helper under
+// a held shard lock: nothing the callee can run acquires a lock.
+func (s *Store) NonLockingCallback(i int) {
+	cb := s.size
+	s.shards[i].mu.Lock()
+	apply(func(j int) { _ = cb(j) }, i)
+	s.shards[i].mu.Unlock()
+}
+
+// CrossClassClosure hands a growth-lock closure to a helper under a
+// shard lock: different class, deliberate hierarchy, allowed.
+func (s *Store) CrossClassClosure(i int) {
+	s.shards[i].mu.Lock()
+	apply(func(int) { s.grow() }, i)
+	s.shards[i].mu.Unlock()
+}

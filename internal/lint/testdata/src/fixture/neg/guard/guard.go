@@ -1,0 +1,72 @@
+// Package guard exercises the guardfield patterns that must be
+// accepted: locked reads and writes, the read-lock-for-reads rule,
+// sync/atomic access, writes-only guards read quiescently,
+// construction-time writes, and held calls to locked helpers.
+package guard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Table mimics a store with annotated guards.
+type Table struct {
+	mu sync.RWMutex
+	// cur is the live representation.
+	cur []int //sglint:guard mu
+	// out is written under mu but read quiescently by compute.
+	out []int //sglint:guard mu writes
+	// hits is accessed through sync/atomic only.
+	hits int64 //sglint:guard mu
+}
+
+// ReadLocked reads under the read lock.
+func (t *Table) ReadLocked() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.cur)
+}
+
+// WriteLocked writes under the write lock.
+func (t *Table) WriteLocked(v int) {
+	t.mu.Lock()
+	t.cur = append(t.cur, v)
+	t.out = append(t.out, v)
+	t.mu.Unlock()
+}
+
+// Hit bumps the counter atomically: the sanctioned lock-free access.
+func (t *Table) Hit() {
+	atomic.AddInt64(&t.hits, 1)
+}
+
+// Hits reads the counter atomically.
+func (t *Table) Hits() int64 {
+	return atomic.LoadInt64(&t.hits)
+}
+
+// ReadOut reads a writes-only guarded field without the lock: the
+// documented quiescent-read contract.
+func (t *Table) ReadOut() int { return len(t.out) }
+
+// NewTable builds a table; construction-time writes are private to
+// this goroutine.
+func NewTable(n int) *Table {
+	t := &Table{}
+	t.cur = make([]int, 0, n)
+	t.out = make([]int, 0, n)
+	return t
+}
+
+// sizeLocked requires the caller to hold t.mu; the seeded hold covers
+// its own guarded reads.
+//
+//sglint:locked mu
+func (t *Table) sizeLocked() int { return len(t.cur) }
+
+// CallLocked holds the lock across the locked helper.
+func (t *Table) CallLocked() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sizeLocked()
+}

@@ -1,0 +1,51 @@
+// Package publish exercises the publication patterns atomicpublish
+// must accept: initialize-then-store, atomic loads and stores at every
+// site, and rebinding the local to a fresh value after publication.
+package publish
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+type node struct {
+	val  int
+	next *node
+}
+
+// head is the list head, published atomically everywhere.
+var head unsafe.Pointer
+
+// PublishInitialized fully initializes the node before the store.
+func PublishInitialized(v int) {
+	n := &node{val: v}
+	n.next = nil
+	atomic.StorePointer(&head, unsafe.Pointer(n))
+}
+
+// Load reads the site atomically.
+func Load() *node {
+	return (*node)(atomic.LoadPointer(&head))
+}
+
+// RebindThenWrite rebinds the local to a fresh node after publishing:
+// writes to the new value are private again.
+func RebindThenWrite(v int) {
+	n := &node{val: v}
+	atomic.StorePointer(&head, unsafe.Pointer(n))
+	n = &node{}
+	n.val = v + 1
+	atomic.StorePointer(&head, unsafe.Pointer(n))
+}
+
+// Conf is a config blob swapped via atomic.Pointer.
+type Conf struct{ limit int }
+
+var cur atomic.Pointer[Conf]
+
+// Rotate publishes a finished config and reads the old one back.
+func Rotate(limit int) *Conf {
+	c := &Conf{limit: limit}
+	old := cur.Swap(c)
+	return old
+}

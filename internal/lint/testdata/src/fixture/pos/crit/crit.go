@@ -1,0 +1,74 @@
+// Package crit seeds critsection violations: channel operations,
+// sleeps, blocking selects, and may-block calls — direct, transitive,
+// and through callable arguments — all inside a held Lock/Unlock
+// window.
+package crit
+
+import (
+	"sync"
+	"time"
+)
+
+// Queue is a mutex-protected queue with a notification channel.
+type Queue struct {
+	mu    sync.Mutex
+	items []int
+	ready chan struct{}
+}
+
+// PushNotify sends on a channel with the lock held.
+func (q *Queue) PushNotify(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.ready <- struct{}{}
+	q.mu.Unlock()
+}
+
+// PopWait receives with the lock held (deferred unlock keeps it held).
+func (q *Queue) PopWait() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	<-q.ready
+	return len(q.items)
+}
+
+// SleepUnderLock throttles inside the critical section.
+func (q *Queue) SleepUnderLock() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond)
+	q.mu.Unlock()
+}
+
+// SelectUnderLock selects without a default while holding the lock.
+func (q *Queue) SelectUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case <-q.ready:
+	case q.ready <- struct{}{}:
+	}
+}
+
+// drain blocks on the channel until it closes.
+func (q *Queue) drain() {
+	for range q.ready {
+	}
+}
+
+// DrainUnderLock calls a may-block helper with the lock held.
+func (q *Queue) DrainUnderLock() {
+	q.mu.Lock()
+	q.drain()
+	q.mu.Unlock()
+}
+
+// run invokes the callback it receives.
+func run(f func()) { f() }
+
+// CallbackUnderLock hands a blocking closure to a helper under lock:
+// the helper can run it inside the critical section.
+func (q *Queue) CallbackUnderLock() {
+	q.mu.Lock()
+	run(func() { <-q.ready })
+	q.mu.Unlock()
+}

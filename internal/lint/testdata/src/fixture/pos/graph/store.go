@@ -55,3 +55,32 @@ func (s *Store) CallUnderLock(i int) {
 	s.addLocked(i)
 	s.shards[i].mu.Unlock()
 }
+
+// apply invokes the callback it receives.
+func apply(f func(int), i int) { f(i) }
+
+// ClosureArgUnderLock hands a lock-acquiring closure to a helper while
+// holding a shard lock: the helper can invoke it with the lock held.
+func (s *Store) ClosureArgUnderLock(i int) {
+	s.shards[i].mu.Lock()
+	apply(func(j int) { s.addLocked(j) }, i)
+	s.shards[i].mu.Unlock()
+}
+
+// MethodValueUnderLock passes a lock-acquiring method value through a
+// local variable and a helper, all under a held shard lock.
+func (s *Store) MethodValueUnderLock(i int) {
+	cb := s.addLocked
+	s.shards[i].mu.Lock()
+	apply(cb, i)
+	s.shards[i].mu.Unlock()
+}
+
+// FuncValueCallUnderLock calls a lock-acquiring method value through a
+// local variable while holding a shard lock.
+func (s *Store) FuncValueCallUnderLock(i int) {
+	cb := s.addLocked
+	s.shards[i].mu.Lock()
+	cb(i)
+	s.shards[i].mu.Unlock()
+}

@@ -1,0 +1,61 @@
+// Package guard seeds guardfield violations: unguarded reads and
+// writes of annotated fields, a write under the read lock, a call to a
+// //sglint:locked helper without the lock, and malformed annotations.
+package guard
+
+import "sync"
+
+// Table mimics a store with a migration target and annotated guards.
+type Table struct {
+	mu sync.RWMutex
+	// cur is the live representation.
+	cur []int //sglint:guard mu
+	// next is the migration target, guarded by the same mutex.
+	next []int //sglint:guard mu
+	// out is written under mu but read quiescently by compute.
+	out []int //sglint:guard mu writes
+	// bad1 names a sibling that does not exist.
+	bad1 int //sglint:guard nosuch
+	// bad2 names a sibling that is not a mutex.
+	bad2 int //sglint:guard cur
+}
+
+// ReadNoLock reads a guarded field with no lock held.
+func (t *Table) ReadNoLock() int {
+	return len(t.cur)
+}
+
+// WriteNoLock writes a guarded field with no lock held.
+func (t *Table) WriteNoLock() {
+	t.next = nil
+}
+
+// WriteUnderRLock writes while holding only the read side.
+func (t *Table) WriteUnderRLock() {
+	t.mu.RLock()
+	t.cur = nil
+	t.mu.RUnlock()
+}
+
+// AppendOut writes a writes-only guarded field without the lock.
+func (t *Table) AppendOut(v int) {
+	t.out = append(t.out, v)
+}
+
+// sizeLocked requires the caller to hold t.mu.
+//
+//sglint:locked mu
+func (t *Table) sizeLocked() int { return len(t.cur) }
+
+// CallLockedNoLock calls the locked helper without the lock.
+func (t *Table) CallLockedNoLock() int {
+	return t.sizeLocked()
+}
+
+// UnlockTooEarly drops the lock before the last guarded access.
+func (t *Table) UnlockTooEarly() int {
+	t.mu.RLock()
+	n := len(t.cur)
+	t.mu.RUnlock()
+	return n + len(t.next)
+}

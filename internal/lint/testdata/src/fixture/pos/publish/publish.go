@@ -1,0 +1,68 @@
+// Package publish seeds atomicpublish violations: initializing a value
+// after its atomic publication, mutating a published slice, writing a
+// local whose address was published, and mixing plain stores with an
+// atomic publication site.
+package publish
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+type node struct {
+	val  int
+	next *node
+}
+
+// head is the list head, published atomically.
+var head unsafe.Pointer
+
+// PublishThenPatch publishes the node and only then fills it in.
+func PublishThenPatch(v int) {
+	n := &node{}
+	atomic.StorePointer(&head, unsafe.Pointer(n))
+	n.val = v
+}
+
+// PlainStore writes the publication site without sync/atomic.
+func PlainStore() {
+	head = nil
+}
+
+// Conf is a config blob swapped via atomic.Pointer.
+type Conf struct{ limit int }
+
+var cur atomic.Pointer[Conf]
+
+// SwapThenWrite stores the new config and keeps initializing it.
+func SwapThenWrite(limit int) {
+	c := &Conf{}
+	cur.Store(c)
+	c.limit = limit
+}
+
+// table is published via atomic.Value.
+var table atomic.Value
+
+// PublishSliceThenWrite stores a slice then mutates its backing array.
+func PublishSliceThenWrite(n int) {
+	xs := make([]int, n)
+	table.Store(xs)
+	for i := range xs {
+		xs[i] = i
+	}
+}
+
+// PublishSliceThenCopy stores a slice then copies over it.
+func PublishSliceThenCopy(src []int) {
+	xs := make([]int, len(src))
+	table.Store(xs)
+	copy(xs, src)
+}
+
+// PublishLocalAddr publishes a local's address then keeps writing it.
+func PublishLocalAddr() {
+	buf := 0
+	atomic.StorePointer(&head, unsafe.Pointer(&buf))
+	buf = 1
+}

@@ -82,8 +82,12 @@ func (r *Runner) shedStep(tr *obs.BatchTrace) ShedLevel {
 			level = ShedSkipCompute
 		}
 	}
+	r.mu.Lock()
+	last := r.shedLast
+	r.shedLast = level
+	r.mu.Unlock()
 	if o := r.cfg.Obs; o != nil {
-		if level != r.shedLast {
+		if level != last {
 			o.ShedTransitionsTotal.Inc()
 		}
 		if level >= ShedSkipCompute {
@@ -93,7 +97,6 @@ func (r *Runner) shedStep(tr *obs.BatchTrace) ShedLevel {
 			o.ShedForceBaselineTotal.Inc()
 		}
 	}
-	r.shedLast = level
 	if tr != nil && level != ShedNone {
 		tr.Shed = level.String()
 	}

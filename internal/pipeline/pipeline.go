@@ -270,10 +270,12 @@ type Runner struct {
 	computeCh chan struct{}
 
 	// pressure supplies the load-shed ladder's input (see SetPressure);
-	// shedLast is the level in effect for the previous batch, read and
-	// written only by ProcessBatch.
+	// shedLast is the level in effect for the previous batch. It is only
+	// mutated by ProcessBatch, but transitions are interesting to
+	// concurrent observers (tests, the serving layer), so it rides under
+	// the metrics lock.
 	pressure func() float64
-	shedLast ShedLevel
+	shedLast ShedLevel //sglint:guard mu
 
 	// activeTrace is the trace of the batch currently inside
 	// ProcessBatch, kept so the isolation boundary (harden.go) can close
@@ -289,7 +291,7 @@ type Runner struct {
 	// batch's Compute/AggregatedBatches fields after ProcessBatch has
 	// returned, so concurrent readers must go through MetricsSnapshot.
 	mu      sync.Mutex
-	metrics RunMetrics
+	metrics RunMetrics //sglint:guard mu
 }
 
 // NewRunner builds a runner over a store pre-sized for numVertices.
@@ -353,7 +355,7 @@ func (r *Runner) Store() *graph.AdjacencyStore { return r.store }
 // pointer aliases live state: with ConcurrentCompute enabled it is
 // only safe to read after Finish (or between batches); concurrent
 // readers must use MetricsSnapshot instead.
-func (r *Runner) Metrics() *RunMetrics { return &r.metrics }
+func (r *Runner) Metrics() *RunMetrics { return &r.metrics } //sglint:ignore guardfield documented aliasing accessor: only safe after Finish, concurrent readers use MetricsSnapshot
 
 // MetricsSnapshot returns a copy of the run metrics that is safe to
 // read while batches (and their overlapped compute rounds) are in

@@ -105,12 +105,12 @@ type Server struct {
 	// registered in the observer's registry so restarting a server on
 	// a shared observer cannot collide on metric names).
 	statsMu   sync.Mutex
-	batches   int
-	reordered int
-	rounds    int
-	rejected  int
-	timeouts  int
-	panics    int
+	batches   int //sglint:guard statsMu
+	reordered int //sglint:guard statsMu
+	rounds    int //sglint:guard statsMu
+	rejected  int //sglint:guard statsMu
+	timeouts  int //sglint:guard statsMu
+	panics    int //sglint:guard statsMu
 }
 
 // New wraps sys in an HTTP handler with default hardening (see

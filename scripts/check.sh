@@ -12,6 +12,7 @@
 #   10 gofmt   11 go vet   12 staticcheck   13 sglint
 #   14 go build   15 go test -race   16 stress soak
 #   17 bench trajectory   18 baseline preflight   19 bench store
+#   20 sglint json   21 lint budget
 #
 # The baseline preflight (18) validates the committed BENCH_*.json
 # gate baselines (existence, JSON, schema version) BEFORE the bench
@@ -76,6 +77,21 @@ fi
 echo "== sglint =="
 go run ./cmd/sglint ./...
 record sglint $? 13
+
+echo "== sglint json =="
+# The machine-readable path CI's problem matcher and editor tooling
+# consume: same findings, one JSON object per line. Exercised as its
+# own gate so a -json regression cannot hide behind a clean text run.
+go run ./cmd/sglint -json ./...
+record "sglint json" $? 20
+
+echo "== lint budget =="
+# Wall-clock regression gate on the analysis itself: a full sglint
+# load-and-analyze pass must stay within the budget (generous for CI
+# hardware; the suite takes ~2s on a dev laptop). Profile regressions
+# with: go test -bench BenchmarkAnalyzersOnly ./internal/lint
+SGLINT_TIME_BUDGET=60s go test -count=1 -run '^TestAnalysisTimeBudget$' ./internal/lint
+record "lint budget" $? 21
 
 echo "== go build =="
 go build ./...
