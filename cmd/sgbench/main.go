@@ -27,6 +27,16 @@
 //	                                                   # refresh the baseline (doubled)
 //	sgbench -validate-baselines                        # preflight committed baselines
 //
+// Lock-free head-to-head mode (no -exp):
+//
+//	sgbench -lockfree-experiment -quick                # race the epoch engine vs the
+//	                                                   # locked engines, write
+//	                                                   # BENCH_lockfreecmp.json
+//	sgbench -lockfree-experiment -quick -lockfree-baseline BENCH_lockfree.json
+//	                                                   # ...and gate vs baseline
+//	sgbench -lockfree-experiment -quick -lockfree-write-baseline -lockfree-out BENCH_lockfree.json
+//	                                                   # refresh the baseline (doubled)
+//
 // Fault-injected soak mode (no -exp):
 //
 //	sgbench -soak 5m -soak-clients 8 -soak-fault mixed # long-running concurrency
@@ -81,6 +91,12 @@ func main() {
 		storeTol      = flag.Float64("store-tolerance", 0.20, "with -store-baseline: allowed fractional regression")
 		storeWrite    = flag.Bool("store-write-baseline", false, "with -store-experiment: double the measured phase costs and write them as a baseline")
 
+		lockfreeMode     = flag.Bool("lockfree-experiment", false, "lock-free head-to-head mode: race the epoch engine against the locked batch engines on the adversarial workloads")
+		lockfreeOut      = flag.String("lockfree-out", "BENCH_lockfreecmp.json", "with -lockfree-experiment: write the JSON report here")
+		lockfreeBaseline = flag.String("lockfree-baseline", "", "with -lockfree-experiment: fail on per-phase ns/edge regression vs this baseline file")
+		lockfreeTol      = flag.Float64("lockfree-tolerance", 0.20, "with -lockfree-baseline: allowed fractional regression")
+		lockfreeWrite    = flag.Bool("lockfree-write-baseline", false, "with -lockfree-experiment: double the measured phase costs and write them as a baseline")
+
 		validateBaselines = flag.Bool("validate-baselines", false, "validate the committed BENCH_*.json gate baselines (existence, JSON, schema version) and exit")
 
 		soak        = flag.Duration("soak", 0, "soak mode: run the fault-injected concurrency soak for this long (e.g. 5m)")
@@ -98,6 +114,9 @@ func main() {
 	}
 	if *storeMode {
 		os.Exit(runStoreCompare(*storeOut, *storeBaseline, *storeTol, *storeWrite, *quick))
+	}
+	if *lockfreeMode {
+		os.Exit(runLockfreeCompare(*lockfreeOut, *lockfreeBaseline, *lockfreeTol, *lockfreeWrite, *quick, *workers))
 	}
 	if *validateBaselines {
 		os.Exit(runValidateBaselines())
@@ -352,11 +371,70 @@ func runStoreCompare(out, baselinePath string, tolerance float64, writeBaseline,
 	return 0
 }
 
+// runLockfreeCompare is the lock-free head-to-head entry point: race
+// the epoch engine against the locked batch engines on the adversarial
+// workloads, write the trajectory-schema report, and (when a baseline
+// is given) gate per-phase ns/edge against it.
+func runLockfreeCompare(out, baselinePath string, tolerance float64, writeBaseline, quick bool, workers int) int {
+	res, err := bench.RunLockfreeCompare(quick, workers)
+	if err != nil {
+		// A partial run must not produce a report that could gate clean
+		// or become a too-easy baseline.
+		fmt.Fprintln(os.Stderr, "sgbench: partial lockfree run, refusing to write", out+":", err)
+		return 1
+	}
+	if writeBaseline {
+		// Doubled, like the other baselines; uniform doubling preserves
+		// the engines' relative standing, which is what this report
+		// documents.
+		for i := range res.Entries {
+			for name, p := range res.Entries[i].Phases {
+				p.Ns *= 2
+				p.NsPerEdge *= 2
+				res.Entries[i].Phases[name] = p
+			}
+		}
+	}
+	if err := bench.WriteTrajectory(out, res); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		return 1
+	}
+	for _, e := range res.Entries {
+		fmt.Printf("%-40s reorder %7.1f  update %7.1f  ns/edge\n",
+			e.Key(), e.Phases[bench.PhaseReorder].NsPerEdge, e.Phases[bench.PhaseUpdate].NsPerEdge)
+	}
+	if writeBaseline {
+		fmt.Printf("wrote baseline (measured×2) to %s\n", out)
+		return 0
+	}
+	fmt.Printf("wrote %s\n", out)
+	if baselinePath == "" {
+		return 0
+	}
+	base, err := bench.LoadTrajectory(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		return 1
+	}
+	regressions, err := bench.CompareTrajectory(res, base, tolerance)
+	for _, msg := range regressions {
+		fmt.Fprintln(os.Stderr, "sgbench: REGRESSION:", msg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+	}
+	if len(regressions) > 0 || err != nil {
+		return 1
+	}
+	fmt.Printf("lockfree gate passed vs %s (tolerance %.0f%%)\n", baselinePath, tolerance*100)
+	return 0
+}
+
 // gateBaselines are the committed baseline files the bench gates
 // compare against; -validate-baselines preflights them so check.sh and
 // CI fail fast (with a distinct exit code) on a missing or
 // schema-mismatched baseline instead of minutes into a measurement.
-var gateBaselines = []string{"BENCH_baseline.json", "BENCH_store.json"}
+var gateBaselines = []string{"BENCH_baseline.json", "BENCH_store.json", "BENCH_lockfree.json"}
 
 func runValidateBaselines() int {
 	code := 0

@@ -73,6 +73,7 @@ func main() {
 		maxEdges     = flag.Int("max-batch-edges", 1<<20, "reject larger batches with 400")
 		maxVertex    = flag.Uint("max-vertex", 1<<26, "reject batches naming vertex IDs above this with 400")
 		shadowStore  = flag.String("store-shadow", "", "attach an adaptive store replica starting in this representation (adjacency|dah|hybrid|tango); reported as storeShadow in /metrics.json")
+		lockFree     = flag.Bool("lockfree", false, "serve from the epoch store: wait-free /neighbors snapshot reads concurrent with ingest")
 	)
 	flag.Parse()
 
@@ -146,9 +147,13 @@ func main() {
 		// the batch not counted) instead of dying mid-stream.
 		Recover:     true,
 		ShadowStore: *shadowStore,
+		LockFree:    *lockFree,
 	})
 	if *shadowStore != "" {
 		log.Printf("sgserve: adaptive store shadow ON, starting as %s", *shadowStore)
+	}
+	if *lockFree {
+		log.Printf("sgserve: lock-free epoch store ON (wait-free snapshot reads)")
 	}
 
 	mux := http.NewServeMux()

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"runtime"
+
+	"streamgraph/internal/gen"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/update"
+)
+
+// The lock-free head-to-head (sgbench -lockfree-experiment) races the
+// epoch engine against the locked batch engines on identical
+// adversarial streams: the per-vertex-mutex baseline (the paper's
+// pre-reorder design, whose lock traffic the epoch path eliminates)
+// and ro+usc (the repo's best locked reordered engine, the fairest
+// locked opponent). It reuses the trajectory schema, so
+// BENCH_lockfree.json is gated in check.sh and CI exactly like the
+// engine trajectory and the store head-to-head: per-phase ns/edge
+// against a committed, doubled baseline. The tentpole claim this
+// report documents — and TestLockfreeBaselineEpochWins enforces — is
+// that the epoch engine beats the mutex path on update ns/edge for
+// the skewed and mixed workloads, where hub vertices make per-vertex
+// locks a serialization point.
+
+// Lock-free head-to-head cell labels.
+const (
+	LockfreeEngineBaseline = "baseline"
+	LockfreeEngineROUSC    = "ro+usc"
+	LockfreeEngineEpoch    = "epoch"
+)
+
+// RunLockfreeCompare measures the engine × adversarial-workload
+// matrix. A non-nil error marks a partial run; the report must then
+// not be written (same contract as RunTrajectory).
+func RunLockfreeCompare(quick bool, workers int) (TrajectoryResult, error) {
+	vertices, batchSize, batches := trajFullVertices, trajFullBatch, trajFullBatches
+	if quick {
+		vertices, batchSize, batches = trajQuickVertices, trajQuickBatch, trajQuickBatches
+	}
+	res := TrajectoryResult{
+		SchemaVersion: TrajectorySchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Quick:         quick,
+		Vertices:      vertices,
+		BatchSize:     batchSize,
+		Batches:       batches,
+		Repeats:       trajRepeats,
+	}
+	for _, kind := range gen.AdvKinds() {
+		spec := gen.AdvSpec{Kind: kind, Seed: trajSeed, Vertices: vertices,
+			BatchSize: batchSize, Batches: batches}
+		cells := []struct {
+			engine string
+			store  string
+			run    func() (TrajectoryEntry, error)
+		}{
+			{LockfreeEngineBaseline, "adjacency", func() (TrajectoryEntry, error) {
+				return lockfreeRunLocked(spec, &update.Baseline{Cfg: update.Config{Workers: workers}})
+			}},
+			{LockfreeEngineROUSC, "adjacency", func() (TrajectoryEntry, error) {
+				return lockfreeRunLocked(spec, &update.Reordered{Cfg: update.Config{Workers: workers}, USC: true})
+			}},
+			{LockfreeEngineEpoch, "epoch", func() (TrajectoryEntry, error) {
+				return lockfreeRunEpoch(spec, workers)
+			}},
+		}
+		for _, cell := range cells {
+			entry, err := trajBest(spec.Kind.String(), cell.engine, cell.store, cell.run)
+			if err != nil {
+				return res, err
+			}
+			res.Entries = append(res.Entries, entry)
+		}
+	}
+	return res, nil
+}
+
+// lockfreeRunLocked times one locked batch engine on a fresh
+// adjacency store. Phase accounting comes from the engine's own
+// Stats: Sort is the reorder phase (zero for the mutex baseline),
+// Update minus Sort is the apply work — the same partition the span
+// layer derives for the trajectory.
+func lockfreeRunLocked(spec gen.AdvSpec, eng update.Engine) (TrajectoryEntry, error) {
+	batchList := spec.Generate()
+	st := graph.NewAdjacencyStore(spec.Vertices)
+	var edges, sortNs, updateNs int64
+	for _, b := range batchList {
+		stats := eng.Apply(st, b)
+		sortNs += stats.Sort.Nanoseconds()
+		updateNs += stats.Total.Nanoseconds() - stats.Sort.Nanoseconds()
+		edges += int64(len(b.Edges))
+	}
+	return trajEntry(edges, sortNs, updateNs, 0), nil
+}
+
+// lockfreeRunEpoch times the epoch engine on a fresh epoch store,
+// with the same Stats-derived phase partition. Poison stays off: this
+// is the production configuration the gate tracks.
+func lockfreeRunEpoch(spec gen.AdvSpec, workers int) (TrajectoryEntry, error) {
+	batchList := spec.Generate()
+	st := graph.NewEpochStore(spec.Vertices, graph.EpochOptions{})
+	eng := &update.EpochEngine{Cfg: update.Config{Workers: workers}}
+	var edges, sortNs, updateNs int64
+	for _, b := range batchList {
+		stats, _ := eng.Apply(st, b)
+		sortNs += stats.Sort.Nanoseconds()
+		updateNs += stats.Total.Nanoseconds() - stats.Sort.Nanoseconds()
+		edges += int64(len(b.Edges))
+	}
+	return trajEntry(edges, sortNs, updateNs, 0), nil
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"streamgraph/internal/gen"
+	"streamgraph/internal/update"
+)
+
+// TestLockfreeBaselineEpochWins pins the tentpole claim of the
+// committed lock-free head-to-head: on the skewed and mixed
+// adversarial workloads — where hub vertices turn per-vertex mutexes
+// into serialization points — the epoch engine's update-phase ns/edge
+// beats the locked mutex baseline. The committed baseline is uniformly
+// doubled, which preserves relative standing, so the comparison is
+// meaningful. If an engine change flips the ranking, regenerate the
+// baseline deliberately:
+//
+//	go run ./cmd/sgbench -lockfree-experiment -quick -lockfree-write-baseline \
+//	    -lockfree-out BENCH_lockfree.json
+func TestLockfreeBaselineEpochWins(t *testing.T) {
+	res, err := LoadTrajectory(filepath.Join("..", "..", "BENCH_lockfree.json"))
+	if err != nil {
+		t.Fatalf("committed BENCH_lockfree.json unreadable: %v", err)
+	}
+	if res.SchemaVersion != TrajectorySchemaVersion {
+		t.Fatalf("BENCH_lockfree.json schema v%d, want v%d", res.SchemaVersion, TrajectorySchemaVersion)
+	}
+	update := map[string]map[string]float64{} // workload -> engine -> ns/edge
+	for _, e := range res.Entries {
+		if update[e.Workload] == nil {
+			update[e.Workload] = map[string]float64{}
+		}
+		update[e.Workload][e.Engine] = e.Phases[PhaseUpdate].NsPerEdge
+	}
+	for _, wl := range []string{gen.AdvSkewed.String(), gen.AdvMixed.String()} {
+		cells := update[wl]
+		epoch, ok := cells[LockfreeEngineEpoch]
+		if !ok || epoch <= 0 {
+			t.Fatalf("workload %s: no epoch entry in BENCH_lockfree.json", wl)
+		}
+		locked, ok := cells[LockfreeEngineBaseline]
+		if !ok || locked <= 0 {
+			t.Fatalf("workload %s: no locked baseline entry in BENCH_lockfree.json", wl)
+		}
+		if epoch >= locked {
+			t.Errorf("workload %s: epoch %.1f ns/edge does not beat the mutex baseline %.1f ns/edge",
+				wl, epoch, locked)
+		}
+	}
+}
+
+// TestRunLockfreeCompareCell proves the measurement wires end to end
+// on one tiny cell per engine path.
+func TestRunLockfreeCompareCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lockfree cell run in -short mode")
+	}
+	spec := gen.AdvSpec{Kind: gen.AdvSkewed, Seed: 1, Vertices: 2000, BatchSize: 2000, Batches: 2}
+	for _, run := range []func() (TrajectoryEntry, error){
+		func() (TrajectoryEntry, error) {
+			return lockfreeRunLocked(spec, &update.Baseline{Cfg: update.Config{Workers: 2}})
+		},
+		func() (TrajectoryEntry, error) { return lockfreeRunEpoch(spec, 2) },
+	} {
+		entry, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if entry.Edges == 0 || entry.Phases[PhaseUpdate].Ns <= 0 {
+			t.Fatalf("update phase not measured: %+v", entry)
+		}
+	}
+}

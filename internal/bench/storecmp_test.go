@@ -94,7 +94,7 @@ func TestValidateBaseline(t *testing.T) {
 	}
 
 	// The committed gate baselines themselves must validate.
-	for _, p := range []string{"BENCH_baseline.json", "BENCH_store.json"} {
+	for _, p := range []string{"BENCH_baseline.json", "BENCH_store.json", "BENCH_lockfree.json"} {
 		if err := ValidateBaseline(filepath.Join("..", "..", p)); err != nil {
 			t.Errorf("committed %s: %v", p, err)
 		}

@@ -19,6 +19,7 @@ const (
 	KindDAH
 	KindHybrid
 	KindTango
+	KindEpoch
 )
 
 // String implements fmt.Stringer with the names used by CLI flags, CI
@@ -33,6 +34,8 @@ func (k StoreKind) String() string {
 		return "hybrid"
 	case KindTango:
 		return "tango"
+	case KindEpoch:
+		return "epoch"
 	}
 	return fmt.Sprintf("storekind(%d)", uint8(k))
 }
@@ -44,12 +47,12 @@ func ParseStoreKind(s string) (StoreKind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown store kind %q (want adjacency, dah, hybrid, or tango)", s)
+	return 0, fmt.Errorf("unknown store kind %q (want adjacency, dah, hybrid, tango, or epoch)", s)
 }
 
 // StoreKinds returns every concrete store kind, in flag order.
 func StoreKinds() []StoreKind {
-	return []StoreKind{KindAdjacency, KindDAH, KindHybrid, KindTango}
+	return []StoreKind{KindAdjacency, KindDAH, KindHybrid, KindTango, KindEpoch}
 }
 
 // NewMutableOfKind constructs a store of the given kind pre-sized for
@@ -62,6 +65,8 @@ func NewMutableOfKind(k StoreKind, n int) Mutable {
 		return NewHybridStore(n)
 	case KindTango:
 		return NewTangoStore(n)
+	case KindEpoch:
+		return NewEpochStore(n, EpochOptions{})
 	default:
 		return NewAdjacencyStore(n)
 	}

@@ -1,0 +1,213 @@
+package graph
+
+// Epoch-based reclamation (EBR) for the lock-free store. The design is
+// the classic RCU/epoch scheme from the snapshot/MVCC corner of the
+// streaming-graph design space (Besta et al.'s survey; GraphOne and
+// Aspen are the canonical systems): a single global epoch counter
+// advances once per published batch, readers pin the epoch they start
+// from in a shared slot array, and memory superseded by a newer batch
+// is retired with the epoch current at supersede time. A retired block
+// is handed back to its owner's pool only when every pinned epoch is
+// strictly newer than its retire tag — at that point no pinned reader
+// can reach it (readers stop their version-chain walk at the first
+// version at or below their pin, and any version retired at tag t has
+// a successor tagged t+1 or newer), and no future pin will, so reuse
+// cannot produce a torn read.
+//
+// The reader side is wait-free after slot acquisition: a pin is one
+// slot store plus a re-check loop bounded by concurrent epoch
+// advances, and reads themselves never synchronize. Writers serialize
+// per batch (the store's writer lock), so Retire/Reclaim contention is
+// per chunk, never per edge.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// epochReaderSlots is the fixed size of the reader slot array. Slots
+// are claimed per snapshot; a full array makes Snapshot spin-yield, so
+// the size is generous relative to any realistic concurrent-reader
+// count (torture runs use a handful; the server is bounded by its
+// admission queue).
+const epochReaderSlots = 128
+
+// reclaimable is a block of store memory whose grace period the
+// manager tracks. Implementations are pointers, so the interface
+// conversion in Retire does not allocate.
+type reclaimable interface {
+	// reclaim returns the block to its owner's pool for reuse. Called
+	// exactly once, after the grace period has elapsed.
+	reclaim()
+}
+
+// epochSlot is one reader registration. pin holds the pinned epoch +1
+// (0 means free), and the struct is padded to a cache line so
+// concurrent snapshots do not false-share.
+type epochSlot struct {
+	pin atomic.Uint64
+	_   [56]byte
+}
+
+// retiredBlock is one block awaiting its grace period.
+type retiredBlock struct {
+	tag uint64
+	b   reclaimable
+}
+
+// EpochStats is a point-in-time report of the manager's counters,
+// exposed for tests, the torture suite, and the server's metrics.
+type EpochStats struct {
+	// Global is the current epoch (batches published so far).
+	Global uint64
+	// Pinned is the number of currently claimed reader slots.
+	Pinned int
+	// MinPinned is the oldest pinned epoch (Global when none).
+	MinPinned uint64
+	// Retired is the number of blocks currently awaiting grace.
+	Retired int
+	// Reclaimed is the cumulative number of blocks returned to pools.
+	Reclaimed int64
+	// Stalls counts reclamation passes that freed nothing because a
+	// pinned reader held the grace period open.
+	Stalls int64
+}
+
+// EpochManager owns the global epoch, the reader slots, and the
+// retired list. One manager serves one EpochStore.
+type EpochManager struct {
+	global atomic.Uint64
+	hint   atomic.Uint32 // rotating slot-claim start index
+	slots  [epochReaderSlots]epochSlot
+
+	mu        sync.Mutex
+	retired   []retiredBlock //sglint:guard mu
+	reclaimed atomic.Int64
+	stalls    atomic.Int64
+}
+
+// NewEpochManager returns a manager at epoch 0 with no readers.
+func NewEpochManager() *EpochManager { return &EpochManager{} }
+
+// Global returns the current epoch.
+func (m *EpochManager) Global() uint64 { return m.global.Load() }
+
+// Advance publishes the next epoch and returns it. Caller is the
+// (single) batch writer; every version it created under tag
+// Global()+1 becomes visible to new pins at this moment — the atomic
+// increment is the batch's publication point.
+func (m *EpochManager) Advance() uint64 { return m.global.Add(1) }
+
+// Pin claims a reader slot and pins the current epoch, returning the
+// slot index and the pinned epoch. The re-check loop re-publishes the
+// pin until the global epoch it observed is still current, so a
+// concurrent Advance can never strand a reader pinned at an epoch the
+// writer's reclamation scan missed.
+func (m *EpochManager) Pin() (slot int, epoch uint64) {
+	for {
+		start := int(m.hint.Add(1))
+		for try := 0; try < epochReaderSlots; try++ {
+			idx := (start + try) % epochReaderSlots
+			s := &m.slots[idx]
+			e := m.global.Load()
+			if !s.pin.CompareAndSwap(0, e+1) {
+				continue
+			}
+			for {
+				g := m.global.Load()
+				if g == e {
+					return idx, e
+				}
+				e = g
+				s.pin.Store(e + 1)
+			}
+		}
+		// Every slot is claimed; snapshots are short-lived, so yield
+		// rather than grow (growing would force readers through a lock).
+		runtime.Gosched()
+	}
+}
+
+// Unpin releases a slot claimed by Pin. After this the reader must not
+// touch any store memory it reached through the pinned epoch.
+func (m *EpochManager) Unpin(slot int) { m.slots[slot].pin.Store(0) }
+
+// MinPinned returns the oldest currently pinned epoch, or the global
+// epoch when no reader is pinned. The global epoch is loaded first, so
+// a reader pinning concurrently can only make the true minimum larger
+// than the returned value — the conservative direction.
+func (m *EpochManager) MinPinned() uint64 {
+	min := m.global.Load()
+	for i := range m.slots {
+		if p := m.slots[i].pin.Load(); p != 0 && p-1 < min {
+			min = p - 1
+		}
+	}
+	return min
+}
+
+// Retire hands a superseded block to the manager. Must be called after
+// the block's replacement has been published (the atomic pointer
+// store), so the retire tag — the epoch current now — is an upper
+// bound on the last epoch from which the block is reachable.
+func (m *EpochManager) Retire(b reclaimable) {
+	tag := m.global.Load()
+	m.mu.Lock()
+	m.retired = append(m.retired, retiredBlock{tag: tag, b: b})
+	m.mu.Unlock()
+}
+
+// Reclaim returns every retired block whose grace period has elapsed
+// (tag strictly below the oldest pinned epoch) to its pool, and
+// reports how many were freed. Runs on the writer's batch path; a
+// pinned reader keeps blocks it can reach alive, which the torture
+// and fuzz suites assert by poisoning reclaimed memory.
+func (m *EpochManager) Reclaim() int {
+	min := m.MinPinned()
+	m.mu.Lock()
+	kept := m.retired[:0]
+	freed := 0
+	for _, rb := range m.retired {
+		if rb.tag < min {
+			rb.b.reclaim()
+			freed++
+		} else {
+			kept = append(kept, rb)
+		}
+	}
+	// Zero the tail so reclaimed blocks are not pinned by the backing
+	// array between passes.
+	for i := len(kept); i < len(m.retired); i++ {
+		m.retired[i] = retiredBlock{}
+	}
+	m.retired = kept
+	m.mu.Unlock()
+	if freed > 0 {
+		m.reclaimed.Add(int64(freed))
+	} else if len(kept) > 0 {
+		m.stalls.Add(1)
+	}
+	return freed
+}
+
+// Stats returns the manager's current counters.
+func (m *EpochManager) Stats() EpochStats {
+	pinned := 0
+	for i := range m.slots {
+		if m.slots[i].pin.Load() != 0 {
+			pinned++
+		}
+	}
+	m.mu.Lock()
+	retired := len(m.retired)
+	m.mu.Unlock()
+	return EpochStats{
+		Global:    m.global.Load(),
+		Pinned:    pinned,
+		MinPinned: m.MinPinned(),
+		Retired:   retired,
+		Reclaimed: m.reclaimed.Load(),
+		Stalls:    m.stalls.Load(),
+	}
+}

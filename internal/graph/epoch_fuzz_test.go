@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzEpochReclaim drives the epoch manager through fuzz-chosen
+// schedules of pin / unpin / retire / advance / reclaim operations,
+// including readers that "crash" mid-grace-period — they pin an epoch
+// and never voluntarily release it. The safety property checked after
+// every reclamation pass is the one the whole lock-free design rests
+// on: a reclaimed block's retire tag is never at or above any live
+// pin's epoch (a violation means a reader could still reach freed
+// memory). The liveness property is checked at the end: once every
+// pin — including the crashed ones — is force-released, reclamation
+// drains completely. Run locally with:
+//
+//	go test -run '^$' -fuzz '^FuzzEpochReclaim$' ./internal/graph
+func FuzzEpochReclaim(f *testing.F) {
+	f.Add([]byte{0, 3, 5, 7})                        // pin, retire, advance, reclaim
+	f.Add([]byte{3, 5, 7, 0, 3, 5, 5, 7, 2, 7})      // reclaim around a live pin
+	f.Add([]byte{128, 3, 5, 7, 3, 5, 7})             // crashed reader holds the line
+	f.Add([]byte{0, 0, 0, 3, 3, 5, 2, 7, 2, 7, 5})   // staggered pins draining
+	f.Add([]byte{3, 5, 0, 3, 5, 130, 3, 5, 7, 2, 7}) // mixed live + crashed
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("schedule length capped")
+		}
+		m := NewEpochManager()
+		type pinned struct {
+			slot    int
+			epoch   uint64
+			crashed bool
+		}
+		type retired struct {
+			b   *fakeBlock
+			tag uint64
+		}
+		var pins []pinned
+		var blocks []retired
+
+		// No reclaimed block may carry a tag at or above any live pin.
+		// This holds globally, not just instantaneously: new pins are
+		// taken at the current global epoch, which is strictly above
+		// the tag of anything already legally reclaimed.
+		audit := func() {
+			min := ^uint64(0)
+			for _, p := range pins {
+				if p.epoch < min {
+					min = p.epoch
+				}
+			}
+			for _, bl := range blocks {
+				if bl.b.freed && bl.tag >= min {
+					t.Fatalf("reclaimed block tag %d >= min pinned epoch %d", bl.tag, min)
+				}
+			}
+		}
+
+		for _, c := range data {
+			switch c % 8 {
+			case 0, 1: // pin; high bit marks the reader as crashed
+				if len(pins) < 64 {
+					slot, e := m.Pin()
+					pins = append(pins, pinned{slot: slot, epoch: e, crashed: c >= 128})
+				}
+			case 2: // unpin the oldest non-crashed reader
+				for i := range pins {
+					if !pins[i].crashed {
+						m.Unpin(pins[i].slot)
+						pins = append(pins[:i], pins[i+1:]...)
+						break
+					}
+				}
+			case 3, 4: // retire a block at the current epoch
+				b := &fakeBlock{}
+				blocks = append(blocks, retired{b: b, tag: m.Global()})
+				m.Retire(b)
+			case 5, 6:
+				m.Advance()
+			case 7:
+				m.Reclaim()
+				audit()
+			}
+		}
+		m.Reclaim()
+		audit()
+
+		// Crash recovery: force-release everything (the owner of a dead
+		// reader is responsible for its slot), advance past the last
+		// retire tag, and reclamation must drain to empty.
+		for _, p := range pins {
+			m.Unpin(p.slot)
+		}
+		m.Advance()
+		m.Reclaim()
+		for _, bl := range blocks {
+			if !bl.b.freed {
+				t.Fatalf("block tagged %d never reclaimed after all pins released (global %d)",
+					bl.tag, m.Global())
+			}
+		}
+		if st := m.Stats(); st.Pinned != 0 || st.Retired != 0 {
+			t.Fatalf("manager did not drain: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"testing"
+)
+
+// fakeBlock records whether the manager reclaimed it.
+type fakeBlock struct{ freed bool }
+
+func (f *fakeBlock) reclaim() { f.freed = true }
+
+func TestEpochManagerGracePeriod(t *testing.T) {
+	m := NewEpochManager()
+
+	// Epoch 0: retire a block, no readers → freed once the epoch advances.
+	b0 := &fakeBlock{}
+	m.Retire(b0)
+	if m.Reclaim() != 0 || b0.freed {
+		t.Fatal("block retired at the current epoch must wait for an advance")
+	}
+	m.Advance()
+	if m.Reclaim() != 1 || !b0.freed {
+		t.Fatal("unpinned block not reclaimed after advance")
+	}
+
+	// A pinned reader holds the grace period open for anything retired
+	// at or after its pin.
+	slot, e := m.Pin()
+	if e != 1 {
+		t.Fatalf("pinned epoch = %d, want 1", e)
+	}
+	b1 := &fakeBlock{}
+	m.Retire(b1) // tag 1 == pinned epoch
+	m.Advance()
+	m.Advance()
+	if m.Reclaim() != 0 || b1.freed {
+		t.Fatal("reclaim freed a block visible to a pinned reader")
+	}
+	st := m.Stats()
+	if st.Pinned != 1 || st.MinPinned != 1 || st.Retired != 1 || st.Stalls == 0 {
+		t.Fatalf("stats = %+v, want pinned=1 minpinned=1 retired=1 stalls>0", st)
+	}
+
+	// Blocks retired strictly before the pin are fair game even while
+	// the reader stays pinned.
+	// (b1 was retired at tag 1; nothing here is below MinPinned=1.)
+	m.Unpin(slot)
+	if m.Reclaim() != 1 || !b1.freed {
+		t.Fatal("block not reclaimed after the reader unpinned")
+	}
+	if got := m.Stats(); got.Pinned != 0 || got.Retired != 0 || got.Reclaimed != 2 {
+		t.Fatalf("final stats = %+v", got)
+	}
+}
+
+// TestEpochManagerCrashedReader simulates a reader goroutine dying
+// mid-grace-period — pinned, never unpinning. Reclamation must stall
+// indefinitely rather than free memory the (possibly wedged, possibly
+// just slow) reader can still reach; only an explicit unpin — the
+// crash-recovery path owned by whoever owns the reader — reopens it.
+func TestEpochManagerCrashedReader(t *testing.T) {
+	m := NewEpochManager()
+	done := make(chan int)
+	go func() {
+		slot, _ := m.Pin()
+		done <- slot // "crash": exit without unpinning
+	}()
+	slot := <-done
+
+	b := &fakeBlock{}
+	m.Retire(b)
+	for i := 0; i < 100; i++ {
+		m.Advance()
+		if m.Reclaim() != 0 || b.freed {
+			t.Fatal("reclaim freed a block pinned by a crashed reader")
+		}
+	}
+	if st := m.Stats(); st.Pinned != 1 || st.Stalls == 0 {
+		t.Fatalf("stats = %+v, want the crashed pin visible and stalls counted", st)
+	}
+	m.Unpin(slot)
+	if m.Reclaim() != 1 || !b.freed {
+		t.Fatal("block not reclaimed after force-release")
+	}
+}
+
+func TestEpochManagerPinRecheck(t *testing.T) {
+	// Pins must never return a stale epoch: pin concurrently with
+	// advances and check the pinned value is never below the global
+	// value observed before the pin started.
+	m := NewEpochManager()
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Advance()
+				m.Reclaim()
+			}
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		before := m.Global()
+		slot, e := m.Pin()
+		if e < before {
+			t.Fatalf("pinned epoch %d below pre-pin global %d", e, before)
+		}
+		m.Unpin(slot)
+	}
+	close(stop)
+}
+
+func TestEpochStoreMutableSemantics(t *testing.T) {
+	s := NewEpochStore(8, EpochOptions{Poison: true})
+	if !s.InsertEdge(Edge{Src: 1, Dst: 2, Weight: 5}) {
+		t.Fatal("fresh insert returned false")
+	}
+	if s.InsertEdge(Edge{Src: 1, Dst: 2, Weight: 7}) {
+		t.Fatal("duplicate insert returned true")
+	}
+	if !s.HasEdge(1, 2) || s.NumEdges() != 1 {
+		t.Fatalf("HasEdge/NumEdges wrong: %v %d", s.HasEdge(1, 2), s.NumEdges())
+	}
+	var w Weight
+	s.ForEachOut(1, func(nb Neighbor) {
+		if nb.ID == 2 {
+			w = nb.Weight
+		}
+	})
+	if w != 7 {
+		t.Fatalf("weight = %v, want 7 (last insert wins)", w)
+	}
+	if s.DeleteEdge(3, 4) {
+		t.Fatal("deleting an absent edge returned true")
+	}
+	if !s.DeleteEdge(1, 2) || s.HasEdge(1, 2) || s.NumEdges() != 0 {
+		t.Fatal("delete did not remove the edge")
+	}
+	// Auto-growth past the presize.
+	if !s.InsertEdge(Edge{Src: 40, Dst: 41, Weight: 1}) {
+		t.Fatal("insert past presize failed")
+	}
+	if s.NumVertices() < 42 || s.OutDegree(40) != 1 || s.InDegree(41) != 1 {
+		t.Fatalf("growth wrong: n=%d out=%d in=%d", s.NumVertices(), s.OutDegree(40), s.InDegree(41))
+	}
+	if err := CheckMirror(s); err != nil {
+		t.Fatalf("mirror: %v", err)
+	}
+}
+
+// TestEpochSnapshotIsolation pins snapshots across later writes and
+// asserts each stays frozen at its batch boundary — including after
+// enough churn that superseded versions retire and (for unpinned
+// epochs) reclaim into poisoned chunks.
+func TestEpochSnapshotIsolation(t *testing.T) {
+	s := NewEpochStore(16, EpochOptions{Poison: true})
+	eng := &EpochEngineShim{}
+	_ = eng
+
+	s.InsertEdge(Edge{Src: 1, Dst: 2, Weight: 10})
+	snap1 := s.Snapshot()
+	if snap1.NumEdges() != 1 || !snap1.HasEdge(1, 2) {
+		t.Fatalf("snap1 sees %d edges", snap1.NumEdges())
+	}
+
+	// Overwrite the weight and add edges; snap1 must not move.
+	s.InsertEdge(Edge{Src: 1, Dst: 2, Weight: 99})
+	s.InsertEdge(Edge{Src: 2, Dst: 3, Weight: 1})
+	var w Weight
+	snap1.ForEachOut(1, func(nb Neighbor) { w = nb.Weight })
+	if w != 10 || snap1.NumEdges() != 1 || snap1.HasEdge(2, 3) {
+		t.Fatalf("snap1 drifted: w=%v edges=%d", w, snap1.NumEdges())
+	}
+
+	snap2 := s.Snapshot()
+	if snap2.NumEdges() != 2 || !snap2.HasEdge(2, 3) {
+		t.Fatalf("snap2 sees %d edges", snap2.NumEdges())
+	}
+
+	// Churn vertex 1 hard so chains and retirements build up while
+	// snap1 stays pinned; its view must survive every reclamation pass.
+	for i := 0; i < 2000; i++ {
+		s.InsertEdge(Edge{Src: 1, Dst: 2, Weight: Weight(i)})
+	}
+	snap1.ForEachOut(1, func(nb Neighbor) { w = nb.Weight })
+	if w != 10 {
+		t.Fatalf("pinned snapshot read reclaimed/overwritten data: w=%v", w)
+	}
+	if err := CheckMirror(snap1); err != nil {
+		t.Fatalf("snap1 mirror: %v", err)
+	}
+	snap1.Release()
+	snap2.Release()
+
+	// With all pins dropped, churned chunks must actually cycle.
+	for i := 0; i < 100; i++ {
+		s.InsertEdge(Edge{Src: 1, Dst: 2, Weight: Weight(i)})
+	}
+	if st := s.Manager().Stats(); st.Reclaimed == 0 {
+		t.Fatalf("no chunks reclaimed after churn: %+v", st)
+	}
+}
+
+// EpochEngineShim keeps the test file importable if the engine moves.
+type EpochEngineShim struct{}
+
+func TestEpochSnapshotMetaRingFallback(t *testing.T) {
+	// A reader pinned further back than the meta ring keeps correct
+	// counts via the recount fallback. Simulate by reading a snapshot
+	// whose ring slot has been overwritten: advance well past the ring.
+	s := NewEpochStore(8, EpochOptions{})
+	s.InsertEdge(Edge{Src: 0, Dst: 1, Weight: 1})
+	snap := s.Snapshot()
+	want := snap.NumEdges()
+	if want != 1 {
+		t.Fatalf("snapshot edges = %d, want 1", want)
+	}
+	snap.Release()
+
+	// Overwrite the slot the pinned epoch would use.
+	sn2 := s.Snapshot()
+	epoch := sn2.Epoch()
+	s.writeMeta(epoch+emetaRing, 12345, 8) // same ring slot, different epoch
+	if _, _, ok := s.readMeta(epoch); ok {
+		t.Fatal("readMeta validated a wrapped slot")
+	}
+	sn2.edges = -1 // force the recount path
+	if got := sn2.NumEdges(); got != 1 {
+		t.Fatalf("recount fallback = %d, want 1", got)
+	}
+	sn2.Release()
+	s.writeMeta(epoch, 1, 8) // restore for any later reads
+}

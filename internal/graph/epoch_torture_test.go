@@ -1,0 +1,226 @@
+package graph_test
+
+// The epoch-store concurrency torture suite: N writer goroutines each
+// ingesting its own adversarial stream through the lock-free epoch
+// engine (serialized only by the store's writer lock) while M reader
+// goroutines continuously pin epoch snapshots and audit them for
+// point-in-time consistency — the mirror invariant must hold, the
+// snapshot's meta-ring edge count must equal a full recount (a torn
+// vertex or a half-published batch breaks one or the other), and
+// nothing a pinned reader can reach may be reclaimed (poison mode
+// turns a use-after-reclaim into loud ID corruption). Readers also
+// retain a sample of snapshots to the end of the run, where each is
+// verified bit-for-bit against the sequential oracle replayed to
+// exactly that snapshot's epoch — epochs are the store's
+// serialization order, so the prefix is well defined even though
+// writers raced. The quick tier runs in the plain test suite; the
+// full tier rides the epoch-torture CI job via STRESS_SOAK_FULL.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"streamgraph/internal/gen"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/oracle"
+	"streamgraph/internal/update"
+)
+
+type tortureCfg struct {
+	writers, readers int
+	verts            int
+	batchSize        int
+	batches          int // per writer
+	keep             int // snapshots retained per reader for replay audit
+}
+
+// pub records one published batch: FinishBatch's epoch is the batch's
+// position in the store's serialization order.
+type pub struct {
+	epoch uint64
+	b     *graph.Batch
+}
+
+func TestEpochTorture(t *testing.T) {
+	// The quick tier's vertex space is deliberately small relative to the
+	// edge volume: every vertex's adjacency is rewritten many times, so
+	// early chunks provably die and the Reclaimed>0 assertion at the end
+	// is schedule-independent. (With a sparse space the final live heads
+	// can spread across every chunk and legitimately pin them all.)
+	cfg := tortureCfg{writers: 4, readers: 3, verts: 128, batchSize: 256, batches: 8, keep: 3}
+	if os.Getenv("STRESS_SOAK_FULL") != "" && !testing.Short() {
+		cfg = tortureCfg{writers: 8, readers: 6, verts: 2048, batchSize: 1024, batches: 24, keep: 4}
+	}
+	runEpochTorture(t, cfg)
+}
+
+func runEpochTorture(t *testing.T, cfg tortureCfg) {
+	st := graph.NewEpochStore(cfg.verts, graph.EpochOptions{Poison: true})
+	kinds := gen.AdvKinds()
+
+	var pubMu sync.Mutex
+	pubs := make([]pub, 0, cfg.writers*cfg.batches)
+
+	// Writers: each replays its own adversarial stream through its own
+	// engine; the store's writer lock serializes the batches and the
+	// returned epoch records where each landed.
+	var writers sync.WaitGroup
+	for k := 0; k < cfg.writers; k++ {
+		writers.Add(1)
+		go func(k int) {
+			defer writers.Done()
+			spec := gen.AdvSpec{
+				Kind:      kinds[k%len(kinds)],
+				Seed:      int64(1000 + k),
+				Vertices:  cfg.verts,
+				BatchSize: cfg.batchSize,
+				Batches:   cfg.batches,
+			}
+			batches := spec.Generate()
+			eng := &update.EpochEngine{Cfg: update.Config{Workers: 1 + k%3}}
+			for i, b := range batches {
+				// Batch IDs must be globally unique so the latest_bid
+				// replay is well defined across writers.
+				b.ID = k*10_000 + i
+				_, epoch := eng.Apply(st, b)
+				pubMu.Lock()
+				pubs = append(pubs, pub{epoch: epoch, b: b})
+				pubMu.Unlock()
+			}
+		}(k)
+	}
+
+	// Readers: hammer the snapshot path until the writers finish,
+	// auditing every snapshot for point-in-time consistency and
+	// retaining a few (still pinned) for the end-of-run oracle replay.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	keptCh := make(chan []*graph.EpochSnapshot, cfg.readers)
+	for r := 0; r < cfg.readers; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			var kept []*graph.EpochSnapshot
+			iter := 0
+			for {
+				select {
+				case <-done:
+					keptCh <- kept
+					return
+				default:
+				}
+				snap := st.Snapshot()
+				if err := auditSnapshot(snap); err != "" {
+					t.Error(err)
+					snap.Release()
+					keptCh <- kept
+					return
+				}
+				// Keep a spread of epochs pinned to the end; everything
+				// else unpins immediately so reclamation stays live.
+				if len(kept) < cfg.keep && iter%7 == r {
+					kept = append(kept, snap)
+				} else {
+					snap.Release()
+				}
+				iter++
+			}
+		}(r)
+	}
+
+	writers.Wait()
+	close(done)
+	readers.Wait()
+	close(keptCh)
+	var kept []*graph.EpochSnapshot
+	for ks := range keptCh {
+		kept = append(kept, ks...)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// The serialization order must be a gapless run of unique epochs —
+	// one Advance per published batch, nothing lost, nothing doubled.
+	sort.Slice(pubs, func(i, j int) bool { return pubs[i].epoch < pubs[j].epoch })
+	for i := range pubs {
+		if want := pubs[0].epoch + uint64(i); pubs[i].epoch != want {
+			t.Fatalf("pub %d: epoch %d, want gapless %d", i, pubs[i].epoch, want)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Epoch() < kept[j].Epoch() })
+
+	// Replay the serialization order through the sequential oracle,
+	// pausing at each retained snapshot's epoch to verify the pinned
+	// view against the model's exact prefix state.
+	model := oracle.NewModel()
+	ki := 0
+	for ki < len(kept) && kept[ki].Epoch() < pubs[0].epoch {
+		verifySnap(t, model, kept[ki]) // pinned before any batch: empty prefix
+		ki++
+	}
+	for _, p := range pubs {
+		model.ApplyBatch(p.b)
+		for ki < len(kept) && kept[ki].Epoch() == p.epoch {
+			verifySnap(t, model, kept[ki])
+			ki++
+		}
+	}
+	if ki != len(kept) {
+		t.Fatalf("retained snapshot at epoch %d beyond last published epoch %d",
+			kept[ki].Epoch(), pubs[len(pubs)-1].epoch)
+	}
+
+	// Final state: live store matches the full replay, including the
+	// latest_bid fields OCA reads.
+	if d := model.Verify(st); d != nil {
+		t.Fatalf("final store: %v", d)
+	}
+	if d := model.VerifyLatestBIDsOf(st); d != nil {
+		t.Fatalf("final latest_bid: %v", d)
+	}
+
+	for _, sn := range kept {
+		sn.Release()
+	}
+	st.Manager().Reclaim()
+	ms := st.Manager().Stats()
+	if ms.Pinned != 0 {
+		t.Fatalf("epochs still pinned after all releases: %+v", ms)
+	}
+	if ms.Retired != 0 {
+		t.Fatalf("unreclaimed garbage with no pins: %+v", ms)
+	}
+	if ms.Reclaimed == 0 {
+		t.Fatalf("torture run reclaimed nothing — grace periods never closed: %+v", ms)
+	}
+	t.Logf("epochs=%d reclaimed=%d stalls=%d pool-allocs=%d kept=%d",
+		ms.Global, ms.Reclaimed, ms.Stalls, st.PoolMisses(), len(kept))
+}
+
+// auditSnapshot checks one pinned view for point-in-time consistency:
+// in/out mirroring and agreement between the published per-epoch edge
+// count and a full recount. Returns "" or a failure description.
+func auditSnapshot(snap *graph.EpochSnapshot) string {
+	if err := graph.CheckMirror(snap); err != nil {
+		return "snapshot mirror broken (torn vertex): " + err.Error()
+	}
+	recount := 0
+	for v := 0; v < snap.NumVertices(); v++ {
+		recount += snap.OutDegree(graph.VertexID(v))
+	}
+	if got := snap.NumEdges(); got != recount {
+		return fmt.Sprintf("snapshot edge count torn: meta says %d, recount %d", got, recount)
+	}
+	return ""
+}
+
+func verifySnap(t *testing.T, model *oracle.Model, sn *graph.EpochSnapshot) {
+	t.Helper()
+	if d := model.Verify(sn); d != nil {
+		t.Fatalf("snapshot pinned at epoch %d diverges from its prefix replay: %v", sn.Epoch(), d)
+	}
+}

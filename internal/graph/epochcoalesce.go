@@ -1,0 +1,172 @@
+package graph
+
+// Run coalescing for the epoch store's ApplyRun — the USC idea
+// (coalesce a run's duplicate searches into one scan of the vertex's
+// adjacency) restated for version rebuilds. The linear path costs
+// O(run × degree) comparisons; on a skewed stream a hub's run covers
+// most of the batch and its degree grows without bound, which is
+// exactly where the lock-free engine must win. The coalesced path
+// indexes the run in a per-worker open-addressing table and rebuilds
+// the vertex's next version in one pass over the current adjacency
+// plus one pass over the run: O(run + degree).
+//
+// The table is reusable scratch owned by the worker's arena:
+// generation-stamped slots make per-run reset free, and the backing
+// arrays only ever grow, so a warmed engine allocates nothing here —
+// the same contract as the chunk pool.
+
+// ecoalMinRun is the smallest run the coalesced path handles; shorter
+// runs use direct scans, where a table is superfluous (the same
+// degree-1 argument as update.Config.MinCoalesceRun).
+const ecoalMinRun = 8
+
+// ecoal slot flags.
+const (
+	ecoalInsert  = 1 << 0 // run inserts this key (weight = last in batch order)
+	ecoalDelete  = 1 << 1 // run deletes this key
+	ecoalPresent = 1 << 2 // key already placed in the rebuilt adjacency
+)
+
+// ecoal is one worker's reusable run-coalescing table.
+type ecoal struct {
+	keys    []VertexID
+	weights []Weight
+	flags   []uint8
+	gens    []uint64
+	gen     uint64
+	mask    uint64
+}
+
+// begin prepares the table for a run of n edges: capacity at least 2n
+// (load factor ≤ 0.5) and a fresh generation, which invalidates every
+// old slot without touching memory.
+func (c *ecoal) begin(n int) {
+	need := 1
+	for need < 2*n {
+		need <<= 1
+	}
+	if len(c.keys) < need {
+		c.keys = make([]VertexID, need)
+		c.weights = make([]Weight, need)
+		c.flags = make([]uint8, need)
+		c.gens = make([]uint64, need)
+	}
+	c.mask = uint64(len(c.keys) - 1)
+	c.gen++
+}
+
+// ecoalHash spreads keys with the Fibonacci multiplier; the product's
+// high half mixes all key bits before the mask cuts it down.
+func ecoalHash(key VertexID) uint64 {
+	return (uint64(key) * 0x9E3779B97F4A7C15) >> 32
+}
+
+// slot returns key's slot, claiming an empty one if absent.
+func (c *ecoal) slot(key VertexID) int {
+	i := ecoalHash(key) & c.mask
+	for {
+		if c.gens[i] != c.gen {
+			c.gens[i] = c.gen
+			c.keys[i] = key
+			c.flags[i] = 0
+			return int(i)
+		}
+		if c.keys[i] == key {
+			return int(i)
+		}
+		i = (i + 1) & c.mask
+	}
+}
+
+// lookup returns key's slot, or -1 when the run never named it.
+func (c *ecoal) lookup(key VertexID) int {
+	i := ecoalHash(key) & c.mask
+	for {
+		if c.gens[i] != c.gen {
+			return -1
+		}
+		if c.keys[i] == key {
+			return int(i)
+		}
+		i = (i + 1) & c.mask
+	}
+}
+
+// applyRunCoalesced rebuilds cur + edges into ns (the fresh version's
+// backing, capacity len(cur)+inserts) via the worker's table. Returns
+// the built slice, the run's stats, and whether anything changed; the
+// caller owns version publication. Stats match the linear path: a key
+// inserted and deleted within one batch counts one Created and one
+// Removed, duplicate inserts count one Created, repeated deletes one
+// Removed.
+func (c *ecoal) applyRunCoalesced(cur []Neighbor, ns []Neighbor, edges []Edge, out bool) ([]Neighbor, EpochRunStats, bool) {
+	var st EpochRunStats
+	c.begin(len(edges))
+	for i := range edges {
+		e := &edges[i]
+		key := e.Dst
+		if !out {
+			key = e.Src
+		}
+		si := c.slot(key)
+		if e.Delete {
+			c.flags[si] |= ecoalDelete
+		} else {
+			c.flags[si] |= ecoalInsert
+			c.weights[si] = e.Weight // last insert in batch order wins
+		}
+	}
+
+	changed := false
+	// One scan of the current adjacency: drop deletions, rewrite
+	// duplicate-insert weights, keep the rest. Insertions apply before
+	// deletions (the global update-ordering policy), so a key with
+	// both flags ends up deleted.
+	ns = ns[:0]
+	for j := range cur {
+		st.Comparisons++
+		si := c.lookup(cur[j].ID)
+		if si < 0 {
+			ns = append(ns, cur[j])
+			continue
+		}
+		f := c.flags[si]
+		if f&ecoalDelete != 0 {
+			st.Removed++
+			changed = true
+			continue
+		}
+		// Insert-only match: in-place weight update (a new version is
+		// published even on an equal weight, like the linear path).
+		ns = append(ns, Neighbor{ID: cur[j].ID, Weight: c.weights[si]})
+		c.flags[si] = f | ecoalPresent
+		changed = true
+	}
+	// Fresh inserts append in first-occurrence batch order. A key also
+	// deleted in this batch was created and then removed: both counts,
+	// no entry.
+	for i := range edges {
+		e := &edges[i]
+		if e.Delete {
+			continue
+		}
+		key := e.Dst
+		if !out {
+			key = e.Src
+		}
+		si := c.lookup(key)
+		f := c.flags[si]
+		if f&ecoalPresent != 0 {
+			continue
+		}
+		c.flags[si] = f | ecoalPresent
+		st.Created++
+		changed = true
+		if f&ecoalDelete != 0 {
+			st.Removed++
+			continue
+		}
+		ns = append(ns, Neighbor{ID: key, Weight: c.weights[si]})
+	}
+	return ns, st, changed
+}

@@ -19,7 +19,10 @@ import (
 //   - time.Now() — a vDSO call per edge dominates small batches;
 //     sample the clock per batch instead;
 //   - function-literal creation — closures capturing loop state box
-//     onto the heap each iteration.
+//     onto the heap each iteration;
+//   - make of an Edge/Neighbor slice — a per-edge adjacency buffer is
+//     an O(edges) allocation storm; carve from a batch arena (the
+//     epoch store's chunks, update.BatchArena) or hoist and reuse.
 //
 // Loops outside the three hot packages, and loops not ranging over
 // Edge/Neighbor/Batch element types, are not constrained.
@@ -105,6 +108,9 @@ func checkHotLoop(pkg *Package, body ast.Node, report Reporter) {
 				if isMapType(pkg, n.Args[0]) {
 					report(n.Pos(), "map allocated inside a per-edge loop: hoist the make outside the loop and clear/reuse it per batch")
 				}
+				if isEdgeSliceType(pkg, n.Args[0]) {
+					report(n.Pos(), "per-edge slice allocated inside a per-edge loop: carve from a batch arena or hoist and reuse the buffer")
+				}
 			}
 		case *ast.CompositeLit:
 			if t := pkg.Info.Types[n].Type; t != nil {
@@ -125,4 +131,26 @@ func isMapType(pkg *Package, expr ast.Expr) bool {
 	}
 	_, ok := types.Unalias(t).Underlying().(*types.Map)
 	return ok
+}
+
+// isEdgeSliceType reports whether the type expression denotes a slice
+// of the per-edge element types (Edge, Neighbor).
+func isEdgeSliceType(pkg *Package, expr ast.Expr) bool {
+	t := pkg.Info.Types[expr].Type
+	if t == nil {
+		return false
+	}
+	slice, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := namedOf(slice.Elem())
+	if elem == nil {
+		return false
+	}
+	switch elem.Obj().Name() {
+	case "Edge", "Neighbor":
+		return true
+	}
+	return false
 }

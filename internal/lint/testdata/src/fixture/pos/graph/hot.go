@@ -21,3 +21,15 @@ func Describe(ns []Neighbor) []string {
 	}
 	return out
 }
+
+// CopyEach allocates a fresh neighbor buffer per neighbor — flagged:
+// per-edge slices must come from an arena or a hoisted reusable buffer.
+func CopyEach(ns []Neighbor) [][]Neighbor {
+	var out [][]Neighbor
+	for range ns {
+		buf := make([]Neighbor, len(ns))
+		copy(buf, ns)
+		out = append(out, buf)
+	}
+	return out
+}

@@ -90,6 +90,10 @@ func RunStream(batches []*graph.Batch, targets []*Target, opts Options) error {
 					if d := model.VerifyLatestBIDs(t.Adj()); d != nil {
 						return fail(d, t.Name, b.ID)
 					}
+				} else if t.Bids != nil {
+					if d := model.VerifyLatestBIDsOf(t.Bids()); d != nil {
+						return fail(d, t.Name, b.ID)
+					}
 				}
 			}
 		}

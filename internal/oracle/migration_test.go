@@ -45,7 +45,7 @@ func TestLiveMigrationMatchesReference(t *testing.T) {
 }
 
 // TestStoreMatrixDifferential is the CI store-matrix job's entry
-// point: STORE=<adjacency|dah|hybrid|tango> selects the slice of the
+// point: STORE=<adjacency|dah|hybrid|tango|epoch> selects the slice of the
 // differential matrix backed by that store and replays every
 // adversarial family through it. With STORE unset it runs the full
 // matrix on a reduced stream (the full-size sweep is

@@ -247,11 +247,25 @@ func (m *Model) verifyAdj(s graph.Store, v graph.VertexID, out bool) *Divergence
 	return nil
 }
 
+// BIDReader is the slice of store behavior needed to audit per-vertex
+// latest_bid fields: AdjacencyStore and EpochStore both satisfy it.
+type BIDReader interface {
+	NumVertices() int
+	LatestBID(v graph.VertexID) int32
+}
+
 // VerifyLatestBIDs asserts the adjacency store's per-vertex
 // latest_bid fields match the model. Only the AdjacencyStore-backed
 // paths maintain latest_bid (OCA reads it); Mutable-path stores skip
 // this check.
 func (m *Model) VerifyLatestBIDs(s *graph.AdjacencyStore) *Divergence {
+	return m.VerifyLatestBIDsOf(s)
+}
+
+// VerifyLatestBIDsOf is VerifyLatestBIDs for any latest_bid-bearing
+// store (the epoch store maintains the field without being an
+// AdjacencyStore).
+func (m *Model) VerifyLatestBIDsOf(s BIDReader) *Divergence {
 	n := s.NumVertices()
 	for v, want := range m.latest {
 		var got int32 = -1

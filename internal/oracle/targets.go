@@ -20,6 +20,10 @@ type Target struct {
 	// maintains latest_bid semantics (engine and pipeline paths);
 	// nil for Mutable-path stores.
 	Adj func() *graph.AdjacencyStore
+	// Bids returns a latest_bid reader for targets that maintain the
+	// field on a non-adjacency store (the epoch paths); nil otherwise.
+	// Targets with Adj set do not need Bids.
+	Bids func() BIDReader
 	// Finish flushes any deferred work (pipeline targets).
 	Finish func()
 }
@@ -34,6 +38,47 @@ func EngineTarget(name string, eng update.Engine, numVerts int) *Target {
 		Store: func() graph.Store { return st },
 		Adj:   func() *graph.AdjacencyStore { return st },
 	}
+}
+
+// EpochTarget runs the lock-free epoch engine over a fresh epoch
+// store. With snapshots=false the harness verifies against the live
+// store (quiescent between batches); with snapshots=true every Apply
+// re-pins a fresh epoch snapshot and all verification — graph state,
+// compute engines, mirror invariant — reads through it, exercising the
+// wait-free read path end to end. Poisoning is always on so a
+// use-after-reclaim read corrupts the differential comparison loudly.
+func EpochTarget(name string, workers, numVerts int, snapshots bool) *Target {
+	st := graph.NewEpochStore(numVerts, graph.EpochOptions{Poison: true})
+	eng := &update.EpochEngine{Cfg: update.Config{Workers: workers}}
+	t := &Target{
+		Name:  name,
+		Apply: func(b *graph.Batch) { eng.Apply(st, b) },
+		Store: func() graph.Store { return st },
+		Bids:  func() BIDReader { return st },
+	}
+	if snapshots {
+		var snap *graph.EpochSnapshot
+		t.Apply = func(b *graph.Batch) {
+			eng.Apply(st, b)
+			if snap != nil {
+				snap.Release()
+			}
+			snap = st.Snapshot()
+		}
+		t.Store = func() graph.Store {
+			if snap != nil {
+				return snap
+			}
+			return st
+		}
+		t.Finish = func() {
+			if snap != nil {
+				snap.Release()
+				snap = nil
+			}
+		}
+	}
+	return t
 }
 
 // MutableTarget replays batches sequentially through the
@@ -159,9 +204,12 @@ func AdaptiveTarget(name string, numVerts, cadence int) (*Target, *graph.Adaptiv
 //
 //   - adjacency list × {baseline, baseline(1 worker), RO, RO+USC,
 //     RO+USC with forced coalescing, sequential Mutable};
-//   - DAH, hybrid and tango stores × sequential Mutable (the batch
-//     engines are adjacency-specific by design; the Mutable path is
-//     how those stores ingest batches);
+//   - DAH, hybrid, tango and epoch stores × sequential Mutable (the
+//     batch engines are adjacency-specific by design; the Mutable
+//     path is how those stores ingest batches);
+//   - the epoch store × the lock-free epoch engine, once verified
+//     against the live store and once entirely through pinned epoch
+//     snapshots;
 //   - the adaptive store with live representation migrations in
 //     flight across batch boundaries;
 //   - pipeline × {ABR+USC adaptive, PerfectABR oracle decisions}.
@@ -183,6 +231,9 @@ func Matrix(numVerts, workers int) []*Target {
 		MutableTarget("mutable/dah", graph.NewDAHStore(numVerts)),
 		HybridTarget("mutable/hybrid", numVerts, 3),
 		MutableTarget("mutable/tango", graph.NewTangoStore(numVerts)),
+		MutableTarget("mutable/epoch", graph.NewEpochStore(numVerts, graph.EpochOptions{Poison: true})),
+		EpochTarget("epoch/live", workers, numVerts, false),
+		EpochTarget("epoch/snapshot", workers, numVerts, true),
 		adaptive,
 		PipelineTarget("pipeline/abr+usc",
 			pipeline.Config{Policy: pipeline.ABRUSC, Workers: workers}, numVerts),
@@ -217,6 +268,8 @@ func MatrixForStore(numVerts, workers int, store string) []*Target {
 			keep = t.Name == "mutable/hybrid"
 		case "tango":
 			keep = t.Name == "mutable/tango" || t.Name == "adaptive/migrating"
+		case "epoch":
+			keep = t.Name == "mutable/epoch" || t.Name == "epoch/live" || t.Name == "epoch/snapshot"
 		}
 		if keep {
 			out = append(out, t)

@@ -1,0 +1,169 @@
+package pipeline_test
+
+// Regression coverage for the overlapped-compute stale-read hazard and
+// for the epoch pipeline mode. The interleaving that used to be
+// wrong: with ConcurrentCompute, batch k's round is supposed to
+// observe exactly batch k's boundary while batch k+1's update runs
+// concurrently. If the round's view were captured after the drain
+// point — or lazily, on the round goroutine itself — a fast next batch
+// (ProcessBatchIsolated from the serving path, or Finish) could
+// publish first and the round would silently compute over state it was
+// never meant to see. The fix pins the view at the moment the round is
+// decided, before anything else can run; these tests drive the exact
+// interleaving and fail loudly on either regression: no overlap at
+// all (the old head-of-batch drain), or a round that reads past its
+// own batch.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streamgraph/internal/compute"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/oca"
+	"streamgraph/internal/oracle"
+	"streamgraph/internal/pipeline"
+)
+
+// blockingCompute parks every Update call until the test releases it,
+// then records the edge count of the store view it was handed.
+type blockingCompute struct {
+	started chan struct{} // one signal per Update entry
+	release chan struct{} // one token consumed per Update
+
+	mu      sync.Mutex
+	records []int
+}
+
+func newBlockingCompute() *blockingCompute {
+	return &blockingCompute{
+		started: make(chan struct{}, 8),
+		release: make(chan struct{}, 8),
+	}
+}
+
+func (c *blockingCompute) Name() string { return "blocking-probe" }
+func (c *blockingCompute) Reset()       {}
+
+func (c *blockingCompute) Update(g graph.Store, batches ...*graph.Batch) compute.Metrics {
+	c.started <- struct{}{}
+	<-c.release
+	c.mu.Lock()
+	c.records = append(c.records, g.NumEdges())
+	c.mu.Unlock()
+	return compute.Metrics{}
+}
+
+func (c *blockingCompute) recorded() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.records...)
+}
+
+// TestEpochConcurrentComputePinnedAtBatch drives the torn
+// interleaving: round 1 is parked inside its Update while batch 2's
+// update publishes a new epoch. The live store must move on (that is
+// the overlap the option promises) and round 1 must still observe
+// exactly batch 1's boundary through its pinned snapshot.
+func TestEpochConcurrentComputePinnedAtBatch(t *testing.T) {
+	eng := newBlockingCompute()
+	r := pipeline.NewRunner(pipeline.Config{
+		Policy:            pipeline.Baseline,
+		Workers:           1,
+		Compute:           eng,
+		ConcurrentCompute: true,
+		Epoch:             true,
+		OCA:               oca.Config{Disabled: true},
+	}, 64)
+
+	b1 := &graph.Batch{ID: 0, Edges: []graph.Edge{
+		{Src: 1, Dst: 2, Weight: 1}, {Src: 2, Dst: 3, Weight: 1}, {Src: 3, Dst: 4, Weight: 1},
+	}}
+	b2 := &graph.Batch{ID: 1, Edges: []graph.Edge{
+		{Src: 5, Dst: 6, Weight: 1}, {Src: 6, Dst: 7, Weight: 1},
+	}}
+
+	r.ProcessBatch(b1)
+	<-eng.started // round 1 is in flight and parked
+
+	done := make(chan struct{})
+	go func() {
+		r.ProcessBatch(b2)
+		close(done)
+	}()
+
+	// Overlap: batch 2's update must publish while round 1 is still
+	// parked. The epoch store is safe to read concurrently by design.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.EpochStore().NumEdges() != 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch 2's update never overlapped the in-flight compute round (head-of-batch drain regression)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("ProcessBatch(b2) returned while round 1 was still parked; rounds must serialize")
+	default:
+	}
+
+	eng.release <- struct{}{} // round 1 records its view
+	<-done                    // batch 2 drains round 1, launches round 2
+	<-eng.started
+	eng.release <- struct{}{} // round 2 records its view
+	r.Finish()
+
+	got := eng.recorded()
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("round views = %v, want [3 5]: round 1 must see exactly batch 1's boundary despite batch 2 publishing mid-round", got)
+	}
+	// All pins returned: nothing may keep reclamation stalled.
+	if st := r.EpochStore().Manager().Stats(); st.Pinned != 0 {
+		t.Fatalf("compute rounds leaked epoch pins: %+v", st)
+	}
+}
+
+// TestEpochPipelineMatchesModel replays an adversarial-ish stream
+// through the epoch pipeline mode (with OCA and concurrent compute
+// exercised) and verifies final state against the sequential oracle.
+func TestEpochPipelineMatchesModel(t *testing.T) {
+	model := oracle.NewModel()
+	r := pipeline.NewRunner(pipeline.Config{
+		Policy:            pipeline.ABRUSC,
+		Workers:           2,
+		Compute:           &compute.CC{Incremental: true, Workers: 1},
+		ConcurrentCompute: true,
+		Epoch:             true,
+	}, 128)
+
+	mk := func(id int, edges ...graph.Edge) *graph.Batch { return &graph.Batch{ID: id, Edges: edges} }
+	batches := []*graph.Batch{
+		mk(0, graph.Edge{Src: 1, Dst: 2, Weight: 3}, graph.Edge{Src: 2, Dst: 3, Weight: 1}),
+		mk(1, graph.Edge{Src: 1, Dst: 2, Weight: 9}, graph.Edge{Src: 3, Dst: 1, Weight: 2},
+			graph.Edge{Src: 2, Dst: 3, Delete: true}),
+		mk(2, graph.Edge{Src: 4, Dst: 5, Weight: 1}, graph.Edge{Src: 4, Dst: 5, Weight: 7},
+			graph.Edge{Src: 9, Dst: 9, Weight: 2}),
+		mk(3, graph.Edge{Src: 4, Dst: 5, Delete: true}, graph.Edge{Src: 100, Dst: 101, Weight: 1}),
+	}
+	for _, b := range batches {
+		model.ApplyBatch(b)
+		r.ProcessBatch(b)
+	}
+	r.Finish()
+
+	if d := model.Verify(r.ReadStore()); d != nil {
+		t.Fatalf("epoch pipeline diverged: %v", d)
+	}
+	if d := model.VerifyLatestBIDsOf(r.EpochStore()); d != nil {
+		t.Fatalf("epoch pipeline latest_bid: %v", d)
+	}
+	if err := graph.CheckMirror(r.ReadStore()); err != nil {
+		t.Fatalf("mirror: %v", err)
+	}
+	snap := r.EpochStore().Snapshot()
+	if d := model.Verify(snap); d != nil {
+		t.Fatalf("final snapshot diverged: %v", d)
+	}
+	snap.Release()
+}

@@ -141,10 +141,21 @@ type Config struct {
 	// ConcurrentCompute overlaps each computation round with the next
 	// batch's update (the GraphOne/Aspen-style latency hiding the
 	// paper discusses in Section 6.2.3): the round runs on an
-	// immutable flat CSR snapshot while the live store ingests the
-	// next batch. Round results land in the batch's metrics when the
-	// round finishes; call Finish before reading final metrics.
+	// immutable view pinned at this batch's boundary — a flat CSR
+	// copy, or a pinned epoch snapshot in Epoch mode — while the live
+	// store ingests the next batch. Round results land in the batch's
+	// metrics when the round finishes; call Finish before reading
+	// final metrics.
 	ConcurrentCompute bool
+	// Epoch routes updates through the lock-free epoch store and
+	// engine: batches apply with run-partitioned writers and publish
+	// atomically at an epoch boundary, and compute rounds (plus any
+	// server queries) read wait-free pinned snapshots instead of
+	// stop-the-world CSR copies. Software policies only — Sim policies
+	// time the locked engines' memory behavior and panic if combined
+	// with this flag. The adjacency Store() accessor is nil in this
+	// mode; use ReadStore or EpochStore.
+	Epoch bool
 	// SimConfig is the simulated machine for Sim policies; zero
 	// value means sim.DefaultConfig.
 	SimConfig sim.Config
@@ -261,6 +272,11 @@ type Runner struct {
 	roEng   *update.Reordered
 	uscEng  *update.Reordered
 
+	// estore/epochEng replace store and the locked engines when
+	// Config.Epoch is set; exactly one of store/estore is non-nil.
+	estore   *graph.EpochStore
+	epochEng *update.EpochEngine
+
 	tuner *abr.AutoTuner
 
 	simulator *hau.Simulator // Sim policies only
@@ -295,7 +311,22 @@ type Runner struct {
 }
 
 // NewRunner builds a runner over a store pre-sized for numVertices.
+// With Config.Epoch set the store is a lock-free epoch store; the
+// locked adjacency store otherwise.
 func NewRunner(cfg Config, numVertices int) *Runner {
+	if cfg.Epoch {
+		if cfg.Policy.simulated() {
+			panic("pipeline: Epoch mode times real software updates; Sim policies simulate the locked engines")
+		}
+		r := NewRunnerWithStore(cfg, nil)
+		r.estore = graph.NewEpochStore(numVertices, graph.EpochOptions{})
+		r.epochEng = &update.EpochEngine{Cfg: update.Config{
+			Workers:        cfg.Workers,
+			CollectDstRuns: true,
+			Obs:            cfg.Obs,
+		}}
+		return r
+	}
 	return NewRunnerWithStore(cfg, graph.NewAdjacencyStore(numVertices))
 }
 
@@ -348,8 +379,34 @@ func (r *Runner) TunedParams() abr.Params {
 	return r.cfg.ABRParams
 }
 
-// Store exposes the graph state (for verification and examples).
+// Store exposes the adjacency graph state (for verification and
+// examples). Nil in Epoch mode — use ReadStore or EpochStore there.
 func (r *Runner) Store() *graph.AdjacencyStore { return r.store }
+
+// EpochStore exposes the lock-free store in Epoch mode; nil otherwise.
+func (r *Runner) EpochStore() *graph.EpochStore { return r.estore }
+
+// ReadStore returns the live graph state as a read interface in either
+// mode. Reads through it see the latest published batch; callers that
+// need a stable point-in-time view concurrent with ingest should pin a
+// snapshot via EpochStore().Snapshot() instead.
+func (r *Runner) ReadStore() graph.Store {
+	if r.estore != nil {
+		return r.estore
+	}
+	return r.store
+}
+
+// computeSnapshot pins this batch's boundary for an overlapped compute
+// round: a wait-free epoch snapshot in Epoch mode (release returns the
+// pin), a flat CSR copy otherwise (release is a no-op).
+func (r *Runner) computeSnapshot() (graph.Store, func()) {
+	if r.estore != nil {
+		snap := r.estore.Snapshot()
+		return snap, snap.Release
+	}
+	return r.store.SnapshotCSR(), func() {}
+}
 
 // Metrics returns the metrics accumulated so far. The returned
 // pointer aliases live state: with ConcurrentCompute enabled it is
@@ -379,12 +436,13 @@ func (r *Runner) appendMetrics(bm BatchMetrics) int {
 }
 
 // ProcessBatch runs the full per-batch pipeline and returns its
-// metrics (also appended to the run metrics).
+// metrics (also appended to the run metrics). With ConcurrentCompute
+// the previous batch's round genuinely overlaps this batch's update:
+// the round reads a view pinned at its own batch's boundary (an epoch
+// snapshot or a CSR copy), so this update cannot leak into it, and the
+// drain point sits at round-launch time rather than here.
 func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
-	// One async round may be in flight; it must drain before this
-	// batch's update mutates the store's metrics slot invariants.
 	r.activeTrace = nil
-	r.waitCompute()
 
 	o := r.cfg.Obs
 	tr := o.StartBatch(b.ID, len(b.Edges), r.cfg.Policy.String(), b.TraceID)
@@ -498,11 +556,24 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 
 	if r.cfg.Compute != nil {
 		if len(toCompute) > 0 && r.cfg.ConcurrentCompute {
-			snap := r.store.SnapshotCSR()
+			// Pin this batch's boundary BEFORE draining the previous
+			// round: once the pin is taken the next batch's update
+			// cannot perturb what this round will read, so the drain
+			// (required — the compute engine is shared state between
+			// rounds) can happen at any later point without a stale or
+			// forward read. Taking the snapshot after the drain would
+			// be equally safe here, but pinning first is what keeps
+			// the invariant local and interleaving-proof: the view is
+			// fixed at the moment the round is decided.
+			snap, release := r.computeSnapshot()
+			r.waitCompute()
 			slot := r.appendMetrics(bm)
 			r.computeCh = make(chan struct{})
 			go func(done chan struct{}) {
 				defer close(done)
+				// The pin must drop even if the round panics: a leaked
+				// pin stalls reclamation for the rest of the process.
+				defer release()
 				// Without Recover a compute-engine panic crashes the
 				// process rather than being converted into silently
 				// stale results; serving deployments opt into recovery
@@ -540,9 +611,12 @@ func (r *Runner) ProcessBatch(b *graph.Batch) BatchMetrics {
 			return bm
 		}
 		if len(toCompute) > 0 {
+			// Synchronous rounds still drain any overlapped predecessor:
+			// the engine is shared state.
+			r.waitCompute()
 			r.cfg.Fault.BeforeCompute()
 			cs := time.Now()
-			r.cfg.Compute.Update(r.store, toCompute...)
+			r.cfg.Compute.Update(r.ReadStore(), toCompute...)
 			bm.Compute = time.Since(cs)
 			bm.AggregatedBatches = len(toCompute)
 			tr.AddDerivedSpan(nil, "compute", cs, bm.Compute)
@@ -578,7 +652,7 @@ func (r *Runner) Finish() {
 	if rest := r.agg.Flush(); len(rest) > 0 {
 		r.cfg.Fault.BeforeCompute()
 		cs := time.Now()
-		r.cfg.Compute.Update(r.store, rest...)
+		r.cfg.Compute.Update(r.ReadStore(), rest...)
 		d := time.Since(cs)
 		r.mu.Lock()
 		last := &r.metrics.Batches[len(r.metrics.Batches)-1]
@@ -627,13 +701,31 @@ func (r *Runner) processSoftware(b *graph.Batch, bm *BatchMetrics, tr *obs.Batch
 	bm.ABRActive = active
 	bm.Reordered = reorderNow
 
-	eng := r.pickEngine(reorderNow)
+	var eng update.Engine
+	if r.estore == nil {
+		eng = r.pickEngine(reorderNow)
+	} else {
+		// The epoch engine is inherently run-partitioned (its arena
+		// counting sort reorders every batch), so the reorder decision
+		// degenerates to true and CAD instrumentation reads the runs.
+		reorderNow = true
+		bm.Reordered = true
+	}
 	if tr != nil {
-		tr.Engine = eng.Name()
+		if eng != nil {
+			tr.Engine = eng.Name()
+		} else {
+			tr.Engine = r.epochEng.Name()
+		}
 	}
 	updateSpan := tr.StartSpan("update")
 	start := time.Now()
-	st := eng.Apply(r.store, b)
+	var st update.Stats
+	if r.estore != nil {
+		st, _ = r.epochEng.Apply(r.estore, b)
+	} else {
+		st = eng.Apply(r.store, b)
+	}
 	if active {
 		// Instrumentation overlapped with the update: the reordered
 		// path reads run lengths; the non-reordered path pays the

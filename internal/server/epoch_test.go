@@ -1,0 +1,141 @@
+package server
+
+// Serving-path coverage for the lock-free hot path: on a
+// Config.LockFree system, GET /neighbors reads a pinned epoch
+// snapshot without touching the processing token, so it must answer
+// while a batch is mid-ingest — the wait-free read the epoch design
+// exists to provide. On a locked system the same endpoint serializes
+// on the token like every other read.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"streamgraph"
+	"streamgraph/internal/fault"
+)
+
+type neighborsResponse struct {
+	Vertex uint32         `json:"vertex"`
+	Out    []NeighborJSON `json:"out"`
+	In     []NeighborJSON `json:"in"`
+}
+
+func getNeighbors(t *testing.T, base string, v int) neighborsResponse {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/neighbors?v=%d", base, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /neighbors: status %d", resp.StatusCode)
+	}
+	var out neighborsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestNeighborsWaitFreeDuringIngest parks a batch inside the update
+// phase (injected store-latency spike, processing token held the whole
+// time) and requires /neighbors to answer from the pinned snapshot
+// while that batch is still in flight.
+func TestNeighborsWaitFreeDuringIngest(t *testing.T) {
+	sys := streamgraph.New(streamgraph.Config{
+		Vertices: 64,
+		Workers:  2,
+		LockFree: true,
+		// Fires on every 2nd update: batch 1 lands fast, batch 2
+		// stalls 1.5–3s with the token held.
+		Fault: streamgraph.NewFaultInjector(fault.Spec{LatencyEvery: 2, Latency: 3 * time.Second}),
+	})
+	ts := httptest.NewServer(New(sys))
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, error) {
+		return http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	}
+	resp, err := post(`[{"src":1,"dst":2,"weight":4},{"src":1,"dst":3,"weight":5}]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch 1: status %d", resp.StatusCode)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := post(`[{"src":2,"dst":3,"weight":1}]`)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(200 * time.Millisecond) // let the stalled batch take the token
+
+	start := time.Now()
+	nb := getNeighbors(t, ts.URL, 1)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("/neighbors took %v — it queued behind the in-flight batch", elapsed)
+	}
+	select {
+	case <-done:
+		// The stalled batch finished before the query came back: the
+		// window closed and the test proved nothing. The stall is 1.5s
+		// minimum against a 200ms head start, so this indicates a bug,
+		// not an unlucky schedule.
+		t.Fatal("stalled batch completed before the wait-free read window")
+	default:
+	}
+	if len(nb.Out) != 2 || len(nb.In) != 0 {
+		t.Fatalf("neighbors of 1 = %+v, want 2 out / 0 in", nb)
+	}
+	<-done
+
+	// After the stalled batch lands, the new edge is visible.
+	nb = getNeighbors(t, ts.URL, 2)
+	if len(nb.Out) != 1 || nb.Out[0].ID != 3 || len(nb.In) != 1 {
+		t.Fatalf("neighbors of 2 after batch 2 = %+v", nb)
+	}
+}
+
+// TestNeighborsLocked covers the token-serialized fallback and
+// parameter validation on an ordinary (locked) system.
+func TestNeighborsLocked(t *testing.T) {
+	sys := streamgraph.New(streamgraph.Config{Vertices: 16, Workers: 1})
+	ts := httptest.NewServer(New(sys))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/batch", "application/json",
+		strings.NewReader(`[{"src":1,"dst":2,"weight":4}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	nb := getNeighbors(t, ts.URL, 1)
+	if len(nb.Out) != 1 || nb.Out[0].ID != 2 || nb.Out[0].Weight != 4 {
+		t.Fatalf("neighbors of 1 = %+v", nb)
+	}
+	// Out-of-range vertex: empty lists, not an error.
+	nb = getNeighbors(t, ts.URL, 9999)
+	if len(nb.Out) != 0 || len(nb.In) != 0 {
+		t.Fatalf("out-of-range vertex returned adjacency: %+v", nb)
+	}
+	resp, err = http.Get(ts.URL + "/neighbors?v=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad vertex param: status %d, want 400", resp.StatusCode)
+	}
+}

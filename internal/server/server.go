@@ -150,6 +150,7 @@ func NewWithOptions(sys *streamgraph.System, opts Options) *Server {
 	s.mux.HandleFunc("GET /component", s.vertexQuery(func(v streamgraph.VertexID) (string, float64) {
 		return "component", float64(s.sys.Component(v))
 	}))
+	s.mux.HandleFunc("GET /neighbors", s.handleNeighbors)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
@@ -360,6 +361,49 @@ func (s *Server) vertexQuery(get func(streamgraph.VertexID) (string, float64)) h
 		}
 		writeJSON(w, out)
 	}
+}
+
+// NeighborJSON is the wire form of one adjacency entry.
+type NeighborJSON struct {
+	ID     uint32  `json:"id"`
+	Weight float32 `json:"weight"`
+}
+
+// handleNeighbors serves a vertex's out- and in-adjacency. On a
+// lock-free system the read comes from a pinned epoch snapshot and
+// bypasses the processing token entirely — it answers while a batch
+// is mid-ingest, which is the point of the epoch-based hot path. On a
+// locked system it serializes on the token like every other read.
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("v")
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		http.Error(w, "bad or missing vertex parameter v", http.StatusBadRequest)
+		return
+	}
+	if !s.sys.LockFree() {
+		release, ok := s.acquire(r)
+		if !ok {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "queue timeout", http.StatusServiceUnavailable)
+			return
+		}
+		defer release()
+	}
+	g, release := s.sys.GraphSnapshot()
+	defer release()
+	vid := streamgraph.VertexID(v)
+	out := []NeighborJSON{}
+	in := []NeighborJSON{}
+	if int(v) < g.NumVertices() {
+		g.ForEachOut(vid, func(n streamgraph.Neighbor) {
+			out = append(out, NeighborJSON{ID: uint32(n.ID), Weight: float32(n.Weight)})
+		})
+		g.ForEachIn(vid, func(n streamgraph.Neighbor) {
+			in = append(in, NeighborJSON{ID: uint32(n.ID), Weight: float32(n.Weight)})
+		})
+	}
+	writeJSON(w, map[string]any{"vertex": v, "out": out, "in": in})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -12,7 +12,8 @@
 #   10 gofmt   11 go vet   12 staticcheck   13 sglint
 #   14 go build   15 go test -race   16 stress soak
 #   17 bench trajectory   18 baseline preflight   19 bench store
-#   20 sglint json   21 lint budget
+#   20 sglint json   21 lint budget   22 bench lockfree
+#   23 epoch torture
 #
 # The baseline preflight (18) validates the committed BENCH_*.json
 # gate baselines (existence, JSON, schema version) BEFORE the bench
@@ -110,6 +111,14 @@ echo "== stress soak =="
 STRESS_SOAK_FULL=1 go test -race -count=1 -run '^TestSoak$' ./internal/stress
 record "stress soak" $? 16
 
+echo "== epoch torture =="
+# Full-tier epoch torture: N writers racing M pinned readers on the
+# lock-free store, mirror invariant and torn-vertex checks on every
+# read, grace-period reclamation required to make progress. The plain
+# test run above covers only the quick tier.
+STRESS_SOAK_FULL=1 go test -race -count=1 -run '^TestEpochTorture$' ./internal/graph
+record "epoch torture" $? 23
+
 echo "== baseline preflight =="
 go run ./cmd/sgbench -validate-baselines
 preflight_rc=$?
@@ -134,11 +143,23 @@ if [ "$preflight_rc" -eq 0 ]; then
     go run ./cmd/sgbench -store-experiment -quick -store-out BENCH_storecmp.json \
         -store-baseline BENCH_store.json
     record "bench store" $? 19
+
+    echo "== bench lockfree =="
+    # Lock-free head-to-head (epoch engine vs the mutex baseline and
+    # ro+usc), gated per-phase against the committed baseline. Refresh
+    # with
+    #   go run ./cmd/sgbench -lockfree-experiment -quick \
+    #       -lockfree-write-baseline -lockfree-out BENCH_lockfree.json
+    go run ./cmd/sgbench -lockfree-experiment -quick -lockfree-out BENCH_lockfreecmp.json \
+        -lockfree-baseline BENCH_lockfree.json
+    record "bench lockfree" $? 22
 else
     echo "== bench trajectory == (skipped: baseline preflight failed)"
     summary="${summary}bench trajectory:skip:0\n"
     echo "== bench store == (skipped: baseline preflight failed)"
     summary="${summary}bench store:skip:0\n"
+    echo "== bench lockfree == (skipped: baseline preflight failed)"
+    summary="${summary}bench lockfree:skip:0\n"
 fi
 
 echo

@@ -185,6 +185,15 @@ type Config struct {
 	// Serving deployments (internal/server) enable it together with
 	// ApplyBatchIsolated.
 	Recover bool
+	// LockFree routes updates through the epoch-based lock-free hot
+	// path: batches apply with run-partitioned writers into per-batch
+	// arena memory and publish atomically at an epoch boundary, and
+	// readers — compute rounds, GraphSnapshot queries — pin wait-free
+	// point-in-time snapshots instead of stopping the world for a
+	// copy. Combine with ConcurrentCompute for full update/compute
+	// overlap. WriteSnapshot still works (it materializes an adjacency
+	// copy); Graph() reads the live store between batches.
+	LockFree bool
 	// ShadowStore, when non-empty, attaches an adaptive store replica
 	// that ingests every batch after the primary update and migrates
 	// the live graph between representations ("adjacency", "dah",
@@ -236,6 +245,9 @@ type System struct {
 
 // New builds a system from cfg.
 func New(cfg Config) *System {
+	if cfg.LockFree {
+		return newSystem(cfg, nil)
+	}
 	return newSystem(cfg, graph.NewAdjacencyStore(cfg.Vertices))
 }
 
@@ -303,20 +315,26 @@ func newSystem(cfg Config, store *graph.AdjacencyStore) *System {
 		if err != nil {
 			panic("streamgraph: Config.ShadowStore: " + err.Error())
 		}
-		s.shadow = graph.NewAdaptiveStore(kind, store.NumVertices(), graph.AdaptiveOptions{
+		shadowVerts := cfg.Vertices
+		if store != nil {
+			shadowVerts = store.NumVertices()
+		}
+		s.shadow = graph.NewAdaptiveStore(kind, shadowVerts, graph.AdaptiveOptions{
 			Obs: cfg.Observer,
 		})
 		// Seed the replica with any pre-existing state (snapshot
 		// restores); a fresh system's store is empty and this is free.
-		for v := 0; v < store.NumVertices(); v++ {
-			src := graph.VertexID(v)
-			store.ForEachOut(src, func(n graph.Neighbor) {
-				s.shadow.InsertEdge(graph.Edge{Src: src, Dst: n.ID, Weight: n.Weight})
-			})
+		if store != nil {
+			for v := 0; v < store.NumVertices(); v++ {
+				src := graph.VertexID(v)
+				store.ForEachOut(src, func(n graph.Neighbor) {
+					s.shadow.InsertEdge(graph.Edge{Src: src, Dst: n.ID, Weight: n.Weight})
+				})
+			}
 		}
 	}
 
-	s.runner = pipeline.NewRunnerWithStore(pipeline.Config{
+	pcfg := pipeline.Config{
 		Policy:            pol,
 		ABRParams:         cfg.ABR,
 		AutoTune:          cfg.AutoTune,
@@ -329,7 +347,28 @@ func newSystem(cfg Config, store *graph.AdjacencyStore) *System {
 		Shed:              cfg.Shed,
 		Recover:           cfg.Recover,
 		Shadow:            s.shadow,
-	}, store)
+	}
+	if cfg.LockFree {
+		pcfg.Epoch = true
+		verts := cfg.Vertices
+		if store != nil && store.NumVertices() > verts {
+			verts = store.NumVertices()
+		}
+		s.runner = pipeline.NewRunner(pcfg, verts)
+		// Snapshot restores arrive as an adjacency store; replay its
+		// edges into the epoch store so LockFree systems restore too.
+		if store != nil {
+			es := s.runner.EpochStore()
+			for v := 0; v < store.NumVertices(); v++ {
+				src := graph.VertexID(v)
+				store.ForEachOut(src, func(n graph.Neighbor) {
+					es.InsertEdge(graph.Edge{Src: src, Dst: n.ID, Weight: n.Weight})
+				})
+			}
+		}
+	} else {
+		s.runner = pipeline.NewRunnerWithStore(pcfg, store)
+	}
 	return s
 }
 
@@ -362,14 +401,28 @@ func (s *System) TunedABR() ABRParams { return s.runner.TunedParams() }
 // must be reflected in analytics (the snapshot itself only stores the
 // graph).
 func (s *System) WriteSnapshot(w io.Writer) error {
-	return trace.WriteSnapshot(w, s.runner.Store())
+	if st := s.runner.Store(); st != nil {
+		return trace.WriteSnapshot(w, st)
+	}
+	// LockFree: the snapshot format is adjacency-backed, so
+	// materialize a copy of the epoch store (stop-the-world is fine
+	// here; snapshotting is an explicitly heavyweight operation).
+	es := s.runner.EpochStore()
+	adj := graph.NewAdjacencyStore(es.NumVertices())
+	for v := 0; v < es.NumVertices(); v++ {
+		src := graph.VertexID(v)
+		es.ForEachOut(src, func(n graph.Neighbor) {
+			adj.InsertEdge(graph.Edge{Src: src, Dst: n.ID, Weight: n.Weight})
+		})
+	}
+	return trace.WriteSnapshot(w, adj)
 }
 
 // Recompute refreshes the configured analytic over the whole current
 // snapshot (a full static round).
 func (s *System) Recompute() {
 	if eng := s.engine(); eng != nil {
-		eng.Update(s.runner.Store())
+		eng.Update(s.runner.ReadStore())
 	}
 }
 
@@ -450,14 +503,36 @@ func (s *System) Flush() { s.runner.Finish() }
 // ApplyBatchIsolated.
 func (s *System) FlushIsolated() error { return s.runner.FinishIsolated() }
 
-// Graph returns the current snapshot for ad-hoc queries.
-func (s *System) Graph() Store { return s.runner.Store() }
+// Graph returns the current graph state for ad-hoc queries. The view
+// is live: under the sequential execution contract read it between
+// batches. For reads concurrent with ingest use GraphSnapshot.
+func (s *System) Graph() Store { return s.runner.ReadStore() }
+
+// LockFree reports whether the system runs the epoch-based lock-free
+// hot path (Config.LockFree): GraphSnapshot views are then safe to
+// read concurrently with an in-flight ApplyBatch.
+func (s *System) LockFree() bool { return s.cfg.LockFree }
+
+// GraphSnapshot returns a point-in-time view of the graph and a
+// release function that MUST be called when the read is done. In
+// LockFree mode the view is a pinned epoch snapshot: wait-free,
+// consistent at a batch boundary, and safe to read while ApplyBatch
+// runs on another goroutine — but a held pin stalls memory
+// reclamation, so release promptly. Otherwise the view is the live
+// store with a no-op release and the sequential contract applies.
+func (s *System) GraphSnapshot() (Store, func()) {
+	if es := s.runner.EpochStore(); es != nil {
+		snap := es.Snapshot()
+		return snap, snap.Release
+	}
+	return s.runner.ReadStore(), func() {}
+}
 
 // NumVertices returns the current vertex-space size.
-func (s *System) NumVertices() int { return s.runner.Store().NumVertices() }
+func (s *System) NumVertices() int { return s.runner.ReadStore().NumVertices() }
 
 // NumEdges returns the current directed edge count.
-func (s *System) NumEdges() int { return s.runner.Store().NumEdges() }
+func (s *System) NumEdges() int { return s.runner.ReadStore().NumEdges() }
 
 // Rank returns a vertex's current PageRank (0 when PageRank is not
 // the configured analytic).

@@ -299,6 +299,99 @@ func TestKitchenSink(t *testing.T) {
 	}
 }
 
+// TestLockFreeFacade runs the epoch-based hot path through the public
+// facade — with concurrent compute, so rounds read pinned snapshots —
+// and checks it converges to the same graph as the locked reference,
+// and that a GraphSnapshot view is immune to later batches.
+func TestLockFreeFacade(t *testing.T) {
+	sys := New(Config{Vertices: 200, Workers: 2, LockFree: true,
+		Analytics: AnalyticsPageRank, ConcurrentCompute: true, DisableOCA: true})
+	if !sys.LockFree() {
+		t.Fatal("LockFree() accessor false on a lock-free system")
+	}
+	ref := New(Config{Vertices: 200, Workers: 2, Policy: NeverReorder, DisableOCA: true})
+	edges := randomEdges(11, 3000, 200)
+	for lo := 0; lo < len(edges); lo += 500 {
+		if _, err := sys.ApplyBatch(edges[lo : lo+500]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.ApplyBatch(edges[lo : lo+500]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A pinned snapshot must keep showing its batch boundary even as
+	// more batches land in the live store.
+	snap, release := sys.GraphSnapshot()
+	before := snap.NumEdges()
+	if _, err := sys.ApplyBatch([]Edge{{Src: 190, Dst: 191, Weight: 1}, {Src: 191, Dst: 192, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.NumEdges(); got != before {
+		t.Fatalf("pinned snapshot moved: %d edges, want %d", got, before)
+	}
+	release()
+	ref.ApplyBatch([]Edge{{Src: 190, Dst: 191, Weight: 1}, {Src: 191, Dst: 192, Weight: 1}})
+
+	sys.Flush()
+	if sys.NumEdges() != ref.NumEdges() {
+		t.Fatalf("lock-free system diverged: %d edges vs %d", sys.NumEdges(), ref.NumEdges())
+	}
+	for _, e := range edges[:100] {
+		if sys.Graph().HasEdge(e.Src, e.Dst) != ref.Graph().HasEdge(e.Src, e.Dst) {
+			t.Fatalf("edge (%d,%d) presence differs from reference", e.Src, e.Dst)
+		}
+	}
+	if len(sys.Ranks()) == 0 {
+		t.Fatal("no ranks from concurrent compute over pinned snapshots")
+	}
+}
+
+// TestLockFreeSnapshotRestore round-trips WriteSnapshot across modes:
+// a lock-free system's snapshot restores into a locked system and vice
+// versa, with streaming continuing on the restored instance.
+func TestLockFreeSnapshotRestore(t *testing.T) {
+	src := New(Config{Vertices: 100, Workers: 2, LockFree: true, DisableOCA: true})
+	var edges []Edge
+	for i := 0; i < 30; i++ {
+		edges = append(edges, Edge{Src: VertexID(i + 10), Dst: 7, Weight: Weight(i%5 + 1)})
+	}
+	if _, err := src.ApplyBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	src.Flush()
+
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	locked, err := NewFromSnapshot(Config{Workers: 2, DisableOCA: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locked.NumEdges() != src.NumEdges() {
+		t.Fatalf("locked restore: %d edges, want %d", locked.NumEdges(), src.NumEdges())
+	}
+
+	buf.Reset()
+	if err := locked.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lockfree, err := NewFromSnapshot(Config{Workers: 2, LockFree: true, DisableOCA: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lockfree.LockFree() || lockfree.NumEdges() != src.NumEdges() {
+		t.Fatalf("lock-free restore: %d edges, want %d", lockfree.NumEdges(), src.NumEdges())
+	}
+	if _, err := lockfree.ApplyBatch([]Edge{{Src: 1, Dst: 2, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !lockfree.Graph().HasEdge(1, 2) {
+		t.Fatal("post-restore batch lost on lock-free system")
+	}
+}
+
 func TestShadowStoreFacade(t *testing.T) {
 	sys := New(Config{Vertices: 64, ShadowStore: "tango"})
 	for id := 0; id < 4; id++ {
