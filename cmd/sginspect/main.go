@@ -19,11 +19,17 @@
 // (delete ratio, degree skew, CAD_λ), the representation in effect,
 // live migration events, and the final per-tier census.
 //
+// With -shards N it replays the stream through an N-shard router
+// (consistent hashing, mirrored cross-shard edges, dynamic
+// repartitioning), printing each batch's per-shard routing split, any
+// hot-range migrations, and the final per-shard ownership census.
+//
 // Usage:
 //
 //	sginspect -dataset wiki -batch 10000 -batches 8
 //	sginspect -dataset wiki -batch 10000 -batches 8 -decisions
 //	sginspect -dataset wiki -batch 10000 -batches 8 -stores
+//	sginspect -dataset wiki -batch 10000 -batches 8 -shards 4
 //	sggen -dataset lj -edges 500000 | sginspect -stdin -batch 100000
 package main
 
@@ -53,6 +59,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "with -decisions: worker goroutines (0 = GOMAXPROCS)")
 		stores    = flag.Bool("stores", false, "replay the stream through the adaptive store and print its migration decisions and per-tier census")
 		storeFrom = flag.String("store", "adjacency", "with -stores: initial representation (adjacency|dah|hybrid|tango)")
+		nShards   = flag.Int("shards", 0, "replay the stream through this many consistent-hash shards and print per-shard routing, repartition events, and the ownership census")
 	)
 	flag.Parse()
 
@@ -85,6 +92,9 @@ func main() {
 	}
 	if *stores {
 		os.Exit(runStores(next, *storeFrom))
+	}
+	if *nShards > 0 {
+		os.Exit(runShards(next, *nShards))
 	}
 
 	fmt.Printf("%-8s %10s %10s %10s %12s %10s %s\n",

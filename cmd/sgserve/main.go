@@ -74,6 +74,7 @@ func main() {
 		maxVertex    = flag.Uint("max-vertex", 1<<26, "reject batches naming vertex IDs above this with 400")
 		shadowStore  = flag.String("store-shadow", "", "attach an adaptive store replica starting in this representation (adjacency|dah|hybrid|tango); reported as storeShadow in /metrics.json")
 		lockFree     = flag.Bool("lockfree", false, "serve from the epoch store: wait-free /neighbors snapshot reads concurrent with ingest")
+		shards       = flag.Int("shards", 1, "partition the vertex space across this many pipeline instances (consistent hashing, mirrored cross-shard edges, dynamic repartitioning); reported as shards in /metrics.json")
 	)
 	flag.Parse()
 
@@ -121,6 +122,10 @@ func main() {
 		}
 	}
 
+	if *shards > 1 && (*lockFree || *shadowStore != "") {
+		log.Fatalf("sgserve: -shards > 1 is incompatible with -lockfree and -store-shadow")
+	}
+
 	spec, ok := streamgraph.FaultProfile(*faultProfile, *faultSeed)
 	if !ok {
 		log.Fatalf("sgserve: unknown fault profile %q", *faultProfile)
@@ -148,12 +153,16 @@ func main() {
 		Recover:     true,
 		ShadowStore: *shadowStore,
 		LockFree:    *lockFree,
+		Shards:      *shards,
 	})
 	if *shadowStore != "" {
 		log.Printf("sgserve: adaptive store shadow ON, starting as %s", *shadowStore)
 	}
 	if *lockFree {
 		log.Printf("sgserve: lock-free epoch store ON (wait-free snapshot reads)")
+	}
+	if *shards > 1 {
+		log.Printf("sgserve: sharded across %d pipeline instances (dynamic repartitioning on)", *shards)
 	}
 
 	mux := http.NewServeMux()

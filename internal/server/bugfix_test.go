@@ -1,0 +1,195 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamgraph"
+)
+
+// TestStatsConsistentUnderConcurrentIngest locks in the /stats
+// consistency fix: the metrics snapshot and the vertices/edges gauges
+// must be taken under one processing-token hold. Every batch inserts
+// exactly edgesPer brand-new edges, so any consistent snapshot
+// satisfies edges == measuredBatches·edgesPer; the pre-fix code took
+// the snapshot before acquiring the token, letting a batch land in
+// between and breaking the invariant.
+func TestStatsConsistentUnderConcurrentIngest(t *testing.T) {
+	sys := streamgraph.New(streamgraph.Config{Vertices: 1, Workers: 1})
+	ts := httptest.NewServer(New(sys))
+	defer ts.Close()
+
+	const batches, edgesPer = 40, 10
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < batches; b++ {
+			var sb strings.Builder
+			sb.WriteString("[")
+			for i := 0; i < edgesPer; i++ {
+				if i > 0 {
+					sb.WriteString(",")
+				}
+				// Every edge in the run is unique, so the global edge
+				// count is exactly batches-applied times edgesPer.
+				fmt.Fprintf(&sb, `{"src":%d,"dst":%d}`, b*edgesPer+i, 20000+b*edgesPer+i)
+			}
+			sb.WriteString("]")
+			postBatch(t, ts, sb.String())
+		}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		stats := getJSON(t, ts, "/stats")
+		edges := int(stats["edges"].(float64))
+		measured := int(stats["measuredBatches"].(float64))
+		if edges != measured*edgesPer {
+			t.Fatalf("inconsistent /stats: edges=%d but measuredBatches=%d (want edges = measuredBatches*%d)",
+				edges, measured, edgesPer)
+		}
+		if measured == batches {
+			break
+		}
+	}
+	wg.Wait()
+	stats := getJSON(t, ts, "/stats")
+	if got := int(stats["measuredBatches"].(float64)); got != batches {
+		t.Fatalf("measuredBatches = %d after ingest, want %d", got, batches)
+	}
+}
+
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		queued   int
+		perBatch time.Duration
+		want     int
+	}{
+		{0, 0, 1},                      // no latency observed yet: floor
+		{10, 0, 1},                     // still no observation
+		{0, 100 * time.Millisecond, 1}, // sub-second estimate: floor
+		{0, 3 * time.Second, 3},        // empty queue: one batch drain
+		{5, 2 * time.Second, 12},       // (5+1)·2s
+		{4, 2500 * time.Millisecond, 13},
+		{63, 10 * time.Second, 30}, // full deep queue: clamped
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.queued, c.perBatch); got != c.want {
+			t.Errorf("retryAfterSecs(%d, %v) = %d, want %d", c.queued, c.perBatch, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterDerivedOnReject locks in the derived Retry-After on
+// the 429 path: with an observed per-batch latency and a full
+// admission queue, the header must reflect the expected drain time,
+// not the pre-fix hardcoded "1".
+func TestRetryAfterDerivedOnReject(t *testing.T) {
+	sys := streamgraph.New(streamgraph.Config{Vertices: 8, Workers: 1})
+	s := NewWithOptions(sys, Options{QueueDepth: 4})
+	s.observeBatch(3 * time.Second)
+	// Saturate the admission queue so the next batch is rejected.
+	for i := 0; i < 4; i++ {
+		s.admit <- struct{}{}
+	}
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/batch", strings.NewReader(`[{"src":1,"dst":2}]`))
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", w.Code)
+	}
+	// queued=4, per-batch 3s: ceil((4+1)*3s) = 15.
+	if got := w.Header().Get("Retry-After"); got != "15" {
+		t.Fatalf("Retry-After = %q, want \"15\"", got)
+	}
+}
+
+// TestRetryAfterDerivedOnTimeout covers the 503 queue-timeout path
+// with an empty queue: the estimate is one batch's drain time.
+func TestRetryAfterDerivedOnTimeout(t *testing.T) {
+	sys := streamgraph.New(streamgraph.Config{Vertices: 8, Workers: 1})
+	s := NewWithOptions(sys, Options{QueueTimeout: 10 * time.Millisecond})
+	s.observeBatch(3 * time.Second)
+	// Hold the processing token so the request times out waiting.
+	s.proc <- struct{}{}
+	defer func() { <-s.proc }()
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("GET", "/stats", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+}
+
+// TestRetryAfterFloorWithoutObservation: before any batch completes
+// the estimate must stay at the 1-second floor, never 0 or negative.
+func TestRetryAfterFloorWithoutObservation(t *testing.T) {
+	sys := streamgraph.New(streamgraph.Config{Vertices: 8, Workers: 1})
+	s := NewWithOptions(sys, Options{QueueDepth: 2})
+	for i := 0; i < 2; i++ {
+		s.admit <- struct{}{}
+	}
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/batch", strings.NewReader(`[{"src":1,"dst":2}]`))
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+}
+
+// TestNeighborsKnownField locks in the explicit known/unknown
+// distinction on /neighbors: a vertex inside the grown vertex space
+// answers "known": true with its adjacency; an out-of-range vertex
+// still answers 200 (the query is well-formed) but "known": false, so
+// clients can tell "no such vertex yet" apart from a real isolated
+// vertex.
+func TestNeighborsKnownField(t *testing.T) {
+	run := func(t *testing.T, lockFree bool) {
+		sys := streamgraph.New(streamgraph.Config{Vertices: 8, Workers: 1, LockFree: lockFree})
+		ts := httptest.NewServer(New(sys))
+		defer ts.Close()
+		postBatch(t, ts, `[{"src":1,"dst":2},{"src":2,"dst":3}]`)
+
+		got := getJSON(t, ts, "/neighbors?v=1")
+		if known, ok := got["known"].(bool); !ok || !known {
+			t.Fatalf("known vertex: known = %v, want true", got["known"])
+		}
+		if len(got["out"].([]any)) != 1 {
+			t.Fatalf("known vertex: out = %v, want 1 neighbor", got["out"])
+		}
+
+		// Vertex 5 is inside the vertex space but has no edges: known,
+		// empty adjacency — distinguishable from the case below.
+		got = getJSON(t, ts, "/neighbors?v=5")
+		if known, ok := got["known"].(bool); !ok || !known {
+			t.Fatalf("isolated vertex: known = %v, want true", got["known"])
+		}
+		if len(got["out"].([]any)) != 0 || len(got["in"].([]any)) != 0 {
+			t.Fatalf("isolated vertex: adjacency %v / %v, want empty", got["out"], got["in"])
+		}
+
+		got = getJSON(t, ts, "/neighbors?v=999999")
+		if known, ok := got["known"].(bool); !ok || known {
+			t.Fatalf("out-of-range vertex: known = %v, want false", got["known"])
+		}
+		if len(got["out"].([]any)) != 0 || len(got["in"].([]any)) != 0 {
+			t.Fatalf("out-of-range vertex: adjacency %v / %v, want empty", got["out"], got["in"])
+		}
+	}
+	// The locked system serializes /neighbors on the processing token;
+	// the lock-free one answers from a pinned epoch snapshot. Both
+	// paths must carry the field.
+	t.Run("token", func(t *testing.T) { run(t, false) })
+	t.Run("lockfree", func(t *testing.T) { run(t, true) })
+}

@@ -111,6 +111,54 @@ type Server struct {
 	rejected  int //sglint:guard statsMu
 	timeouts  int //sglint:guard statsMu
 	panics    int //sglint:guard statsMu
+	// batchEWMA is the exponentially weighted moving average of
+	// observed wall-clock batch processing time; it feeds the derived
+	// Retry-After estimate. Zero until the first batch completes.
+	batchEWMA time.Duration //sglint:guard statsMu
+}
+
+// ewmaAlpha is the smoothing factor for the per-batch latency EWMA.
+const ewmaAlpha = 0.3
+
+// observeBatch folds one batch's wall-clock processing time into the
+// latency EWMA.
+func (s *Server) observeBatch(d time.Duration) {
+	s.statsMu.Lock()
+	if s.batchEWMA == 0 {
+		s.batchEWMA = d
+	} else {
+		s.batchEWMA = time.Duration(ewmaAlpha*float64(d) + (1-ewmaAlpha)*float64(s.batchEWMA))
+	}
+	s.statsMu.Unlock()
+}
+
+// retryAfterSecs estimates how long a rejected or timed-out client
+// should back off: the batches already in house each take roughly
+// perBatch to drain, so the estimate is (queued+1)·perBatch rounded up
+// to whole seconds and clamped to [1, 30]. With no latency observation
+// yet it returns the floor.
+func retryAfterSecs(queued int, perBatch time.Duration) int {
+	if perBatch <= 0 {
+		return 1
+	}
+	wait := time.Duration(queued+1) * perBatch
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// retryAfter derives the Retry-After header value from current queue
+// occupancy and the observed per-batch latency.
+func (s *Server) retryAfter() string {
+	s.statsMu.Lock()
+	per := s.batchEWMA
+	s.statsMu.Unlock()
+	return strconv.Itoa(retryAfterSecs(len(s.admit), per))
 }
 
 // New wraps sys in an HTTP handler with default hardening (see
@@ -263,7 +311,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.statsMu.Lock()
 		s.rejected++
 		s.statsMu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "admission queue full", http.StatusTooManyRequests)
 		return
 	}
@@ -277,12 +325,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.statsMu.Lock()
 		s.timeouts++
 		s.statsMu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "queue timeout: batch not applied", http.StatusServiceUnavailable)
 		return
 	}
+	start := time.Now()
 	res, aerr := s.sys.ApplyBatchIsolatedTraced(edges, traceID)
 	release()
+	s.observeBatch(time.Since(start))
 
 	if aerr != nil {
 		// The pipeline recovered a panic: the store is consistent
@@ -292,7 +342,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.statsMu.Lock()
 		s.panics++
 		s.statsMu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "batch failed: "+aerr.Error(), http.StatusServiceUnavailable)
 		return
 	}
@@ -320,7 +370,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.acquire(r)
 	if !ok {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "queue timeout", http.StatusServiceUnavailable)
 		return
 	}
@@ -347,7 +397,7 @@ func (s *Server) vertexQuery(get func(streamgraph.VertexID) (string, float64)) h
 		}
 		release, ok := s.acquire(r)
 		if !ok {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			http.Error(w, "queue timeout", http.StatusServiceUnavailable)
 			return
 		}
@@ -384,7 +434,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	if !s.sys.LockFree() {
 		release, ok := s.acquire(r)
 		if !ok {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			http.Error(w, "queue timeout", http.StatusServiceUnavailable)
 			return
 		}
@@ -395,7 +445,12 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	vid := streamgraph.VertexID(v)
 	out := []NeighborJSON{}
 	in := []NeighborJSON{}
-	if int(v) < g.NumVertices() {
+	// An out-of-range vertex still answers 200 — the query itself is
+	// well-formed — but with "known": false, so clients can tell "no
+	// such vertex yet" apart from a real isolated vertex (known, empty
+	// adjacency). Known vertices report "known": true.
+	known := int(v) < g.NumVertices()
+	if known {
 		g.ForEachOut(vid, func(n streamgraph.Neighbor) {
 			out = append(out, NeighborJSON{ID: uint32(n.ID), Weight: float32(n.Weight)})
 		})
@@ -403,31 +458,37 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 			in = append(in, NeighborJSON{ID: uint32(n.ID), Weight: float32(n.Weight)})
 		})
 	}
-	writeJSON(w, map[string]any{"vertex": v, "out": out, "in": in})
+	writeJSON(w, map[string]any{"vertex": v, "known": known, "out": out, "in": in})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	// MetricsSnapshot is the concurrency-safe accessor: it copies the
-	// run metrics under the runner's lock, so an in-flight
-	// ConcurrentCompute round can never race this read.
-	m := s.sys.MetricsSnapshot()
 	release, ok := s.acquire(r)
 	if !ok {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "queue timeout", http.StatusServiceUnavailable)
 		return
 	}
+	// Take the metrics snapshot and the graph gauges under the SAME
+	// token hold: snapshotting before acquiring would let a batch land
+	// in between, reporting vertices/edges one batch ahead of
+	// updateSeconds/computeSeconds.
+	m := s.sys.MetricsSnapshot()
 	vertices, edges := s.sys.NumVertices(), s.sys.NumEdges()
 	release()
 	s.statsMu.Lock()
 	batches := s.batches
 	s.statsMu.Unlock()
 	writeJSON(w, map[string]any{
-		"vertices":       vertices,
-		"edges":          edges,
-		"batches":        batches,
-		"updateSeconds":  m.UpdateSeconds(),
-		"computeSeconds": m.ComputeSeconds(),
+		"vertices": vertices,
+		"edges":    edges,
+		"batches":  batches,
+		// measuredBatches counts the per-batch metric records behind
+		// updateSeconds/computeSeconds — always consistent with the
+		// gauges above, unlike "batches" which counts this server
+		// instance's accepted requests.
+		"measuredBatches": len(m.Batches),
+		"updateSeconds":   m.UpdateSeconds(),
+		"computeSeconds":  m.ComputeSeconds(),
 	})
 }
 
@@ -439,7 +500,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.acquire(r)
 	if !ok {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "queue timeout", http.StatusServiceUnavailable)
 		return
 	}
@@ -489,12 +550,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.acquire(r)
 	if !ok {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "queue timeout", http.StatusServiceUnavailable)
 		return
 	}
 	edges, vertices := s.sys.NumEdges(), s.sys.NumVertices()
 	shadow := s.sys.ShadowReport()
+	sharded := s.sys.Sharded()
+	var shardRep streamgraph.ShardReport
+	if sharded {
+		shardRep = s.sys.ShardReport()
+	}
 	release()
 	s.statsMu.Lock()
 	out := map[string]any{
@@ -510,6 +576,9 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	s.statsMu.Unlock()
 	if shadow.Kind != "" {
 		out["storeShadow"] = shadow
+	}
+	if sharded {
+		out["shards"] = shardRep
 	}
 	if s.obs != nil {
 		out["metrics"] = s.obs.Registry.Snapshot()
@@ -579,7 +648,7 @@ func (s *Server) handleTraceSpans(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.acquire(r)
 	if !ok {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "queue timeout", http.StatusServiceUnavailable)
 		return
 	}

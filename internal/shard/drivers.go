@@ -1,0 +1,268 @@
+package shard
+
+//sglint:pool scatter workers join on wg.Wait before the superstep merges; a panic in a driver kernel must crash, not silently drop a shard's frontier partition
+
+import (
+	"math"
+	"sync"
+
+	"streamgraph/internal/graph"
+)
+
+// Scatter/gather analytics drivers: each algorithm runs in supersteps
+// where every shard processes its *owned* part of the frontier
+// against its local store concurrently (scatter — complete adjacency
+// under the mirroring rule means no remote reads), and the emitted
+// relaxations are merged into the global result vector sequentially
+// (gather). The merged answers match the single-node engines: BFS
+// levels, CC labels and SSSP distances exactly, PageRank within
+// float-summation-order noise.
+
+// relax is one emitted candidate: "vertex v could take value val".
+type relax struct {
+	v   graph.VertexID
+	val float64
+}
+
+// scatter partitions the frontier by owner, runs visit over each
+// shard's portion concurrently against that shard's local store, and
+// returns the emissions concatenated in shard order (frontier order
+// within a shard), so the gather phase is deterministic.
+func (r *Router) scatter(frontier []graph.VertexID, visit func(st graph.Store, v graph.VertexID, emit func(graph.VertexID, float64))) []relax {
+	parts := make([][]graph.VertexID, r.cfg.Shards)
+	for _, v := range frontier {
+		o := r.ring.Owner(v)
+		parts[o] = append(parts[o], v)
+	}
+	outs := make([][]relax, r.cfg.Shards)
+	var wg sync.WaitGroup
+	for i := range parts {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := r.shards[i].runner.Store()
+			var acc []relax
+			for _, v := range parts[i] {
+				visit(st, v, func(u graph.VertexID, val float64) {
+					acc = append(acc, relax{v: u, val: val})
+				})
+			}
+			outs[i] = acc
+		}(i)
+	}
+	wg.Wait()
+	var all []relax
+	for i := range outs {
+		all = append(all, outs[i]...)
+	}
+	return all
+}
+
+// ownedVertexLists partitions [0, n) by current owner.
+func (r *Router) ownedVertexLists(n int) [][]graph.VertexID {
+	parts := make([][]graph.VertexID, r.cfg.Shards)
+	for v := 0; v < n; v++ {
+		o := r.ring.Owner(graph.VertexID(v))
+		parts[o] = append(parts[o], graph.VertexID(v))
+	}
+	return parts
+}
+
+// forEachShardOwned runs fn concurrently per shard over its owned
+// vertex list. fn instances write only owner-partitioned slots of any
+// shared vectors, so they never race.
+func (r *Router) forEachShardOwned(owned [][]graph.VertexID, fn func(shard int, st graph.Store, vs []graph.VertexID)) {
+	var wg sync.WaitGroup
+	for i := range owned {
+		if len(owned[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i, r.shards[i].runner.Store(), owned[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// BFSLevels computes hop distances from source over out-edges via
+// frontier supersteps. Unreached vertices are -1, matching
+// compute.BFS exactly (levels are order-independent: a round's
+// candidates all carry the same depth).
+func (r *Router) BFSLevels(source graph.VertexID) []int32 {
+	n := r.NumVertices()
+	levels := make([]int32, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	if int(source) >= n {
+		return levels
+	}
+	levels[source] = 0
+	frontier := []graph.VertexID{source}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		cands := r.scatter(frontier, func(st graph.Store, v graph.VertexID, emit func(graph.VertexID, float64)) {
+			st.ForEachOut(v, func(nb graph.Neighbor) { emit(nb.ID, 0) })
+		})
+		var next []graph.VertexID
+		for _, c := range cands {
+			if int(c.v) < n && levels[c.v] == -1 {
+				levels[c.v] = depth
+				next = append(next, c.v)
+			}
+		}
+		frontier = next
+	}
+	return levels
+}
+
+// SSSPDistances computes shortest-path distances from source by
+// label-correcting Bellman-Ford rounds. Each relaxation evaluates
+// dist[u] + float64(weight) — the same float expression the
+// delta-stepping engine uses — and both converge to the unique
+// fixpoint of that equation, so distances match exactly. Unreached
+// vertices are +Inf.
+func (r *Router) SSSPDistances(source graph.VertexID) []float64 {
+	n := r.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if int(source) >= n {
+		return dist
+	}
+	dist[source] = 0
+	active := []graph.VertexID{source}
+	queued := make([]bool, n)
+	for len(active) > 0 {
+		cands := r.scatter(active, func(st graph.Store, v graph.VertexID, emit func(graph.VertexID, float64)) {
+			dv := dist[v]
+			st.ForEachOut(v, func(nb graph.Neighbor) { emit(nb.ID, dv+float64(nb.Weight)) })
+		})
+		var next []graph.VertexID
+		for _, c := range cands {
+			if int(c.v) < n && c.val < dist[c.v] {
+				dist[c.v] = c.val
+				if !queued[c.v] {
+					queued[c.v] = true
+					next = append(next, c.v)
+				}
+			}
+		}
+		for _, v := range next {
+			queued[v] = false
+		}
+		active = next
+	}
+	return dist
+}
+
+// CCLabels computes connected-component labels (minimum vertex ID per
+// component, undirected interpretation) by min-label propagation
+// rounds over both edge directions — exactly compute.CC's semantics.
+func (r *Router) CCLabels() []graph.VertexID {
+	n := r.NumVertices()
+	labels := make([]graph.VertexID, n)
+	frontier := make([]graph.VertexID, n)
+	for i := range labels {
+		labels[i] = graph.VertexID(i)
+		frontier[i] = graph.VertexID(i)
+	}
+	queued := make([]bool, n)
+	for len(frontier) > 0 {
+		cands := r.scatter(frontier, func(st graph.Store, v graph.VertexID, emit func(graph.VertexID, float64)) {
+			lv := float64(labels[v])
+			st.ForEachOut(v, func(nb graph.Neighbor) { emit(nb.ID, lv) })
+			st.ForEachIn(v, func(nb graph.Neighbor) { emit(nb.ID, lv) })
+		})
+		var next []graph.VertexID
+		for _, c := range cands {
+			if l := graph.VertexID(c.val); int(c.v) < n && l < labels[c.v] {
+				labels[c.v] = l
+				if !queued[c.v] {
+					queued[c.v] = true
+					next = append(next, c.v)
+				}
+			}
+		}
+		for _, v := range next {
+			queued[v] = false
+		}
+		frontier = next
+	}
+	return labels
+}
+
+// PageRanks computes damped PageRank with the same Jacobi pull sweeps
+// as compute.PageRank's static engine: rank[v] = (1-d)/N + d ·
+// Σ_{u∈in(v)} rank[u]/outDeg(u), iterated until the largest
+// per-vertex change falls below tol or maxIter sweeps. Out-degrees
+// are gathered once from each vertex's owner (a mirrored neighbor's
+// local degree is incomplete by design). Zero arguments select the
+// engine's defaults (d=0.85, maxIter=100, tol=1e-7).
+func (r *Router) PageRanks(damping float64, maxIter int, tol float64) []float64 {
+	n := r.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	if damping <= 0 {
+		damping = 0.85
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	owned := r.ownedVertexLists(n)
+	outDeg := make([]int32, n)
+	r.forEachShardOwned(owned, func(_ int, st graph.Store, vs []graph.VertexID) {
+		for _, v := range vs {
+			outDeg[v] = int32(st.OutDegree(v))
+		}
+	})
+	base := (1 - damping) / float64(n)
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = base
+	}
+	next := make([]float64, n)
+	deltas := make([]float64, r.cfg.Shards)
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range deltas {
+			deltas[i] = 0
+		}
+		r.forEachShardOwned(owned, func(shard int, st graph.Store, vs []graph.VertexID) {
+			md := 0.0
+			for _, v := range vs {
+				sum := 0.0
+				st.ForEachIn(v, func(nb graph.Neighbor) {
+					if od := outDeg[nb.ID]; od > 0 {
+						sum += ranks[nb.ID] / float64(od)
+					}
+				})
+				nv := base + damping*sum
+				next[v] = nv
+				if d := math.Abs(nv - ranks[v]); d > md {
+					md = d
+				}
+			}
+			deltas[shard] = md
+		})
+		ranks, next = next, ranks
+		maxDelta := 0.0
+		for _, d := range deltas {
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	return ranks
+}

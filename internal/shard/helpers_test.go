@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"math"
+
+	"streamgraph/internal/graph"
+)
+
+// applyMutable applies a batch to a plain adjacency store under the
+// repository's batch semantics: inserts first (existing edges refresh
+// their weight), then deletes (absent edges are a no-op).
+func applyMutable(s *graph.AdjacencyStore, b *graph.Batch) {
+	for _, e := range b.Edges {
+		if !e.Delete {
+			s.InsertEdge(e)
+		}
+	}
+	for _, e := range b.Edges {
+		if e.Delete {
+			s.DeleteEdge(e.Src, e.Dst)
+		}
+	}
+}
+
+// bfsRef is a sequential BFS over out-edges; unreached = -1.
+func bfsRef(s graph.Store, source graph.VertexID) []int32 {
+	n := s.NumVertices()
+	levels := make([]int32, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	if int(source) >= n {
+		return levels
+	}
+	levels[source] = 0
+	frontier := []graph.VertexID{source}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		var next []graph.VertexID
+		for _, v := range frontier {
+			s.ForEachOut(v, func(nb graph.Neighbor) {
+				if levels[nb.ID] == -1 {
+					levels[nb.ID] = depth
+					next = append(next, nb.ID)
+				}
+			})
+		}
+		frontier = next
+	}
+	return levels
+}
+
+// ssspRef is sequential Bellman-Ford to fixpoint using the same
+// dist[u]+float64(weight) relaxation expression as the drivers.
+func ssspRef(s graph.Store, source graph.VertexID) []float64 {
+	n := s.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if int(source) >= n {
+		return dist
+	}
+	dist[source] = 0
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			dv := dist[v]
+			if math.IsInf(dv, 1) {
+				continue
+			}
+			s.ForEachOut(graph.VertexID(v), func(nb graph.Neighbor) {
+				if nd := dv + float64(nb.Weight); nd < dist[nb.ID] {
+					dist[nb.ID] = nd
+					changed = true
+				}
+			})
+		}
+	}
+	return dist
+}
+
+// ccRef is sequential min-label propagation over both edge directions.
+func ccRef(s graph.Store) []graph.VertexID {
+	n := s.NumVertices()
+	labels := make([]graph.VertexID, n)
+	for i := range labels {
+		labels[i] = graph.VertexID(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			lv := labels[v]
+			spread := func(nb graph.Neighbor) {
+				if lv < labels[nb.ID] {
+					labels[nb.ID] = lv
+					changed = true
+				}
+			}
+			s.ForEachOut(graph.VertexID(v), spread)
+			s.ForEachIn(graph.VertexID(v), spread)
+		}
+	}
+	return labels
+}
+
+// prRef is the static Jacobi PageRank the compute engine implements:
+// rank = (1-d)/N init, pull sweeps, stop when maxDelta < tol.
+func prRef(s graph.Store, damping float64, maxIter int) []float64 {
+	n := s.NumVertices()
+	base := (1 - damping) / float64(n)
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = base
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			s.ForEachIn(graph.VertexID(v), func(nb graph.Neighbor) {
+				if od := s.OutDegree(nb.ID); od > 0 {
+					sum += ranks[nb.ID] / float64(od)
+				}
+			})
+			nv := base + damping*sum
+			next[v] = nv
+			if d := math.Abs(nv - ranks[v]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		ranks, next = next, ranks
+		if maxDelta < 1e-300 {
+			break
+		}
+	}
+	return ranks
+}

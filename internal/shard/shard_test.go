@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"testing"
+
+	"streamgraph/internal/gen"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/pipeline"
+)
+
+func TestRingDeterministicAndTotal(t *testing.T) {
+	r1 := NewRing(4, 0)
+	r2 := NewRing(4, 0)
+	counts := make([]int, 4)
+	for v := 0; v < 20000; v++ {
+		a, b := r1.Owner(graph.VertexID(v)), r2.Owner(graph.VertexID(v))
+		if a != b {
+			t.Fatalf("vertex %d: nondeterministic owner %d vs %d", v, a, b)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("vertex %d: owner %d out of range", v, a)
+		}
+		counts[a]++
+	}
+	// Consistent hashing with virtual nodes should split the keyspace
+	// within a loose factor of even; a collapsed ring is a bug.
+	for s, c := range counts {
+		if c < 1000 {
+			t.Fatalf("shard %d owns only %d of 20000 vertices: %v", s, c, counts)
+		}
+	}
+}
+
+func TestRingOverlayReassignment(t *testing.T) {
+	r := NewRing(2, 0)
+	base := r.Owner(100)
+	other := 1 - base
+	r.Assign(90, 110, other)
+	if got := r.Owner(100); got != other {
+		t.Fatalf("owner(100) after Assign = %d, want %d", got, other)
+	}
+	fresh := NewRing(2, 0)
+	if r.Owner(89) != fresh.Owner(89) || r.Owner(111) != fresh.Owner(111) {
+		t.Fatalf("overlay leaked outside its range")
+	}
+	// Splitting an existing span keeps the overlay consistent.
+	r.Assign(95, 105, base)
+	if got := r.Owner(100); got != base {
+		t.Fatalf("owner(100) after re-assign = %d, want %d", got, base)
+	}
+	if got := r.Owner(92); got != other {
+		t.Fatalf("owner(92) lost its earlier assignment: got %d, want %d", got, other)
+	}
+	if got := r.Owner(108); got != other {
+		t.Fatalf("owner(108) lost its earlier assignment: got %d, want %d", got, other)
+	}
+}
+
+func TestSplitMirrorsCrossShardEdges(t *testing.T) {
+	r := New(Config{
+		Shards:      4,
+		Vertices:    256,
+		Pipeline:    pipeline.Config{Policy: pipeline.Baseline, Workers: 1},
+		Repartition: Policy{Disabled: true},
+	})
+	b := &graph.Batch{ID: 0}
+	for v := 0; v < 128; v++ {
+		b.Edges = append(b.Edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v * 7) % 256), Weight: 1})
+	}
+	parts := r.Split(b)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	for _, e := range b.Edges {
+		so, do := r.Owner(e.Src), r.Owner(e.Dst)
+		want := 1
+		if so != do {
+			want = 2
+		}
+		got := 0
+		for _, p := range parts {
+			for _, pe := range p {
+				if pe == e {
+					got++
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("edge %v: routed %d times, want %d", e, got, want)
+		}
+	}
+	if total < len(b.Edges) {
+		t.Fatalf("split lost edges: %d routed < %d input", total, len(b.Edges))
+	}
+	// Relative order within each part must match the input order.
+	for s, p := range parts {
+		last := -1
+		for _, pe := range p {
+			idx := -1
+			for i, e := range b.Edges {
+				if e == pe && i > last {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 || idx <= last {
+				t.Fatalf("shard %d: sub-batch order diverges from input order", s)
+			}
+			last = idx
+		}
+	}
+}
+
+func TestApplyAggregatesAndCountsEdges(t *testing.T) {
+	r := New(Config{
+		Shards:      2,
+		Vertices:    64,
+		Pipeline:    pipeline.Config{Policy: pipeline.ABRUSC, Workers: 1},
+		Repartition: Policy{Disabled: true},
+	})
+	edges := []graph.Edge{
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1},
+		{Src: 1, Dst: 3, Weight: 2},
+		{Src: 5, Dst: 1, Weight: 1},
+	}
+	res, err := r.Apply(&graph.Batch{ID: 0, Edges: edges})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.BatchID != 0 || len(res.PerShard) != 2 {
+		t.Fatalf("bad result shape: %+v", res)
+	}
+	if got := r.NumEdges(); got != 4 {
+		t.Fatalf("NumEdges = %d, want 4 (mirrored copies must not double-count)", got)
+	}
+	// Deleting an edge must be reflected once, globally.
+	if _, err := r.Apply(&graph.Batch{ID: 1, Edges: []graph.Edge{{Src: 1, Dst: 3, Delete: true}}}); err != nil {
+		t.Fatalf("Apply delete: %v", err)
+	}
+	if got := r.NumEdges(); got != 3 {
+		t.Fatalf("NumEdges after delete = %d, want 3", got)
+	}
+	v := r.View()
+	if !v.HasEdge(1, 2) || v.HasEdge(1, 3) {
+		t.Fatalf("view adjacency wrong after delete")
+	}
+	if err := graph.CheckMirror(v); err != nil {
+		t.Fatalf("mirror invariant on view: %v", err)
+	}
+}
+
+func TestRepartitionMigratesHotRange(t *testing.T) {
+	r := New(Config{
+		Shards:   2,
+		Vertices: 128,
+		Pipeline: pipeline.Config{Policy: pipeline.Baseline, Workers: 1},
+		Repartition: Policy{
+			MinBatches:     2,
+			Cooldown:       2,
+			SkewThreshold:  0.05,
+			ImbalanceRatio: 1.01,
+			MaxMove:        4,
+		},
+	})
+	// A single-hub stream: every edge targets vertex 7, so heat
+	// concentrates entirely on 7's owner and the imbalance trigger
+	// must fire.
+	hub := graph.VertexID(7)
+	before := r.Owner(hub)
+	// Stop at the first migration: without clearing, the hub would
+	// legitimately ping-pong back on later evaluations.
+	for i := 0; i < 30 && r.Repartitions() == 0; i++ {
+		var edges []graph.Edge
+		for j := 0; j < 16; j++ {
+			edges = append(edges, graph.Edge{Src: graph.VertexID(8 + (i*16+j)%100), Dst: hub, Weight: 1})
+		}
+		if _, err := r.Apply(&graph.Batch{ID: i, Edges: edges}); err != nil {
+			t.Fatalf("Apply %d: %v", i, err)
+		}
+	}
+	if r.Repartitions() == 0 {
+		t.Fatalf("no repartition triggered by a single-hub stream; audits: %+v", r.Audits())
+	}
+	if got := r.Owner(hub); got == before {
+		t.Fatalf("hub vertex %d still owned by shard %d after migration", hub, got)
+	}
+	if len(r.Audits()) == 0 {
+		t.Fatalf("migration emitted no decision audit")
+	}
+	// State must survive the migration: the hub's full in-adjacency
+	// lives at its new owner.
+	v := r.View()
+	if v.InDegree(hub) == 0 {
+		t.Fatalf("hub lost its in-adjacency across the migration")
+	}
+	if err := graph.CheckMirror(v); err != nil {
+		t.Fatalf("mirror invariant after migration: %v", err)
+	}
+}
+
+func TestDriversMatchSingleNodeOnAdversarialStream(t *testing.T) {
+	const verts = 200
+	spec := gen.AdvSpec{Kind: gen.AdvMixed, Seed: 11, Vertices: verts, BatchSize: 60, Batches: 10}
+	batches := spec.Generate()
+
+	ref := graph.NewAdjacencyStore(verts)
+	r := New(Config{
+		Shards:      3,
+		Vertices:    verts,
+		Pipeline:    pipeline.Config{Policy: pipeline.ABRUSC, Workers: 1},
+		Repartition: Policy{Disabled: true},
+	})
+	for _, b := range batches {
+		applyMutable(ref, b)
+		if _, err := r.Apply(b); err != nil {
+			t.Fatalf("Apply %d: %v", b.ID, err)
+		}
+	}
+
+	levels := r.BFSLevels(0)
+	dist := r.SSSPDistances(0)
+	labels := r.CCLabels()
+	ranks := r.PageRanks(0, 8, 1e-300)
+
+	refLevels := bfsRef(ref, 0)
+	for v := 0; v < verts; v++ {
+		if levels[v] != refLevels[v] {
+			t.Fatalf("BFS level(%d) = %d, reference %d", v, levels[v], refLevels[v])
+		}
+	}
+	refDist := ssspRef(ref, 0)
+	for v := 0; v < verts; v++ {
+		if dist[v] != refDist[v] {
+			t.Fatalf("SSSP dist(%d) = %v, reference %v", v, dist[v], refDist[v])
+		}
+	}
+	refLabels := ccRef(ref)
+	for v := 0; v < verts; v++ {
+		if labels[v] != refLabels[v] {
+			t.Fatalf("CC label(%d) = %d, reference %d", v, labels[v], refLabels[v])
+		}
+	}
+	refRanks := prRef(ref, 0.85, 8)
+	for v := 0; v < verts; v++ {
+		d := ranks[v] - refRanks[v]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-9 {
+			t.Fatalf("PageRank(%d) = %v, reference %v", v, ranks[v], refRanks[v])
+		}
+	}
+}

@@ -13,7 +13,7 @@
 #   14 go build   15 go test -race   16 stress soak
 #   17 bench trajectory   18 baseline preflight   19 bench store
 #   20 sglint json   21 lint budget   22 bench lockfree
-#   23 epoch torture
+#   23 epoch torture   24 shard oracle
 #
 # The baseline preflight (18) validates the committed BENCH_*.json
 # gate baselines (existence, JSON, schema version) BEFORE the bench
@@ -118,6 +118,14 @@ echo "== epoch torture =="
 # test run above covers only the quick tier.
 STRESS_SOAK_FULL=1 go test -race -count=1 -run '^TestEpochTorture$' ./internal/graph
 record "epoch torture" $? 23
+
+echo "== shard oracle =="
+# Sharded differential quick tier: every adversarial stream family
+# through 2 shards (mirrored cross-shard edges) plus the skew-driven
+# mid-stream repartition run, verified edge-for-edge against the
+# sequential reference. CI's shard-matrix job runs N=1/2/4.
+SHARDS=2 go test -race -count=1 -run '^TestShardMatrixDifferential$' ./internal/oracle
+record "shard oracle" $? 24
 
 echo "== baseline preflight =="
 go run ./cmd/sgbench -validate-baselines

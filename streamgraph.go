@@ -47,6 +47,7 @@ import (
 	"streamgraph/internal/obs"
 	"streamgraph/internal/oca"
 	"streamgraph/internal/pipeline"
+	"streamgraph/internal/shard"
 	"streamgraph/internal/trace"
 )
 
@@ -146,6 +147,16 @@ const (
 type Config struct {
 	// Vertices pre-sizes the vertex space (the store grows on demand).
 	Vertices int
+	// Shards partitions the vertex space across that many independent
+	// pipeline instances by consistent hashing (internal/shard):
+	// batches split per shard with cross-shard edges mirrored to both
+	// endpoint owners, fan out concurrently, and analytics run as
+	// scatter/gather supersteps whose merged results match the
+	// single-node engines. A dynamic repartitioner migrates hot vertex
+	// ranges as the observed degree skew drifts. 0 or 1 means the
+	// ordinary single-pipeline system. Incompatible with LockFree and
+	// ShadowStore (New panics).
+	Shards int
 	// Workers is the goroutine count; 0 means GOMAXPROCS.
 	Workers int
 	// Policy is the update strategy (default Adaptive).
@@ -241,10 +252,23 @@ type System struct {
 	bfs    *compute.BFS
 	cc     *compute.CC
 	nextID int
+
+	// Sharded mode (Config.Shards > 1): router replaces runner, and
+	// the analytics vectors below are scatter/gather results cached
+	// until the next batch dirties them.
+	router      *shard.Router
+	shardDirty  bool
+	shardRanks  []float64
+	shardDists  []float64
+	shardLevels []int32
+	shardLabels []graph.VertexID
 }
 
 // New builds a system from cfg.
 func New(cfg Config) *System {
+	if cfg.Shards > 1 {
+		return newShardedSystem(cfg, nil)
+	}
 	if cfg.LockFree {
 		return newSystem(cfg, nil)
 	}
@@ -258,6 +282,9 @@ func NewFromSnapshot(cfg Config, r io.Reader) (*System, error) {
 	store, err := trace.ReadSnapshot(r)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		return newShardedSystem(cfg, store), nil
 	}
 	s := newSystem(cfg, store)
 	if eng := s.engine(); eng != nil {
@@ -390,17 +417,31 @@ func (s *System) Observer() *Observer { return s.cfg.Observer }
 // accumulated so far. Unlike the live Result stream, it is safe to
 // call from any goroutine, including while a ConcurrentCompute round
 // is in flight.
-func (s *System) MetricsSnapshot() RunMetrics { return s.runner.MetricsSnapshot() }
+func (s *System) MetricsSnapshot() RunMetrics {
+	if s.router != nil {
+		return s.router.MetricsSnapshot()
+	}
+	return s.runner.MetricsSnapshot()
+}
 
 // TunedABR returns the ABR parameters currently in effect (they move
-// when Config.AutoTune is enabled).
-func (s *System) TunedABR() ABRParams { return s.runner.TunedParams() }
+// when Config.AutoTune is enabled). Sharded systems tune per shard;
+// this reports the configured parameters.
+func (s *System) TunedABR() ABRParams {
+	if s.router != nil {
+		return s.cfg.ABR
+	}
+	return s.runner.TunedParams()
+}
 
 // WriteSnapshot serializes the current graph for later restoration
 // with NewFromSnapshot. Call Flush first if deferred compute rounds
 // must be reflected in analytics (the snapshot itself only stores the
 // graph).
 func (s *System) WriteSnapshot(w io.Writer) error {
+	if s.router != nil {
+		return s.writeShardedSnapshot(w)
+	}
 	if st := s.runner.Store(); st != nil {
 		return trace.WriteSnapshot(w, st)
 	}
@@ -421,6 +462,11 @@ func (s *System) WriteSnapshot(w io.Writer) error {
 // Recompute refreshes the configured analytic over the whole current
 // snapshot (a full static round).
 func (s *System) Recompute() {
+	if s.router != nil {
+		s.shardDirty = true
+		s.refreshSharded()
+		return
+	}
 	if eng := s.engine(); eng != nil {
 		eng.Update(s.runner.ReadStore())
 	}
@@ -431,6 +477,9 @@ func (s *System) Recompute() {
 func (s *System) ApplyBatch(edges []Edge) (Result, error) {
 	if len(edges) == 0 {
 		return Result{}, errors.New("streamgraph: empty batch")
+	}
+	if s.router != nil {
+		return s.applySharded(edges, 0)
 	}
 	b := &graph.Batch{ID: s.nextID, Edges: edges}
 	s.nextID++
@@ -470,6 +519,9 @@ func (s *System) ApplyBatchIsolatedTraced(edges []Edge, traceID uint64) (Result,
 	if len(edges) == 0 {
 		return Result{}, errors.New("streamgraph: empty batch")
 	}
+	if s.router != nil {
+		return s.applySharded(edges, traceID)
+	}
 	b := &graph.Batch{ID: s.nextID, TraceID: traceID, Edges: edges}
 	s.nextID++
 	bm, err := s.runner.ProcessBatchIsolated(b)
@@ -493,20 +545,44 @@ func (s *System) ApplyBatchIsolatedTraced(edges []Edge, traceID uint64) (Result,
 // SetPressureSource attaches the load-shed ladder's input: a function
 // returning current ingestion pressure in [0, 1] (internal/server
 // reports admission-queue occupancy). Call before the first batch.
-func (s *System) SetPressureSource(f func() float64) { s.runner.SetPressure(f) }
+func (s *System) SetPressureSource(f func() float64) {
+	if s.router != nil {
+		s.router.SetPressure(f)
+		return
+	}
+	s.runner.SetPressure(f)
+}
 
 // Flush forces any computation round OCA deferred. Call at stream
 // end (or before reading results that must reflect every batch).
-func (s *System) Flush() { s.runner.Finish() }
+func (s *System) Flush() {
+	if s.router != nil {
+		if err := s.router.Flush(); err != nil {
+			panic(err)
+		}
+		return
+	}
+	s.runner.Finish()
+}
 
 // FlushIsolated is Flush behind the panic isolation boundary; see
 // ApplyBatchIsolated.
-func (s *System) FlushIsolated() error { return s.runner.FinishIsolated() }
+func (s *System) FlushIsolated() error {
+	if s.router != nil {
+		return s.router.Flush()
+	}
+	return s.runner.FinishIsolated()
+}
 
 // Graph returns the current graph state for ad-hoc queries. The view
 // is live: under the sequential execution contract read it between
 // batches. For reads concurrent with ingest use GraphSnapshot.
-func (s *System) Graph() Store { return s.runner.ReadStore() }
+func (s *System) Graph() Store {
+	if s.router != nil {
+		return s.router.View()
+	}
+	return s.runner.ReadStore()
+}
 
 // LockFree reports whether the system runs the epoch-based lock-free
 // hot path (Config.LockFree): GraphSnapshot views are then safe to
@@ -521,6 +597,9 @@ func (s *System) LockFree() bool { return s.cfg.LockFree }
 // reclamation, so release promptly. Otherwise the view is the live
 // store with a no-op release and the sequential contract applies.
 func (s *System) GraphSnapshot() (Store, func()) {
+	if s.router != nil {
+		return s.router.View(), func() {}
+	}
 	if es := s.runner.EpochStore(); es != nil {
 		snap := es.Snapshot()
 		return snap, snap.Release
@@ -529,14 +608,31 @@ func (s *System) GraphSnapshot() (Store, func()) {
 }
 
 // NumVertices returns the current vertex-space size.
-func (s *System) NumVertices() int { return s.runner.ReadStore().NumVertices() }
+func (s *System) NumVertices() int {
+	if s.router != nil {
+		return s.router.NumVertices()
+	}
+	return s.runner.ReadStore().NumVertices()
+}
 
-// NumEdges returns the current directed edge count.
-func (s *System) NumEdges() int { return s.runner.ReadStore().NumEdges() }
+// NumEdges returns the current directed edge count (mirrored copies
+// in sharded mode count once, at the source's owner).
+func (s *System) NumEdges() int {
+	if s.router != nil {
+		return s.router.NumEdges()
+	}
+	return s.runner.ReadStore().NumEdges()
+}
 
 // Rank returns a vertex's current PageRank (0 when PageRank is not
 // the configured analytic).
 func (s *System) Rank(v VertexID) float64 {
+	if s.router != nil {
+		if s.cfg.Analytics != AnalyticsPageRank {
+			return 0
+		}
+		return s.shardRank(v)
+	}
 	if s.pr == nil {
 		return 0
 	}
@@ -546,6 +642,9 @@ func (s *System) Rank(v VertexID) float64 {
 // Ranks returns a copy of the PageRank vector (nil when PageRank is
 // not the configured analytic).
 func (s *System) Ranks() []float64 {
+	if s.router != nil {
+		return s.shardRanksCopy()
+	}
 	if s.pr == nil {
 		return nil
 	}
@@ -555,6 +654,12 @@ func (s *System) Ranks() []float64 {
 // Distance returns a vertex's current shortest-path distance from
 // Config.Source (+Inf when unreached or SSSP is not configured).
 func (s *System) Distance(v VertexID) float64 {
+	if s.router != nil {
+		if s.cfg.Analytics != AnalyticsSSSP {
+			return math.Inf(1)
+		}
+		return s.shardDistance(v)
+	}
 	if s.sssp == nil {
 		return math.Inf(1)
 	}
@@ -564,6 +669,12 @@ func (s *System) Distance(v VertexID) float64 {
 // Level returns a vertex's current BFS hop distance from
 // Config.Source (-1 when unreached or BFS is not configured).
 func (s *System) Level(v VertexID) int32 {
+	if s.router != nil {
+		if s.cfg.Analytics != AnalyticsBFS {
+			return -1
+		}
+		return s.shardLevel(v)
+	}
 	if s.bfs == nil {
 		return -1
 	}
@@ -573,6 +684,12 @@ func (s *System) Level(v VertexID) int32 {
 // Component returns a vertex's current connected-component label (the
 // vertex's own ID when CC is not configured or v is isolated).
 func (s *System) Component(v VertexID) VertexID {
+	if s.router != nil {
+		if s.cfg.Analytics != AnalyticsCC {
+			return v
+		}
+		return s.shardComponent(v)
+	}
 	if s.cc == nil {
 		return v
 	}
